@@ -1,0 +1,33 @@
+//! Criterion bench: unit-job baselines vs the general solver — the B1
+//! experiment's runtime counterpart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ise_sched::baseline::{calibrate_on_demand, lazy_binning};
+use ise_sched::{solve, SolverOptions};
+use ise_workloads::{unit_jobs, WorkloadParams};
+
+fn bench_baselines(c: &mut Criterion) {
+    let params = WorkloadParams {
+        jobs: 12,
+        machines: 1,
+        calib_len: 5,
+        horizon: 80,
+    };
+    // Pick a seed whose instance is single-machine feasible.
+    let inst = (0..50u64)
+        .map(|s| unit_jobs(&params, s))
+        .find(|i| lazy_binning(i).is_ok())
+        .expect("some feasible seed");
+    let mut group = c.benchmark_group("unit_job_algorithms");
+    group.bench_function("lazy_binning", |b| b.iter(|| lazy_binning(&inst).unwrap()));
+    group.bench_function("calibrate_on_demand", |b| {
+        b.iter(|| calibrate_on_demand(&inst).unwrap())
+    });
+    group.bench_function("general_solver", |b| {
+        b.iter(|| solve(&inst, &SolverOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

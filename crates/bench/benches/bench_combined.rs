@@ -1,0 +1,45 @@
+//! Criterion bench: the combined Theorem 1 solver on mixed workloads —
+//! the T1 experiment's runtime counterpart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_sched::{solve, SolverOptions};
+use ise_workloads::{stockpile, uniform, WorkloadParams};
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combined_uniform");
+    group.sample_size(10);
+    for &n in &[10usize, 20, 30] {
+        let params = WorkloadParams {
+            jobs: n,
+            machines: 2,
+            calib_len: 10,
+            horizon: 20 * n as i64,
+        };
+        let inst = uniform(&params, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve(inst, &SolverOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_stockpile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combined_stockpile");
+    group.sample_size(10);
+    for &n in &[12usize, 24] {
+        let params = WorkloadParams {
+            jobs: n,
+            machines: 2,
+            calib_len: 10,
+            horizon: 20 * n as i64,
+        };
+        let inst = stockpile(&params, 120, 8, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve(inst, &SolverOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform, bench_stockpile);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: the engineering extensions — decomposition vs the
+//! monolithic solver on bursty workloads, and LP presolve effect on the
+//! TISE relaxation (the D1 experiment's runtime counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_sched::decompose::solve_decomposed;
+use ise_sched::lp::build;
+use ise_sched::{solve, SolverOptions};
+use ise_simplex::{presolve, solve as lp_solve, solve_with_presolve, SolveOptions};
+use ise_workloads::{long_only, stockpile, WorkloadParams};
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose_vs_monolithic");
+    group.sample_size(10);
+    for &n in &[12usize, 24] {
+        let params = WorkloadParams {
+            jobs: n,
+            machines: 2,
+            calib_len: 10,
+            horizon: 1,
+        };
+        let inst = stockpile(&params, 400, 6, 7);
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &inst, |b, inst| {
+            b.iter(|| solve(inst, &SolverOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decomposed", n), &inst, |b, inst| {
+            b.iter(|| solve_decomposed(inst, &SolverOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_presolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tise_lp_presolve");
+    group.sample_size(10);
+    for &n in &[10usize, 20] {
+        let params = WorkloadParams {
+            jobs: n,
+            machines: 2,
+            calib_len: 10,
+            horizon: 25 * n as i64,
+        };
+        let inst = long_only(&params, 7);
+        let tise = build(inst.jobs(), inst.calib_len(), 3 * inst.machines());
+        group.bench_with_input(BenchmarkId::new("raw", n), &tise.lp, |b, lp| {
+            b.iter(|| lp_solve(lp, &SolveOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("presolved", n), &tise.lp, |b, lp| {
+            b.iter(|| solve_with_presolve(lp, &SolveOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("presolve_only", n), &tise.lp, |b, lp| {
+            b.iter(|| presolve(lp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose, bench_presolve);
+criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Theorem-budget auditing of solver outcomes.
+//!
+//! The paper's guarantees are *budgets*: Theorem 12 promises at most `18m`
+//! machines and `4·LP` calibrations from the long-window pipeline, Lemma 19
+//! at most `4γw` calibrations on `3w` machines per short-window interval,
+//! and so on. [`audit`] re-derives every applicable budget from a
+//! [`SolveOutcome`]'s recorded diagnostics and checks the produced schedule
+//! against each — a production deployment runs this after every solve, so
+//! a regression that quietly blows a constant factor is caught at runtime,
+//! not in a paper reread.
+
+use crate::short_window::GAMMA;
+use crate::solver::SolveOutcome;
+use ise_model::Instance;
+use std::fmt;
+
+/// One audited budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetCheck {
+    /// Which guarantee this is (e.g. `"T12 machines <= 18m"`).
+    pub name: &'static str,
+    /// The measured value.
+    pub actual: f64,
+    /// The budget it must not exceed.
+    pub budget: f64,
+    /// `actual <= budget` (with a small float guard).
+    pub ok: bool,
+}
+
+/// The full audit.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Every applicable budget check.
+    pub checks: Vec<BudgetCheck>,
+}
+
+impl AuditReport {
+    /// True if every budget held.
+    pub fn all_ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// The failed checks, if any.
+    pub fn failures(&self) -> Vec<&BudgetCheck> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+
+    fn push(&mut self, name: &'static str, actual: f64, budget: f64) {
+        self.checks.push(BudgetCheck {
+            name,
+            actual,
+            budget,
+            ok: actual <= budget + 1e-9,
+        });
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.checks {
+            writeln!(
+                f,
+                "{} {:>10.2} / {:<10.2} {}",
+                if c.ok { "ok  " } else { "FAIL" },
+                c.actual,
+                c.budget,
+                c.name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Audit `outcome` against every theorem budget that applies to it.
+pub fn audit(instance: &Instance, outcome: &SolveOutcome) -> AuditReport {
+    let mut report = AuditReport::default();
+    let m = instance.machines() as f64;
+
+    if let Some(long) = &outcome.long {
+        // Theorem 12 machinery.
+        report.push(
+            "T12: long-window machines <= 18m",
+            long.schedule.machines_used() as f64,
+            18.0 * m,
+        );
+        report.push(
+            "T12: long-window calibrations <= 4*LP",
+            long.schedule.num_calibrations() as f64,
+            // The +2 absorbs the <= 2*ceil nature of rounding at tiny LP
+            // values (4*LP < 4 but one calibration may still be emitted
+            // per bank).
+            4.0 * long.fractional.objective + 2.0,
+        );
+        // Lemma 4: within any length-T window at most 9m calibration
+        // starts per bank (3m' with m' = 3m); both banks double it.
+        let t_len = long.schedule.calib_len_scaled(instance.calib_len());
+        let mut starts: Vec<_> = long.schedule.calibrations.iter().map(|c| c.start).collect();
+        starts.sort_unstable();
+        let mut peak = 0usize;
+        for (i, &s) in starts.iter().enumerate() {
+            let hi = starts.partition_point(|&u| u < s + t_len);
+            peak = peak.max(hi - i);
+        }
+        report.push(
+            "L4: calibration starts per T-window <= 2*(3m'+?)=18m",
+            peak as f64,
+            18.0 * m,
+        );
+    }
+
+    if let Some(short) = &outcome.short {
+        for rep in &short.intervals {
+            let _ = rep;
+        }
+        // Lemma 19 per interval: <= 4γ·w calibrations on 3w machines.
+        let worst = short
+            .intervals
+            .iter()
+            .map(|r| {
+                if r.mm_machines == 0 {
+                    0.0
+                } else {
+                    r.calibrations as f64 / (4.0 * GAMMA as f64 * r.mm_machines as f64)
+                }
+            })
+            .fold(0.0f64, f64::max);
+        report.push(
+            "L19: per-interval calibrations / (4*gamma*w) <= 1",
+            worst,
+            1.0,
+        );
+        let w_max = short
+            .intervals
+            .iter()
+            .map(|r| r.mm_machines)
+            .max()
+            .unwrap_or(0) as f64;
+        report.push(
+            "T20: short-window machines <= 6*max w",
+            (short.pass1_machines + short.pass2_machines) as f64,
+            6.0 * w_max.max(1.0),
+        );
+        // Crossing jobs are bounded by 2γ - 1 per MM machine (Lemma 19:
+        // an interval has 2γ calibration slots, hence 2γ - 1 interior
+        // boundaries a job on one machine can cross).
+        let worst_cross = short
+            .intervals
+            .iter()
+            .map(|r| {
+                if r.mm_machines == 0 {
+                    0.0
+                } else {
+                    r.crossing_jobs as f64 / ((2.0 * GAMMA as f64 - 1.0) * r.mm_machines as f64)
+                }
+            })
+            .fold(0.0f64, f64::max);
+        report.push(
+            "L19: crossing jobs / ((2*gamma - 1) * w) <= 1 per interval",
+            worst_cross,
+            1.0,
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, SolverOptions};
+    use ise_workloads::{uniform, WorkloadParams};
+
+    #[test]
+    fn audits_pass_on_solver_output() {
+        for seed in 0..5u64 {
+            let params = WorkloadParams {
+                jobs: 12,
+                machines: 2,
+                calib_len: 10,
+                horizon: 120,
+            };
+            let inst = uniform(&params, seed);
+            let Ok(out) = solve(&inst, &SolverOptions::default()) else {
+                continue;
+            };
+            let report = audit(&inst, &out);
+            assert!(report.all_ok(), "seed {seed} failed audit:\n{report}");
+            assert!(!report.checks.is_empty());
+        }
+    }
+
+    #[test]
+    fn audit_detects_blown_budget() {
+        let params = WorkloadParams {
+            jobs: 8,
+            machines: 1,
+            calib_len: 10,
+            horizon: 80,
+        };
+        let inst = uniform(&params, 1);
+        let mut out = solve(&inst, &SolverOptions::default()).unwrap();
+        // Sabotage: inflate the long-window sub-schedule's machine usage.
+        if let Some(long) = &mut out.long {
+            for k in 0..(18 * inst.machines() + 2) {
+                long.schedule
+                    .calibrate(100 + k, ise_model::Time(10_000 + 20 * k as i64));
+            }
+            let report = audit(&inst, &out);
+            assert!(!report.all_ok(), "sabotaged outcome must fail the audit");
+            assert!(report
+                .failures()
+                .iter()
+                .any(|c| c.name.contains("machines <= 18m")));
+        }
+    }
+
+    #[test]
+    fn display_formats_every_check() {
+        let params = WorkloadParams {
+            jobs: 8,
+            machines: 1,
+            calib_len: 10,
+            horizon: 80,
+        };
+        let inst = uniform(&params, 2);
+        let Ok(out) = solve(&inst, &SolverOptions::default()) else {
+            return;
+        };
+        let report = audit(&inst, &out);
+        let text = report.to_string();
+        assert_eq!(text.lines().count(), report.checks.len());
+        assert!(text.contains("ok"));
+    }
+}

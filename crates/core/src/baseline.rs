@@ -1,0 +1,510 @@
+//! Baseline algorithms for comparison experiments.
+//!
+//! The prior work on the ISE problem (Bender, Bunde, Leung, McCauley,
+//! Phillips — SPAA 2013) covers **unit** processing times only: an optimal
+//! greedy algorithm for one machine and a 2-approximation for multiple
+//! machines, both built on the principles of *delaying calibrations as long
+//! as feasibility allows* and EDF job selection. We reimplement those
+//! principles from the description in the present paper:
+//!
+//! * [`lazy_binning`] — single machine, unit jobs: repeatedly start the
+//!   next calibration at the **latest** time that keeps the remaining jobs
+//!   feasible, then pack the calibrated window with EDF.
+//! * [`calibrate_on_demand`] — `m` machines, unit jobs: run the optimal
+//!   EDF unit-job schedule and calibrate a machine whenever a job lands
+//!   outside its current calibrated interval, preferring machines whose
+//!   calibration already covers the job. A natural engineering baseline.
+//!
+//! Both reject non-unit inputs: that restriction is exactly the gap the
+//! SPAA 2015 paper closes, which the baseline experiment (B1) makes
+//! visible.
+
+use crate::error::SchedError;
+use ise_model::{Dur, Instance, Job, Schedule, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-machine lazy binning for unit jobs. Returns a feasible schedule
+/// or [`SchedError::Infeasible`] when no single-machine schedule exists.
+pub fn lazy_binning(instance: &Instance) -> Result<Schedule, SchedError> {
+    require_unit(instance)?;
+    if instance.machines() != 1 {
+        return Err(SchedError::Precondition {
+            requirement: "lazy binning handles one machine",
+        });
+    }
+    let t_len = instance.calib_len();
+    let mut remaining: Vec<Job> = instance.jobs().to_vec();
+    remaining.sort_unstable_by_key(|j| (j.release, j.deadline, j.id));
+
+    let mut schedule = Schedule::new();
+    // Next calibration may start no earlier than this (previous calibration
+    // end, to keep per-machine calibrations disjoint).
+    let mut earliest_start = Time(i64::MIN / 4);
+    while !remaining.is_empty() {
+        let lo = earliest_start.max(remaining.iter().map(|j| j.release).min().expect("nonempty"));
+        // Find the latest t in [lo, hi] such that EDF from t meets all
+        // deadlines (machine continuously available from t onward).
+        let hi = remaining
+            .iter()
+            .map(|j| j.deadline)
+            .max()
+            .expect("nonempty");
+        if edf_from(&remaining, lo).is_none() {
+            return Err(SchedError::Infeasible {
+                reason: format!("unit jobs infeasible on one machine from time {lo}"),
+            });
+        }
+        let (mut a, mut b) = (lo.ticks(), hi.ticks());
+        while a < b {
+            let mid = a + (b - a + 1) / 2;
+            if edf_from(&remaining, Time(mid)).is_some() {
+                a = mid;
+            } else {
+                b = mid - 1;
+            }
+        }
+        let t_star = Time(a);
+        schedule.calibrate(0, t_star);
+        earliest_start = t_star + t_len;
+        // Pack [t*, t*+T) with EDF over all released jobs.
+        let mut t = t_star;
+        while t < t_star + t_len {
+            let pick = remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.release <= t && t + Dur(1) <= j.deadline)
+                .min_by_key(|(_, j)| (j.deadline, j.id))
+                .map(|(i, _)| i);
+            match pick {
+                Some(i) => {
+                    let job = remaining.swap_remove(i);
+                    schedule.place(job.id, 0, t);
+                    t += Dur(1);
+                }
+                None => {
+                    // Jump to the next release inside the calibration.
+                    match remaining
+                        .iter()
+                        .map(|j| j.release)
+                        .filter(|&r| r > t && r < t_star + t_len)
+                        .min()
+                    {
+                        Some(r) => t = r,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    Ok(schedule)
+}
+
+/// EDF single-machine feasibility for unit jobs with the machine available
+/// from time `from` onward; returns the (start-time) schedule on success.
+fn edf_from(jobs: &[Job], from: Time) -> Option<Vec<(Job, Time)>> {
+    let mut order: Vec<&Job> = jobs.iter().collect();
+    order.sort_unstable_by_key(|j| (j.release, j.id));
+    let mut heap: BinaryHeap<Reverse<(Time, u32, usize)>> = BinaryHeap::new();
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut next = 0usize;
+    let mut t = from;
+    while next < order.len() || !heap.is_empty() {
+        if heap.is_empty() && next < order.len() {
+            t = t.max(order[next].release);
+        }
+        while next < order.len() && order[next].release <= t {
+            heap.push(Reverse((order[next].deadline, order[next].id.0, next)));
+            next += 1;
+        }
+        let Reverse((deadline, _, idx)) = heap.pop().expect("heap refilled above");
+        if t + Dur(1) > deadline {
+            return None;
+        }
+        out.push((*order[idx], t));
+        t += Dur(1);
+    }
+    Some(out)
+}
+
+/// Multi-machine on-demand calibration for unit jobs: schedule with the
+/// optimal unit-job EDF (binary-searching nothing — the instance's machine
+/// count is used as-is), then walk the placements per machine in time
+/// order, calibrating whenever a job falls outside the machine's current
+/// calibrated interval.
+pub fn calibrate_on_demand(instance: &Instance) -> Result<Schedule, SchedError> {
+    require_unit(instance)?;
+    let jobs = instance.jobs();
+    let Some(mm) = ise_mm::unit::edf_schedule(jobs, instance.machines()) else {
+        return Err(SchedError::Infeasible {
+            reason: format!("unit jobs infeasible on {} machines", instance.machines()),
+        });
+    };
+    let t_len = instance.calib_len();
+    let mut schedule = Schedule::new();
+    // Walk placements per machine in time order.
+    let mut by_machine: std::collections::BTreeMap<usize, Vec<(Time, ise_model::JobId)>> =
+        std::collections::BTreeMap::new();
+    for p in &mm.placements {
+        by_machine
+            .entry(p.machine)
+            .or_default()
+            .push((p.start, p.job));
+    }
+    for (machine, mut runs) in by_machine {
+        runs.sort_unstable();
+        let mut calibrated_until = Time(i64::MIN / 4);
+        for (start, job) in runs {
+            if start + Dur(1) > calibrated_until {
+                // Unit jobs: `calibrated_until <= start` here, so a fresh
+                // calibration at the job's start never overlaps the
+                // previous one.
+                debug_assert!(calibrated_until <= start);
+                schedule.calibrate(machine, start);
+                calibrated_until = start + t_len;
+            }
+            schedule.place(job, machine, start);
+        }
+    }
+    Ok(schedule)
+}
+
+/// Multi-machine lazy binning for unit jobs — in the spirit of the prior
+/// work's multi-machine greedy (their 2-approximation): repeatedly pick the
+/// **latest** time `t*` at which the remaining jobs are still EDF-feasible
+/// on the instance's machines (respecting each machine's calibration
+/// cooldown), calibrate just as many machines at `t*` as the first
+/// calibration window actually needs, cram that window with EDF, and
+/// repeat.
+pub fn lazy_binning_multi(instance: &Instance) -> Result<Schedule, SchedError> {
+    require_unit(instance)?;
+    let t_len = instance.calib_len();
+    let m = instance.machines();
+    let mut remaining: Vec<Job> = instance.jobs().to_vec();
+    let mut cooldown = vec![Time(i64::MIN / 4); m]; // next allowed calibration per machine
+    let mut schedule = Schedule::new();
+
+    while !remaining.is_empty() {
+        let lo = remaining.iter().map(|j| j.release).min().expect("nonempty");
+        let lo = lo.max(cooldown.iter().copied().min().expect("m >= 1"));
+        let hi = remaining
+            .iter()
+            .map(|j| j.deadline)
+            .max()
+            .expect("nonempty");
+        if multi_edf_from(&remaining, &cooldown, lo).is_none() {
+            return Err(SchedError::Infeasible {
+                reason: format!(
+                    "unit jobs infeasible on {m} machines from time {lo} given calibration cooldowns"
+                ),
+            });
+        }
+        // Latest feasible calibration instant (feasibility is monotone
+        // decreasing in t).
+        let (mut a, mut b) = (lo.ticks(), hi.ticks());
+        while a < b {
+            let mid = a + (b - a + 1) / 2;
+            if multi_edf_from(&remaining, &cooldown, Time(mid)).is_some() {
+                a = mid;
+            } else {
+                b = mid - 1;
+            }
+        }
+        let t_star = Time(a);
+        let sim = multi_edf_from(&remaining, &cooldown, t_star).expect("checked feasible");
+        // Machines needed concurrently within the first window.
+        let needed = sim
+            .iter()
+            .filter(|&&(_, s)| s >= t_star && s < t_star + t_len)
+            .fold(
+                std::collections::HashMap::<Time, usize>::new(),
+                |mut acc, &(_, s)| {
+                    *acc.entry(s).or_default() += 1;
+                    acc
+                },
+            )
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .min(m);
+        // Calibrate the `needed` machines with the earliest cooldowns that
+        // allow time t*.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_unstable_by_key(|&i| cooldown[i]);
+        let chosen: Vec<usize> = order
+            .into_iter()
+            .filter(|&i| cooldown[i] <= t_star)
+            .take(needed)
+            .collect();
+        if chosen.is_empty() {
+            return Err(SchedError::Internal {
+                stage: "multi lazy binning: no machine available",
+                jobs: vec![],
+            });
+        }
+        for &i in &chosen {
+            schedule.calibrate(i, t_star);
+            cooldown[i] = t_star + t_len;
+        }
+        // Cram [t*, t*+T) with EDF on the chosen machines.
+        let mut t = t_star;
+        while t < t_star + t_len && !remaining.is_empty() {
+            let mut picks: Vec<usize> = Vec::new();
+            for _ in 0..chosen.len() {
+                let pick = remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, j)| {
+                        !picks.contains(i) && j.release <= t && t + Dur(1) <= j.deadline
+                    })
+                    .min_by_key(|(_, j)| (j.deadline, j.id))
+                    .map(|(i, _)| i);
+                match pick {
+                    Some(i) => picks.push(i),
+                    None => break,
+                }
+            }
+            if picks.is_empty() {
+                match remaining
+                    .iter()
+                    .map(|j| j.release)
+                    .filter(|&r| r > t && r < t_star + t_len)
+                    .min()
+                {
+                    Some(r) => t = r,
+                    None => break,
+                }
+                continue;
+            }
+            picks.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
+            for (slot, &i) in picks.iter().enumerate() {
+                let job = remaining.swap_remove(i);
+                schedule.place(job.id, chosen[slot % chosen.len()], t);
+            }
+            t += Dur(1);
+        }
+    }
+    Ok(schedule)
+}
+
+/// Multi-machine EDF feasibility for unit jobs with machine `i` available
+/// from `max(from, cooldown[i])`; returns `(job, start)` pairs on success.
+fn multi_edf_from(jobs: &[Job], cooldown: &[Time], from: Time) -> Option<Vec<(Job, Time)>> {
+    let mut order: Vec<&Job> = jobs.iter().collect();
+    order.sort_unstable_by_key(|j| (j.release, j.id));
+    let mut machine_free: Vec<Time> = cooldown.iter().map(|&c| c.max(from)).collect();
+    machine_free.sort_unstable();
+    let mut heap: BinaryHeap<Reverse<(Time, u32, usize)>> = BinaryHeap::new();
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut next = 0usize;
+    // Process in rounds at each candidate time.
+    let mut t = machine_free[0].max(order.first().map(|j| j.release).unwrap_or(from));
+    while next < order.len() || !heap.is_empty() {
+        if heap.is_empty() && next < order.len() {
+            t = t.max(order[next].release);
+        }
+        while next < order.len() && order[next].release <= t {
+            heap.push(Reverse((order[next].deadline, order[next].id.0, next)));
+            next += 1;
+        }
+        // Run as many machines as are free at time t.
+        let avail = machine_free.iter().filter(|&&f| f <= t).count();
+        if avail == 0 {
+            // Advance to the earliest machine availability.
+            t = t.max(*machine_free.iter().min().expect("m >= 1"));
+            continue;
+        }
+        let mut ran = 0;
+        for _ in 0..avail {
+            let Some(Reverse((deadline, _, idx))) = heap.pop() else {
+                break;
+            };
+            if t + Dur(1) > deadline {
+                return None;
+            }
+            out.push((*order[idx], t));
+            ran += 1;
+        }
+        let _ = ran;
+        t += Dur(1);
+    }
+    Some(out)
+}
+
+fn require_unit(instance: &Instance) -> Result<(), SchedError> {
+    if instance.all_unit() {
+        Ok(())
+    } else {
+        Err(SchedError::Precondition {
+            requirement: "baseline algorithms require unit processing times",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_model::validate;
+
+    #[test]
+    fn lazy_binning_single_burst_uses_one_calibration() {
+        // T = 5, three unit jobs with a common loose window.
+        let inst = Instance::new([(0, 20, 1), (0, 20, 1), (0, 20, 1)], 1, 5).unwrap();
+        let s = lazy_binning(&inst).unwrap();
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.num_calibrations(), 1);
+    }
+
+    #[test]
+    fn lazy_binning_delays_to_merge_bursts() {
+        // Jobs at [0, 20) and a job released at 16 with deadline 20:
+        // calibrating lazily at 15 covers [15, 20) and serves all three
+        // with one calibration; eager calibration at 0 would need two.
+        let inst = Instance::new([(0, 20, 1), (0, 20, 1), (16, 20, 1)], 1, 5).unwrap();
+        let s = lazy_binning(&inst).unwrap();
+        validate(&inst, &s).unwrap();
+        assert_eq!(
+            s.num_calibrations(),
+            1,
+            "lazy binning must merge the bursts"
+        );
+    }
+
+    #[test]
+    fn lazy_binning_multiple_calibrations_when_forced() {
+        // Two bursts too far apart to share a length-5 calibration.
+        let inst = Instance::new([(0, 3, 1), (100, 103, 1)], 1, 5).unwrap();
+        let s = lazy_binning(&inst).unwrap();
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.num_calibrations(), 2);
+    }
+
+    #[test]
+    fn lazy_binning_detects_infeasibility() {
+        // Three unit jobs due by time 2 on one machine.
+        let inst = Instance::new([(0, 2, 1), (0, 2, 1), (0, 2, 1)], 1, 5).unwrap();
+        assert!(matches!(
+            lazy_binning(&inst),
+            Err(SchedError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn lazy_binning_rejects_non_unit() {
+        let inst = Instance::new([(0, 20, 2)], 1, 5).unwrap();
+        assert!(matches!(
+            lazy_binning(&inst),
+            Err(SchedError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn on_demand_multi_machine() {
+        let inst = Instance::new([(0, 2, 1), (0, 2, 1), (0, 2, 1), (0, 2, 1)], 2, 5).unwrap();
+        let s = calibrate_on_demand(&inst).unwrap();
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.machines_used(), 2);
+        assert_eq!(s.num_calibrations(), 2);
+    }
+
+    #[test]
+    fn on_demand_recalibrates_after_expiry() {
+        // Two jobs more than T apart on one machine.
+        let inst = Instance::new([(0, 3, 1), (50, 53, 1)], 1, 5).unwrap();
+        let s = calibrate_on_demand(&inst).unwrap();
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.num_calibrations(), 2);
+    }
+
+    #[test]
+    fn on_demand_detects_infeasibility() {
+        let inst = Instance::new([(0, 1, 1), (0, 1, 1)], 1, 5).unwrap();
+        assert!(matches!(
+            calibrate_on_demand(&inst),
+            Err(SchedError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_lazy_handles_parallel_bursts() {
+        // 4 unit jobs due by time 2 need 2 machines.
+        let inst = Instance::new([(0, 2, 1), (0, 2, 1), (0, 2, 1), (0, 2, 1)], 2, 5).unwrap();
+        let s = lazy_binning_multi(&inst).unwrap();
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.num_calibrations(), 2);
+    }
+
+    #[test]
+    fn multi_lazy_single_machine_matches_lazy_shape() {
+        let inst = Instance::new([(0, 20, 1), (0, 20, 1), (16, 20, 1)], 1, 5).unwrap();
+        let multi = lazy_binning_multi(&inst).unwrap();
+        let single = lazy_binning(&inst).unwrap();
+        validate(&inst, &multi).unwrap();
+        assert_eq!(multi.num_calibrations(), single.num_calibrations());
+    }
+
+    #[test]
+    fn multi_lazy_detects_infeasibility() {
+        let inst = Instance::new([(0, 1, 1), (0, 1, 1), (0, 1, 1)], 2, 5).unwrap();
+        assert!(matches!(
+            lazy_binning_multi(&inst),
+            Err(SchedError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_lazy_delays_like_single() {
+        // Lazy delay should merge bursts on 2 machines as well.
+        let inst = Instance::new([(0, 20, 1), (0, 20, 1), (16, 20, 1), (16, 20, 1)], 2, 5).unwrap();
+        let s = lazy_binning_multi(&inst).unwrap();
+        validate(&inst, &s).unwrap();
+        assert!(s.num_calibrations() <= 2, "got {}", s.num_calibrations());
+    }
+
+    #[test]
+    fn multi_lazy_respects_cooldowns() {
+        // Two bursts exactly T apart: the same machine may recalibrate
+        // back-to-back but never overlapping.
+        let inst = Instance::new([(0, 3, 1), (5, 8, 1), (10, 13, 1)], 1, 5).unwrap();
+        let s = lazy_binning_multi(&inst).unwrap();
+        validate(&inst, &s).unwrap();
+    }
+
+    #[test]
+    fn lazy_never_worse_than_on_demand_on_singles() {
+        // Deterministic pseudo-random unit instances, m = 1: lazy binning
+        // (optimal per prior work) must never use more calibrations than
+        // the on-demand baseline.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut rand = move |m: i64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i64).rem_euclid(m)
+        };
+        for _ in 0..25 {
+            let n = 2 + rand(5) as usize;
+            let jobs: Vec<(i64, i64, i64)> = (0..n)
+                .map(|_| {
+                    let r = rand(30);
+                    let d = r + 1 + rand(10);
+                    (r, d, 1)
+                })
+                .collect();
+            let inst = Instance::new(jobs, 1, 5).unwrap();
+            let (Ok(lazy), Ok(demand)) = (lazy_binning(&inst), calibrate_on_demand(&inst)) else {
+                continue; // both infeasible cases skip
+            };
+            validate(&inst, &lazy).unwrap();
+            validate(&inst, &demand).unwrap();
+            assert!(
+                lazy.num_calibrations() <= demand.num_calibrations(),
+                "lazy {} > on-demand {} for {:?}",
+                lazy.num_calibrations(),
+                demand.num_calibrations(),
+                inst
+            );
+        }
+    }
+}

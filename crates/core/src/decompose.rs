@@ -1,0 +1,207 @@
+//! Instance decomposition along calibration-free gaps.
+//!
+//! If the jobs split into groups whose windows are separated by more than
+//! `T`, no calibration can serve two groups (a calibration spans `T`
+//! contiguous time units), so the instance decomposes: solving each
+//! component independently and taking the union on *shared* machines is
+//! lossless — `OPT(I) = Σ OPT(component)` — while every component's LP is
+//! much smaller than the monolithic one. For sparse workloads (bursty
+//! arrivals with quiet periods, the stockpile shape) this is the difference
+//! between one large LP and many trivial ones.
+//!
+//! Components are maximal groups of jobs whose *calibration-extended
+//! windows* `[r_j - T, d_j + T)` form a connected union: two jobs whose
+//! extended windows are disjoint can never share a calibration (any
+//! calibration serving job `j` starts in `(r_j - T, d_j)`), and the
+//! conservative `±T` padding keeps the split sound in the other direction
+//! too.
+
+use crate::error::SchedError;
+use crate::solver::{solve, SolveOutcome, SolverOptions};
+use ise_model::{Instance, Job, Schedule};
+
+/// Split `instance` into independent components (each with the original
+/// machine count), ordered by time. Jobs keep their original ids.
+///
+/// ```
+/// use ise_sched::decompose::components;
+/// use ise_model::Instance;
+/// // Two bursts separated by far more than T = 10.
+/// let inst = Instance::new([(0, 20, 4), (500, 530, 5)], 1, 10).unwrap();
+/// assert_eq!(components(&inst).len(), 2);
+/// ```
+pub fn components(instance: &Instance) -> Vec<Instance> {
+    if instance.is_empty() {
+        return Vec::new();
+    }
+    let t = instance.calib_len();
+    let mut jobs: Vec<Job> = instance.jobs().to_vec();
+    jobs.sort_unstable_by_key(|j| (j.release, j.id));
+    let mut out: Vec<Vec<Job>> = Vec::new();
+    let mut current: Vec<Job> = Vec::new();
+    // Frontier: latest extended-window end of the current component.
+    let mut frontier = None;
+    for job in jobs {
+        let start = job.release - t;
+        let end = job.deadline + t;
+        match frontier {
+            Some(f) if start < f => {
+                current.push(job);
+                if end > f {
+                    frontier = Some(end);
+                }
+            }
+            _ => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+                current.push(job);
+                frontier = Some(end);
+            }
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out.into_iter()
+        .map(|jobs| instance.restrict(jobs, instance.machines()))
+        .collect()
+}
+
+/// Solve each component independently and union the results on a shared
+/// machine pool. Because components are separated in time by more than
+/// `T`... strictly, their extended windows are disjoint — calibrations and
+/// executions of different components can never overlap, so reusing the
+/// same machine ids across components is feasible.
+pub fn solve_decomposed(
+    instance: &Instance,
+    opts: &SolverOptions,
+) -> Result<SolveOutcome, SchedError> {
+    let parts = components(instance);
+    if parts.len() <= 1 {
+        return solve(instance, opts);
+    }
+    let mut schedule = Schedule::new();
+    let mut long_jobs = 0;
+    let mut short_jobs = 0;
+    for part in &parts {
+        let sub = solve(part, opts)?;
+        long_jobs += sub.long_jobs;
+        short_jobs += sub.short_jobs;
+        // Same machine pool: absorb with offset 0. Disjointness in time
+        // makes this safe; the validator re-checks in tests.
+        schedule.absorb(sub.schedule, 0);
+    }
+    schedule.compact_machines();
+    Ok(SolveOutcome {
+        schedule,
+        long: None,
+        short: None,
+        long_jobs,
+        short_jobs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_model::validate;
+    use ise_workloads::{stockpile, WorkloadParams};
+
+    #[test]
+    fn separated_bursts_split() {
+        let inst = Instance::new(
+            [(0, 20, 4), (5, 30, 4), (200, 230, 5), (205, 240, 5)],
+            1,
+            10,
+        )
+        .unwrap();
+        let parts = components(&inst);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 2);
+        assert_eq!(parts[1].len(), 2);
+    }
+
+    #[test]
+    fn touching_extended_windows_stay_together() {
+        // Gap of exactly 2T between deadline and next release: extended
+        // windows touch ([.., d+T) and [r-T, ..) with r-T = d+T) — the
+        // conservative rule keeps them separate only when strictly apart.
+        let inst = Instance::new([(0, 10, 4), (30, 45, 4)], 1, 10).unwrap();
+        // d+T = 20, r-T = 20: start < frontier fails (20 < 20 is false) =>
+        // split.
+        assert_eq!(components(&inst).len(), 2);
+        let closer = Instance::new([(0, 10, 4), (29, 45, 4)], 1, 10).unwrap();
+        assert_eq!(components(&closer).len(), 1);
+    }
+
+    #[test]
+    fn decomposed_solve_matches_monolithic_quality() {
+        let inst = Instance::new(
+            [
+                (0, 25, 4),
+                (3, 30, 5),
+                (300, 330, 5),
+                (306, 340, 6),
+                (700, 740, 7),
+            ],
+            1,
+            10,
+        )
+        .unwrap();
+        let mono = solve(&inst, &SolverOptions::default()).unwrap();
+        let decomposed = solve_decomposed(&inst, &SolverOptions::default()).unwrap();
+        validate(&inst, &decomposed.schedule).unwrap();
+        // Decomposition is lossless for the optimum; for the approximation
+        // pipeline the results may differ slightly, but never by the
+        // rounding's worst case. Here both should see 3 trivial components.
+        assert!(
+            decomposed.schedule.num_calibrations() <= mono.schedule.num_calibrations() + 2,
+            "decomposed {} vs monolithic {}",
+            decomposed.schedule.num_calibrations(),
+            mono.schedule.num_calibrations()
+        );
+        assert_eq!(decomposed.long_jobs + decomposed.short_jobs, inst.len());
+    }
+
+    #[test]
+    fn machine_reuse_across_components() {
+        let inst = Instance::new([(0, 25, 4), (300, 330, 5), (700, 740, 7)], 1, 10).unwrap();
+        let out = solve_decomposed(&inst, &SolverOptions::default()).unwrap();
+        validate(&inst, &out.schedule).unwrap();
+        // Each component is a single job; they share machine ids.
+        let mono = solve(&inst, &SolverOptions::default()).unwrap();
+        assert!(out.schedule.machines_used() <= mono.schedule.machines_used());
+    }
+
+    #[test]
+    fn stockpile_decomposes_by_campaign() {
+        let params = WorkloadParams {
+            jobs: 18,
+            machines: 2,
+            calib_len: 10,
+            horizon: 1,
+        };
+        // Period 500 >> job windows: each campaign is its own component.
+        let inst = stockpile(&params, 500, 6, 3);
+        let parts = components(&inst);
+        assert!(
+            parts.len() >= 3,
+            "expected per-campaign components, got {}",
+            parts.len()
+        );
+        let out = solve_decomposed(&inst, &SolverOptions::default()).unwrap();
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Instance::new([], 1, 10).unwrap();
+        assert!(components(&empty).is_empty());
+        let single = Instance::new([(0, 20, 4)], 1, 10).unwrap();
+        let parts = components(&single);
+        assert_eq!(parts.len(), 1);
+        let out = solve_decomposed(&single, &SolverOptions::default()).unwrap();
+        validate(&single, &out.schedule).unwrap();
+    }
+}

@@ -1,0 +1,213 @@
+//! Algorithm 2: EDF job assignment onto a mirrored calibration schedule.
+//!
+//! Given the integer calibration schedule produced by the rounding step,
+//! the paper first *mirrors* it — duplicates every calibration on a second
+//! bank of machines — and then scans calibrations in nondecreasing start
+//! order, greedily filling each with the unscheduled TISE-eligible job of
+//! earliest deadline while it fits (`used + p_j <= T`); when the
+//! earliest-deadline job does not fit, the calibration is closed and the
+//! scan moves on. Lemmas 8–10 prove this schedules every job whenever a
+//! fractional assignment exists on the unmirrored calendar, which Corollary
+//! 6 guarantees after rounding.
+
+use ise_model::{Calibration, Dur, Job, JobId, Placement, Time};
+use std::collections::BTreeSet;
+
+/// Result of the EDF pass.
+#[derive(Clone, Debug)]
+pub struct EdfOutcome {
+    /// The full calibration schedule the jobs were placed on (mirrored if
+    /// requested).
+    pub calibrations: Vec<Calibration>,
+    /// One placement per scheduled job.
+    pub placements: Vec<Placement>,
+    /// Jobs EDF failed to place (empty when the preconditions of Lemma 8
+    /// hold; always possible for arbitrary hand-built calendars).
+    pub unscheduled: Vec<JobId>,
+}
+
+/// Duplicate every calibration onto a second machine bank. `bank_size`
+/// must exceed every machine id in `calibrations`.
+pub fn mirror(calibrations: &[Calibration], bank_size: usize) -> Vec<Calibration> {
+    debug_assert!(calibrations.iter().all(|c| c.machine < bank_size));
+    let mut out = Vec::with_capacity(calibrations.len() * 2);
+    out.extend_from_slice(calibrations);
+    out.extend(calibrations.iter().map(|c| Calibration {
+        start: c.start,
+        machine: c.machine + bank_size,
+    }));
+    out
+}
+
+/// Run Algorithm 2 on `calibrations` (already mirrored by the caller if
+/// desired). Jobs are placed back-to-back from the start of each
+/// calibration; each job's execution therefore lies inside the calibration,
+/// and the TISE restriction guarantees it lies inside the job's window.
+pub fn assign_jobs(jobs: &[Job], calibrations: &[Calibration], calib_len: Dur) -> EdfOutcome {
+    let mut cals: Vec<Calibration> = calibrations.to_vec();
+    cals.sort_unstable_by_key(|c| (c.start, c.machine));
+
+    // Jobs ordered by release for incremental activation, and an active set
+    // ordered by (deadline, id) for EDF extraction.
+    let mut by_release: Vec<&Job> = jobs.iter().collect();
+    by_release.sort_unstable_by_key(|j| (j.release, j.id));
+    let by_id: std::collections::HashMap<JobId, &Job> = jobs.iter().map(|j| (j.id, j)).collect();
+    let mut next_release = 0usize;
+    let mut active: BTreeSet<(Time, JobId)> = BTreeSet::new();
+
+    let mut placements = Vec::with_capacity(jobs.len());
+    let mut expired: Vec<JobId> = Vec::new();
+    for cal in &cals {
+        let t = cal.start;
+        while next_release < by_release.len() && by_release[next_release].release <= t {
+            let j = by_release[next_release];
+            active.insert((j.deadline, j.id));
+            next_release += 1;
+        }
+        let mut used = Dur::ZERO;
+        // Pop EDF-eligible jobs. Eligibility requires t + T <= d_j; since
+        // the active set is ordered by deadline, ineligible jobs form a
+        // prefix (d_j < t + T) that can never become eligible again
+        // (t is nondecreasing): drop them permanently.
+        while let Some(&(deadline, id)) = active.iter().next() {
+            if t + calib_len > deadline {
+                // Expired for this and all later calibrations.
+                active.remove(&(deadline, id));
+                expired.push(id);
+                continue;
+            }
+            let job = by_id[&id];
+            if used + job.proc > calib_len {
+                break; // Algorithm 2 closes the calibration here.
+            }
+            placements.push(Placement {
+                job: id,
+                machine: cal.machine,
+                start: t + used,
+            });
+            used += job.proc;
+            active.remove(&(deadline, id));
+        }
+    }
+
+    let mut unscheduled: Vec<JobId> = active.iter().map(|&(_, id)| id).collect();
+    unscheduled.extend(expired);
+    unscheduled.extend(by_release[next_release..].iter().map(|j| j.id));
+    unscheduled.sort_unstable();
+    EdfOutcome {
+        calibrations: cals,
+        placements,
+        unscheduled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal(machine: usize, start: i64) -> Calibration {
+        Calibration {
+            machine,
+            start: Time(start),
+        }
+    }
+
+    #[test]
+    fn fills_single_calibration_edf_order() {
+        let jobs = vec![
+            Job::new(0, 0, 40, 4), // later deadline
+            Job::new(1, 0, 30, 4), // earliest deadline: goes first
+        ];
+        let out = assign_jobs(&jobs, &[cal(0, 0)], Dur(10));
+        assert!(out.unscheduled.is_empty());
+        let p1 = out.placements.iter().find(|p| p.job == JobId(1)).unwrap();
+        let p0 = out.placements.iter().find(|p| p.job == JobId(0)).unwrap();
+        assert_eq!(p1.start, Time(0));
+        assert_eq!(p0.start, Time(4));
+    }
+
+    #[test]
+    fn closes_calibration_when_edf_job_does_not_fit() {
+        // Earliest-deadline job is large; a smaller later-deadline job
+        // would fit but Algorithm 2 does not look past the EDF choice.
+        let jobs = vec![
+            Job::new(0, 0, 25, 8), // EDF first
+            Job::new(1, 0, 26, 8), // EDF second: does not fit after 8
+            Job::new(2, 0, 40, 2), // small, but behind job 1 in EDF order
+        ];
+        let out = assign_jobs(&jobs, &[cal(0, 0), cal(1, 0)], Dur(10));
+        assert!(out.unscheduled.is_empty());
+        let p1 = out.placements.iter().find(|p| p.job == JobId(1)).unwrap();
+        assert_eq!(p1.machine, 1, "job 1 must spill to the second calibration");
+    }
+
+    #[test]
+    fn respects_tise_eligibility_window() {
+        // Calibration [0,10) is not nested in job's window [5, 40):
+        // ineligible even though the job could physically run at 5.
+        let jobs = vec![Job::new(0, 5, 40, 3)];
+        let out = assign_jobs(&jobs, &[cal(0, 0)], Dur(10));
+        assert_eq!(out.unscheduled, vec![JobId(0)]);
+        // A calibration at 5 works.
+        let out = assign_jobs(&jobs, &[cal(0, 5)], Dur(10));
+        assert!(out.unscheduled.is_empty());
+    }
+
+    #[test]
+    fn expired_jobs_are_reported_unscheduled() {
+        // Deadline too early for the only calibration.
+        let jobs = vec![Job::new(0, 0, 25, 3)];
+        let out = assign_jobs(&jobs, &[cal(0, 20)], Dur(10));
+        assert_eq!(out.unscheduled, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn mirror_duplicates_onto_disjoint_bank() {
+        let cals = vec![cal(0, 0), cal(1, 12)];
+        let m = mirror(&cals, 2);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[2], cal(2, 0));
+        assert_eq!(m[3], cal(3, 12));
+    }
+
+    #[test]
+    fn mirrored_calendar_rescues_fractional_spill() {
+        // Three 6-tick jobs over two calibrations at the same time: only
+        // one fits per calibration; the mirror provides the second pair.
+        let jobs = vec![
+            Job::new(0, 0, 40, 6),
+            Job::new(1, 0, 40, 6),
+            Job::new(2, 0, 40, 6),
+        ];
+        let base = vec![cal(0, 0), cal(1, 0)];
+        let unmirrored = assign_jobs(&jobs, &base, Dur(10));
+        assert_eq!(unmirrored.unscheduled.len(), 1);
+        let mirrored = assign_jobs(&jobs, &mirror(&base, 2), Dur(10));
+        assert!(mirrored.unscheduled.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out = assign_jobs(&[], &[cal(0, 0)], Dur(10));
+        assert!(out.placements.is_empty());
+        assert!(out.unscheduled.is_empty());
+        let out = assign_jobs(&[Job::new(0, 0, 40, 5)], &[], Dur(10));
+        assert_eq!(out.unscheduled, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn placements_stay_inside_calibration() {
+        let jobs: Vec<Job> = (0..5).map(|i| Job::new(i, 0, 60, 3)).collect();
+        let out = assign_jobs(&jobs, &[cal(0, 0), cal(0, 10)], Dur(10));
+        assert!(out.unscheduled.is_empty());
+        for p in &out.placements {
+            let j = &jobs[p.job.index()];
+            let cal_start = if p.start < Time(10) {
+                Time(0)
+            } else {
+                Time(10)
+            };
+            assert!(p.start >= cal_start && p.start + j.proc <= cal_start + Dur(10));
+        }
+    }
+}

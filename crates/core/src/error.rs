@@ -1,0 +1,73 @@
+//! Error type for the scheduling algorithms.
+
+use ise_mm::MmError;
+use ise_model::JobId;
+use ise_simplex::SolverError;
+use std::fmt;
+
+/// Failures of the scheduling pipeline.
+#[derive(Clone, Debug)]
+pub enum SchedError {
+    /// The instance is provably infeasible on its stated machine count
+    /// (certified: even the fractional TISE relaxation on `3m` machines has
+    /// no solution, which by Lemma 2 rules out any ISE schedule on `m`).
+    Infeasible {
+        /// Human-readable certificate description.
+        reason: String,
+    },
+    /// The LP solver failed (iteration limit / numerical breakdown).
+    Lp(SolverError),
+    /// The machine-minimization black box failed.
+    Mm(MmError),
+    /// A job ended up unschedulable in a step the theory guarantees cannot
+    /// fail — indicates a numerical-tolerance problem; reported rather than
+    /// silently producing an invalid schedule.
+    Internal {
+        /// Which pipeline stage failed.
+        stage: &'static str,
+        /// Jobs left unscheduled, if applicable.
+        jobs: Vec<JobId>,
+    },
+    /// The algorithm's preconditions are not met (e.g. a short-window job
+    /// passed to the long-window pipeline).
+    Precondition {
+        /// What was required.
+        requirement: &'static str,
+    },
+    /// The exact solver exceeded its search budget.
+    BudgetExceeded,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Infeasible { reason } => write!(f, "instance infeasible: {reason}"),
+            SchedError::Lp(e) => write!(f, "LP solver failure: {e}"),
+            SchedError::Mm(e) => write!(f, "machine-minimization failure: {e}"),
+            SchedError::Internal { stage, jobs } => {
+                write!(
+                    f,
+                    "internal failure at stage {stage}; affected jobs: {jobs:?}"
+                )
+            }
+            SchedError::Precondition { requirement } => {
+                write!(f, "precondition violated: {requirement}")
+            }
+            SchedError::BudgetExceeded => write!(f, "exact search budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<SolverError> for SchedError {
+    fn from(e: SolverError) -> SchedError {
+        SchedError::Lp(e)
+    }
+}
+
+impl From<MmError> for SchedError {
+    fn from(e: MmError) -> SchedError {
+        SchedError::Mm(e)
+    }
+}

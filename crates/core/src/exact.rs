@@ -1,0 +1,414 @@
+//! Brute-force optimal ISE (and TISE) solving for tiny instances.
+//!
+//! NP-hard, exponential, deliberately small-scale: the experiment harness
+//! uses this to certify the approximation ratios of the polynomial
+//! algorithms, and the Lemma 3 test uses the TISE variant to check that
+//! restricting calibration starts to `𝒯 = {r_j + kT}` preserves the
+//! optimum.
+//!
+//! Search shape: iterative deepening on the number of calibrations `K`.
+//! For each `K`, depth-first enumerate nondecreasing multisets of
+//! calibration start times (overlap depth capped at `m`, which is exactly
+//! the condition for the calibrations to fit on `m` machines), then check
+//! whether every job can be packed: jobs are assigned to admitting
+//! calibrations and each calibration's job set is tested for single-machine
+//! feasibility (windows clipped to the calibration) with the exact MM
+//! searcher.
+
+use crate::error::SchedError;
+use ise_mm::exact::feasible_on;
+use ise_model::{Dur, Instance, Job, Schedule, Time};
+
+/// Options for the exact search.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactOptions {
+    /// Upper bound on calibrations to try before giving up (returning
+    /// `Ok(None)` means "no feasible schedule with at most this many").
+    pub max_calibrations: usize,
+    /// Node budget across the whole search.
+    pub node_budget: u64,
+    /// Enforce the TISE restriction (jobs only in calibrations nested in
+    /// their windows).
+    pub tise: bool,
+    /// Restrict candidate calibration start times to the Lemma 3 point set
+    /// `𝒯` instead of all integer ticks (TISE only; used by the L3
+    /// experiment).
+    pub lemma3_points_only: bool,
+}
+
+impl Default for ExactOptions {
+    fn default() -> ExactOptions {
+        ExactOptions {
+            max_calibrations: 8,
+            node_budget: 20_000_000,
+            tise: false,
+            lemma3_points_only: false,
+        }
+    }
+}
+
+/// The optimum found by [`optimal`].
+#[derive(Clone, Debug)]
+pub struct ExactOutcome {
+    /// Minimum number of calibrations.
+    pub calibrations: usize,
+    /// A witness schedule achieving it.
+    pub schedule: Schedule,
+    /// Search nodes expanded.
+    pub nodes: u64,
+}
+
+/// Compute the exact optimum number of calibrations for a tiny instance.
+/// `Ok(None)` means provably infeasible within `opts.max_calibrations`.
+pub fn optimal(
+    instance: &Instance,
+    opts: &ExactOptions,
+) -> Result<Option<ExactOutcome>, SchedError> {
+    if instance.is_empty() {
+        return Ok(Some(ExactOutcome {
+            calibrations: 0,
+            schedule: Schedule::new(),
+            nodes: 0,
+        }));
+    }
+    assert!(
+        instance.len() <= 16,
+        "exact ISE solver is for tiny instances (n <= 16)"
+    );
+    let candidates = candidate_times(instance, opts);
+    let lb = instance.work_lower_bound() as usize;
+    let mut search = Search {
+        instance,
+        opts: *opts,
+        candidates,
+        nodes: 0,
+        chosen: Vec::new(),
+    };
+    for k in lb.max(1)..=opts.max_calibrations {
+        if let Some(schedule) = search.try_k(k)? {
+            return Ok(Some(ExactOutcome {
+                calibrations: k,
+                schedule,
+                nodes: search.nodes,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Candidate calibration start times. For the plain ISE problem every
+/// integer tick at which some job could run inside the calibration is a
+/// candidate (complete for integer-tick instances: any schedule can have
+/// its calibrations snapped to integers by shifting, since all job data is
+/// integral — shifting a calibration left to the latest integer at or
+/// before its start keeps every contained integral job execution inside).
+/// For TISE with `lemma3_points_only` the Lemma 3 set `𝒯` is used.
+fn candidate_times(instance: &Instance, opts: &ExactOptions) -> Vec<Time> {
+    let t_len = instance.calib_len();
+    if opts.lemma3_points_only {
+        return crate::points::calibration_points(instance.jobs(), t_len);
+    }
+    let lo = instance.min_release() - t_len + Dur(1);
+    let hi = instance.max_deadline() - Dur(1);
+    let admits = |job: &Job, t: Time| {
+        if opts.tise {
+            job.tise_admits(t, t_len)
+        } else {
+            job.ise_admits(t, t_len)
+        }
+    };
+    (lo.ticks()..=hi.ticks())
+        .map(Time)
+        .filter(|&t| instance.jobs().iter().any(|j| admits(j, t)))
+        .collect()
+}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    opts: ExactOptions,
+    candidates: Vec<Time>,
+    nodes: u64,
+    chosen: Vec<Time>,
+}
+
+impl<'a> Search<'a> {
+    fn try_k(&mut self, k: usize) -> Result<Option<Schedule>, SchedError> {
+        self.chosen.clear();
+        self.choose(k, 0)
+    }
+
+    /// Choose `k` more calibration times from `candidates[from..]`
+    /// (nondecreasing; depth capped at `m`), then test packability.
+    fn choose(&mut self, k: usize, from: usize) -> Result<Option<Schedule>, SchedError> {
+        self.nodes += 1;
+        if self.nodes > self.opts.node_budget {
+            return Err(SchedError::BudgetExceeded);
+        }
+        if k == 0 {
+            return self.pack();
+        }
+        let t_len = self.instance.calib_len();
+        let m = self.instance.machines();
+        for i in from..self.candidates.len() {
+            let t = self.candidates[i];
+            // Overlap depth with already-chosen calibrations (all <= t).
+            let depth = self
+                .chosen
+                .iter()
+                .rev()
+                .take_while(|&&s| t - s < t_len)
+                .count();
+            if depth >= m {
+                continue;
+            }
+            self.chosen.push(t);
+            // Allow repeats of the same time (different machines): stay at
+            // index i.
+            if let Some(s) = self.choose(k - 1, i)? {
+                return Ok(Some(s));
+            }
+            self.chosen.pop();
+        }
+        Ok(None)
+    }
+
+    /// Test whether all jobs pack into the chosen calibrations; on success
+    /// build the explicit schedule.
+    fn pack(&mut self) -> Result<Option<Schedule>, SchedError> {
+        let t_len = self.instance.calib_len();
+        let jobs = self.instance.jobs();
+        // Admissible calibrations per job; fail fast if some job has none.
+        let admits = |job: &Job, t: Time| {
+            if self.opts.tise {
+                job.tise_admits(t, t_len)
+            } else {
+                job.ise_admits(t, t_len)
+            }
+        };
+        let options: Vec<Vec<usize>> = jobs
+            .iter()
+            .map(|job| {
+                (0..self.chosen.len())
+                    .filter(|&c| admits(job, self.chosen[c]))
+                    .collect()
+            })
+            .collect();
+        if options.iter().any(|o| o.is_empty()) {
+            return Ok(None);
+        }
+        // Order jobs by fewest options (fail-first).
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_unstable_by_key(|&j| options[j].len());
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); self.chosen.len()];
+        if self.assign(&order, 0, &mut options.clone(), &mut assignment)? {
+            // Build the schedule: machines by interval-coloring of the
+            // chosen times, placements from the per-calibration packings.
+            let mut schedule = Schedule::new();
+            let mut machine_free: Vec<Time> = Vec::new();
+            let mut machine_of = Vec::with_capacity(self.chosen.len());
+            for &t in &self.chosen {
+                let machine = match machine_free.iter().position(|&f| f <= t) {
+                    Some(mi) => mi,
+                    None => {
+                        machine_free.push(Time(i64::MIN));
+                        machine_free.len() - 1
+                    }
+                };
+                machine_free[machine] = t + t_len;
+                machine_of.push(machine);
+                schedule.calibrate(machine, t);
+            }
+            for (c, job_ids) in assignment.iter().enumerate() {
+                let clipped: Vec<Job> = job_ids
+                    .iter()
+                    .map(|&j| clip_to_calibration(&jobs[j], self.chosen[c], t_len))
+                    .collect();
+                let packed = feasible_on(&clipped, 1, self.opts.node_budget)
+                    .map_err(|_| SchedError::BudgetExceeded)?
+                    .expect("assign() verified feasibility");
+                for p in packed.placements {
+                    schedule.place(p.job, machine_of[c], p.start);
+                }
+            }
+            let _ = options;
+            return Ok(Some(schedule));
+        }
+        Ok(None)
+    }
+
+    /// DFS assignment of jobs (in `order`) to calibrations with incremental
+    /// single-machine feasibility checks.
+    fn assign(
+        &mut self,
+        order: &[usize],
+        idx: usize,
+        options: &mut Vec<Vec<usize>>,
+        assignment: &mut Vec<Vec<usize>>,
+    ) -> Result<bool, SchedError> {
+        self.nodes += 1;
+        if self.nodes > self.opts.node_budget {
+            return Err(SchedError::BudgetExceeded);
+        }
+        let Some(&j) = order.get(idx) else {
+            return Ok(true);
+        };
+        let t_len = self.instance.calib_len();
+        let jobs = self.instance.jobs();
+        let my_options = options[j].clone();
+        for c in my_options {
+            // Capacity prune: total work in a calibration <= T.
+            let used: Dur = assignment[c].iter().map(|&o| jobs[o].proc).sum();
+            if used + jobs[j].proc > t_len {
+                continue;
+            }
+            assignment[c].push(j);
+            let clipped: Vec<Job> = assignment[c]
+                .iter()
+                .map(|&o| clip_to_calibration(&jobs[o], self.chosen[c], t_len))
+                .collect();
+            let ok = feasible_on(&clipped, 1, 100_000)
+                .map_err(|_| SchedError::BudgetExceeded)?
+                .is_some();
+            if ok && self.assign(order, idx + 1, options, assignment)? {
+                return Ok(true);
+            }
+            assignment[c].pop();
+        }
+        Ok(false)
+    }
+}
+
+/// Clip a job's window to a calibration interval (used to express
+/// "runs inside this calibration" as a plain window constraint).
+fn clip_to_calibration(job: &Job, cal_start: Time, t_len: Dur) -> Job {
+    let mut j = *job;
+    j.release = j.release.max(cal_start);
+    j.deadline = j.deadline.min(cal_start + t_len);
+    debug_assert!(
+        j.release + j.proc <= j.deadline,
+        "admissibility guarantees fit"
+    );
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_model::{validate, validate_tise};
+
+    fn solve_exact(inst: &Instance) -> ExactOutcome {
+        optimal(inst, &ExactOptions::default())
+            .unwrap()
+            .expect("feasible")
+    }
+
+    #[test]
+    fn single_job_one_calibration() {
+        let inst = Instance::new([(0, 10, 3)], 1, 5).unwrap();
+        let out = solve_exact(&inst);
+        assert_eq!(out.calibrations, 1);
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn sharing_one_calibration() {
+        let inst = Instance::new([(0, 10, 2), (0, 10, 2)], 1, 5).unwrap();
+        let out = solve_exact(&inst);
+        assert_eq!(out.calibrations, 1);
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn work_forces_two_calibrations() {
+        let inst = Instance::new([(0, 12, 4), (0, 12, 4)], 1, 5).unwrap();
+        let out = solve_exact(&inst);
+        assert_eq!(out.calibrations, 2);
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn separation_forces_two_calibrations() {
+        let inst = Instance::new([(0, 4, 2), (50, 54, 2)], 1, 5).unwrap();
+        let out = solve_exact(&inst);
+        assert_eq!(out.calibrations, 2);
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn multi_machine_concurrency() {
+        // Two zero-slack overlapping jobs: one calibration each on two
+        // machines.
+        let inst = Instance::new([(0, 5, 5), (2, 7, 5)], 2, 5).unwrap();
+        let out = solve_exact(&inst);
+        assert_eq!(out.calibrations, 2);
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn infeasible_on_one_machine_is_detected() {
+        let inst = Instance::new([(0, 5, 5), (2, 7, 5)], 1, 5).unwrap();
+        assert!(optimal(&inst, &ExactOptions::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn delaying_beats_eager_calibration() {
+        // The hallmark of the ISE objective: job 0 loose, job 1 released
+        // late with a tight deadline; one calibration at time 6 covers
+        // both, while any calibration at time 0 covers only job 0.
+        let inst = Instance::new([(0, 20, 2), (8, 11, 2)], 1, 10).unwrap();
+        let out = solve_exact(&inst);
+        assert_eq!(out.calibrations, 1);
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn tise_optimum_is_at_least_ise_optimum() {
+        let inst = Instance::new([(0, 22, 4), (3, 25, 5), (15, 40, 6)], 1, 10).unwrap();
+        let ise = solve_exact(&inst);
+        let tise = optimal(
+            &inst,
+            &ExactOptions {
+                tise: true,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap()
+        .expect("feasible");
+        assert!(tise.calibrations >= ise.calibrations);
+        validate_tise(&inst, &tise.schedule).unwrap();
+    }
+
+    #[test]
+    fn lemma3_points_preserve_tise_optimum() {
+        // The L3 claim on a tiny instance: restricting calibration starts
+        // to 𝒯 = {r_j + kT} does not change the TISE optimum.
+        let inst = Instance::new([(0, 25, 4), (3, 27, 5), (11, 40, 6)], 1, 10).unwrap();
+        let free = optimal(
+            &inst,
+            &ExactOptions {
+                tise: true,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap()
+        .expect("feasible");
+        let restricted = optimal(
+            &inst,
+            &ExactOptions {
+                tise: true,
+                lemma3_points_only: true,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap()
+        .expect("feasible");
+        assert_eq!(free.calibrations, restricted.calibrations);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new([], 1, 5).unwrap();
+        let out = optimal(&inst, &ExactOptions::default()).unwrap().unwrap();
+        assert_eq!(out.calibrations, 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Local-search post-optimization: calibration consolidation.
+//!
+//! The paper's pipelines pay constant factors (rounding 2×, mirroring 2×,
+//! unconditional interval calibrations) for their proofs; a deployment can
+//! claw much of that back after the fact. This module implements a simple,
+//! *exactly verified* local search over a feasible schedule:
+//!
+//! 1. drop calibrations containing no job;
+//! 2. repeatedly try to **evacuate** the lightest calibration — move each
+//!    of its jobs into some other calibration that can still feasibly pack
+//!    all of its jobs plus the newcomer (single-machine packing checked by
+//!    the exact branch-and-bound searcher on clipped windows) — and delete
+//!    it when everything relocates.
+//!
+//! Every accepted move keeps the schedule exactly feasible (the final
+//! result is re-validated), the calibration count is nonincreasing, and
+//! the search terminates because each round removes at least one
+//! calibration. This addresses the paper's closing remark that "some of
+//! the constants in the reduction could be reduced" — empirically, by a
+//! lot (experiment I1).
+
+use crate::error::SchedError;
+use ise_mm::exact::feasible_on;
+use ise_model::{Calibration, Instance, Job, JobId, Schedule, Time};
+
+/// Options for the local search.
+#[derive(Clone, Copy, Debug)]
+pub struct ImproveOptions {
+    /// Maximum evacuation rounds (each removes >= 1 calibration).
+    pub max_rounds: usize,
+    /// Node budget for each single-calibration packing check.
+    pub pack_budget: u64,
+}
+
+impl Default for ImproveOptions {
+    fn default() -> ImproveOptions {
+        ImproveOptions {
+            max_rounds: 64,
+            pack_budget: 50_000,
+        }
+    }
+}
+
+/// Outcome of [`improve`].
+#[derive(Clone, Debug)]
+pub struct ImproveOutcome {
+    /// The improved (still exactly feasible) schedule.
+    pub schedule: Schedule,
+    /// Calibrations removed relative to the input.
+    pub removed: usize,
+    /// Evacuation rounds performed.
+    pub rounds: usize,
+}
+
+/// Consolidate calibrations of a feasible 1-speed schedule. The result
+/// never has more calibrations than the input and is re-validated before
+/// being returned.
+pub fn improve(
+    instance: &Instance,
+    schedule: &Schedule,
+    opts: &ImproveOptions,
+) -> Result<ImproveOutcome, SchedError> {
+    if schedule.time_scale != 1 || schedule.speed != 1 {
+        return Err(SchedError::Precondition {
+            requirement: "calibration consolidation expects an unaugmented schedule",
+        });
+    }
+    ise_model::validate(instance, schedule).map_err(|_| SchedError::Precondition {
+        requirement: "calibration consolidation expects a feasible input schedule",
+    })?;
+    let t_len = instance.calib_len();
+    let before = schedule.num_calibrations();
+
+    // Working state: calibrations plus the job ids assigned to each.
+    let mut cals: Vec<Calibration> = schedule.calibrations.clone();
+    cals.sort_unstable_by_key(|c| (c.start, c.machine));
+    let mut jobs_of: Vec<Vec<JobId>> = vec![Vec::new(); cals.len()];
+    for p in &schedule.placements {
+        let job = instance.job(p.job);
+        let idx = cals
+            .iter()
+            .position(|c| {
+                c.machine == p.machine
+                    && c.start <= p.start
+                    && p.start + job.proc <= c.start + t_len
+            })
+            .expect("validated schedule: every placement has a host calibration");
+        jobs_of[idx].push(p.job);
+    }
+
+    // Drop empties up front.
+    retain_nonempty(&mut cals, &mut jobs_of);
+
+    let mut rounds = 0usize;
+    for _ in 0..opts.max_rounds {
+        rounds += 1;
+        if !evacuate_one(instance, t_len, &mut cals, &mut jobs_of, opts.pack_budget)? {
+            break;
+        }
+    }
+
+    // Rebuild placements from the per-calibration packings.
+    let mut out = Schedule::new();
+    for (c, ids) in cals.iter().zip(&jobs_of) {
+        out.calibrate(c.machine, c.start);
+        let packed = pack(instance, t_len, *c, ids, opts.pack_budget)?
+            .expect("accepted assignments are packable");
+        for p in packed {
+            out.place(p.0, c.machine, p.1);
+        }
+    }
+    ise_model::validate(instance, &out).map_err(|e| SchedError::Internal {
+        stage: "improve produced invalid schedule",
+        jobs: vec![e_job(&e)],
+    })?;
+    debug_assert!(out.num_calibrations() <= before);
+    Ok(ImproveOutcome {
+        schedule: out,
+        removed: before - cals.len(),
+        rounds,
+    })
+}
+
+fn e_job(e: &ise_model::ValidationError) -> JobId {
+    use ise_model::ValidationError as V;
+    match e {
+        V::Unplaced { job }
+        | V::DuplicatePlacement { job }
+        | V::UnknownJob { job }
+        | V::InexactExecutionLength { job }
+        | V::StartsBeforeRelease { job, .. }
+        | V::MissesDeadline { job, .. }
+        | V::OutsideCalibration { job, .. }
+        | V::TiseViolation { job, .. }
+        | V::JobsOverlap { first: job, .. } => *job,
+        V::CalibrationsOverlap { .. } => JobId(u32::MAX),
+    }
+}
+
+fn retain_nonempty(cals: &mut Vec<Calibration>, jobs_of: &mut Vec<Vec<JobId>>) {
+    let mut i = 0;
+    while i < cals.len() {
+        if jobs_of[i].is_empty() {
+            cals.remove(i);
+            jobs_of.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Try to evacuate one calibration (lightest first); returns true if one
+/// was removed. At most one removal per call so candidate indices stay
+/// valid.
+fn evacuate_one(
+    instance: &Instance,
+    t_len: ise_model::Dur,
+    cals: &mut Vec<Calibration>,
+    jobs_of: &mut Vec<Vec<JobId>>,
+    budget: u64,
+) -> Result<bool, SchedError> {
+    // Victim order: fewest jobs, then least work.
+    let mut order: Vec<usize> = (0..cals.len()).collect();
+    let work =
+        |ids: &Vec<JobId>| -> i64 { ids.iter().map(|&id| instance.job(id).proc.ticks()).sum() };
+    order.sort_by_key(|&i| (jobs_of[i].len(), work(&jobs_of[i])));
+
+    for &victim in &order {
+        // Tentatively relocate each job of the victim into some other
+        // calibration that still packs.
+        let mut staged: Vec<Vec<JobId>> = jobs_of.clone();
+        let mut ok = true;
+        for &id in &jobs_of[victim] {
+            let job = instance.job(id);
+            let mut placed = false;
+            for target in 0..cals.len() {
+                if target == victim {
+                    continue;
+                }
+                let c = cals[target];
+                // Window admissibility for the plain ISE problem.
+                if !job.ise_admits(c.start, t_len) {
+                    continue;
+                }
+                // Capacity prune, then exact packing check.
+                let used: i64 = staged[target]
+                    .iter()
+                    .map(|&o| instance.job(o).proc.ticks())
+                    .sum();
+                if used + job.proc.ticks() > t_len.ticks() {
+                    continue;
+                }
+                let mut candidate = staged[target].clone();
+                candidate.push(id);
+                if pack(instance, t_len, c, &candidate, budget)?.is_some() {
+                    staged[target] = candidate;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            staged.remove(victim);
+            *jobs_of = staged;
+            cals.remove(victim);
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Exact single-machine packing of `ids` into calibration `c`; returns the
+/// packed `(job, start)` list or `None` if infeasible.
+fn pack(
+    instance: &Instance,
+    t_len: ise_model::Dur,
+    c: Calibration,
+    ids: &[JobId],
+    budget: u64,
+) -> Result<Option<Vec<(JobId, Time)>>, SchedError> {
+    let clipped: Vec<Job> = ids
+        .iter()
+        .map(|&id| {
+            let j = instance.job(id);
+            let mut k = *j;
+            k.release = k.release.max(c.start);
+            k.deadline = k.deadline.min(c.start + t_len);
+            k
+        })
+        .collect();
+    if clipped.iter().any(|j| j.release + j.proc > j.deadline) {
+        return Ok(None);
+    }
+    match feasible_on(&clipped, 1, budget) {
+        Ok(Some(s)) => Ok(Some(
+            s.placements.into_iter().map(|p| (p.job, p.start)).collect(),
+        )),
+        Ok(None) => Ok(None),
+        Err(_) => Ok(None), // budget exhausted: treat as "cannot move"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, SolverOptions};
+    use ise_model::validate;
+    use ise_workloads::{uniform, WorkloadParams};
+
+    #[test]
+    fn consolidates_obviously_mergeable_calibrations() {
+        // Two small jobs with a shared wide window, each in its own
+        // calibration: local search should merge to one.
+        let inst = Instance::new([(0, 40, 3), (0, 40, 3)], 2, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        s.calibrate(1, Time(5));
+        s.place(JobId(1), 1, Time(5));
+        validate(&inst, &s).unwrap();
+        let out = improve(&inst, &s, &ImproveOptions::default()).unwrap();
+        validate(&inst, &out.schedule).unwrap();
+        assert_eq!(out.schedule.num_calibrations(), 1, "{out:?}");
+        assert_eq!(out.removed, 1);
+    }
+
+    #[test]
+    fn never_increases_calibrations_and_stays_valid() {
+        for seed in 0..6u64 {
+            let params = WorkloadParams {
+                jobs: 12,
+                machines: 2,
+                calib_len: 10,
+                horizon: 120,
+            };
+            let inst = uniform(&params, seed);
+            let Ok(solved) = solve(&inst, &SolverOptions::default()) else {
+                continue;
+            };
+            let before = solved.schedule.num_calibrations();
+            let out = improve(&inst, &solved.schedule, &ImproveOptions::default()).unwrap();
+            validate(&inst, &out.schedule).unwrap();
+            assert!(out.schedule.num_calibrations() <= before);
+            assert_eq!(out.removed, before - out.schedule.num_calibrations());
+        }
+    }
+
+    #[test]
+    fn respects_windows_when_merging() {
+        // Jobs with disjoint windows cannot be merged even though each
+        // calibration is nearly empty.
+        let inst = Instance::new([(0, 12, 3), (100, 112, 3)], 1, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        s.calibrate(0, Time(100));
+        s.place(JobId(1), 0, Time(100));
+        let out = improve(&inst, &s, &ImproveOptions::default()).unwrap();
+        validate(&inst, &out.schedule).unwrap();
+        assert_eq!(out.schedule.num_calibrations(), 2);
+        assert_eq!(out.removed, 0);
+    }
+
+    #[test]
+    fn rejects_infeasible_input() {
+        let inst = Instance::new([(0, 30, 4)], 1, 10).unwrap();
+        let s = Schedule::new(); // job unplaced
+        assert!(matches!(
+            improve(&inst, &s, &ImproveOptions::default()),
+            Err(SchedError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn improvement_is_substantial_on_pipeline_output() {
+        // The untrimmed pipeline output carries mirrors and empty slots;
+        // consolidation should reclaim a large fraction.
+        let params = WorkloadParams {
+            jobs: 10,
+            machines: 1,
+            calib_len: 10,
+            horizon: 100,
+        };
+        let inst = uniform(&params, 3);
+        let solved = solve(&inst, &SolverOptions::default()).unwrap();
+        let before = solved.schedule.num_calibrations();
+        let out = improve(&inst, &solved.schedule, &ImproveOptions::default()).unwrap();
+        assert!(
+            out.schedule.num_calibrations() * 2 <= before,
+            "expected >= 2x reduction: {} -> {}",
+            before,
+            out.schedule.num_calibrations()
+        );
+    }
+
+    #[test]
+    fn idempotent_after_convergence() {
+        let params = WorkloadParams {
+            jobs: 8,
+            machines: 1,
+            calib_len: 10,
+            horizon: 80,
+        };
+        let inst = uniform(&params, 5);
+        let solved = solve(&inst, &SolverOptions::default()).unwrap();
+        let once = improve(&inst, &solved.schedule, &ImproveOptions::default()).unwrap();
+        let twice = improve(&inst, &once.schedule, &ImproveOptions::default()).unwrap();
+        assert_eq!(
+            once.schedule.num_calibrations(),
+            twice.schedule.num_calibrations()
+        );
+        assert_eq!(twice.removed, 0);
+    }
+}

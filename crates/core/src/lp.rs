@@ -1,0 +1,336 @@
+//! The TISE linear-programming relaxation (Section 3 of the paper).
+//!
+//! Variables (indexed by the potential calibration points `𝒯` of Lemma 3):
+//!
+//! * `C_t >= 0` — (fractional) number of calibrations started at time `t`;
+//! * `X_jt >= 0` — fraction of job `j` assigned to the calibrations at `t`,
+//!   present only for TISE-feasible pairs (constraint (5) is enforced
+//!   structurally by omitting the variable).
+//!
+//! Constraints (numbering follows the paper):
+//!
+//! 1. at most `m'` calibrations overlap any point in time:
+//!    for every `t ∈ 𝒯`, `Σ_{t <= t' < t+T} C_{t'} <= m'`
+//!    (the forward window; equivalent to the paper's backward form since
+//!    both say "every length-`T` window contains at most `m'` starts");
+//! 2. `X_jt <= C_t`;
+//! 3. `Σ_j X_jt · p_j <= C_t · T`;
+//! 4. `Σ_t X_jt = 1` for every job;
+//! 6. nonnegativity (implicit: all LP variables are nonnegative).
+//!
+//! The objective minimizes `Σ_t C_t`. Any feasible TISE schedule on `m'`
+//! machines induces a feasible LP solution of equal value, so the LP
+//! optimum lower-bounds the TISE optimum; conversely the rounding steps
+//! turn a fractional solution into an integer schedule with constant-factor
+//! loss.
+
+use crate::error::SchedError;
+use crate::points::{calibration_points, feasible_range};
+use ise_model::{Dur, Job, Time};
+use ise_simplex::{
+    check_dual, check_solution, solve_with_presolve, Cmp, LinearProgram, SolveOptions, SolveStatus,
+};
+
+/// The TISE LP together with its variable layout.
+#[derive(Clone, Debug)]
+pub struct TiseLp {
+    /// The underlying linear program.
+    pub lp: LinearProgram,
+    /// Sorted potential calibration points.
+    pub points: Vec<Time>,
+    /// `c_vars[i]` is the LP variable index of `C_{points[i]}`.
+    pub c_vars: Vec<usize>,
+    /// `x_vars[j]` lists `(point index, LP variable)` pairs for job `j`'s
+    /// TISE-feasible points.
+    pub x_vars: Vec<Vec<(usize, usize)>>,
+    /// Machine budget `m'` used in constraint (1).
+    pub machine_budget: usize,
+}
+
+/// A verified fractional solution of the TISE LP.
+#[derive(Clone, Debug)]
+pub struct FractionalSolution {
+    /// Sorted potential calibration points.
+    pub points: Vec<Time>,
+    /// `c[i]` = fractional calibrations at `points[i]`.
+    pub c: Vec<f64>,
+    /// `x[j]` = `(point index, fraction)` pairs with positive fraction.
+    pub x: Vec<Vec<(usize, f64)>>,
+    /// LP objective `Σ C_t` — a lower bound on the TISE optimum on the
+    /// given machine budget.
+    pub objective: f64,
+    /// A **certified** lower bound on the LP optimum: the objective of a
+    /// verified feasible dual solution (weak duality). `None` when the
+    /// dual failed its feasibility check — in that case only the primal
+    /// objective (which upper-bounds the optimum) should be trusted.
+    pub certified_dual_bound: Option<f64>,
+    /// Simplex iterations spent.
+    pub iterations: usize,
+}
+
+/// Build the TISE LP for `jobs` on `machine_budget` machines.
+///
+/// Every job must have a nonempty TISE-feasible point range; jobs with
+/// windows shorter than `T` make the problem trivially infeasible, which is
+/// reported as [`SchedError::Infeasible`] at solve time (constraint (4)
+/// cannot hold).
+pub fn build(jobs: &[Job], calib_len: Dur, machine_budget: usize) -> TiseLp {
+    let points = calibration_points(jobs, calib_len);
+    let mut lp = LinearProgram::new();
+
+    // C_t variables, objective coefficient 1.
+    let c_vars: Vec<usize> = points.iter().map(|_| lp.add_var(1.0)).collect();
+
+    // X_jt variables for feasible pairs only (constraint (5) by omission).
+    let mut x_vars: Vec<Vec<(usize, usize)>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let range = feasible_range(job, &points, calib_len);
+        let vars: Vec<(usize, usize)> = range.map(|pi| (pi, lp.add_var(0.0))).collect();
+        x_vars.push(vars);
+    }
+
+    // (1) window capacity at every point.
+    for (i, &t) in points.iter().enumerate() {
+        let hi = points.partition_point(|&u| u < t + calib_len);
+        let coeffs: Vec<(usize, f64)> = (i..hi).map(|k| (c_vars[k], 1.0)).collect();
+        lp.add_row(coeffs, Cmp::Le, machine_budget as f64);
+    }
+
+    // (2) X_jt <= C_t.
+    for vars in &x_vars {
+        for &(pi, xv) in vars {
+            lp.add_row([(xv, 1.0), (c_vars[pi], -1.0)], Cmp::Le, 0.0);
+        }
+    }
+
+    // (3) per-point work capacity: Σ_j X_jt p_j - T·C_t <= 0.
+    let mut per_point: Vec<Vec<(usize, f64)>> = vec![Vec::new(); points.len()];
+    for (j, vars) in x_vars.iter().enumerate() {
+        for &(pi, xv) in vars {
+            per_point[pi].push((xv, jobs[j].proc.ticks() as f64));
+        }
+    }
+    for (pi, mut coeffs) in per_point.into_iter().enumerate() {
+        if coeffs.is_empty() {
+            continue;
+        }
+        coeffs.push((c_vars[pi], -(calib_len.ticks() as f64)));
+        lp.add_row(coeffs, Cmp::Le, 0.0);
+    }
+
+    // (4) every job fully assigned.
+    for vars in &x_vars {
+        let coeffs: Vec<(usize, f64)> = vars.iter().map(|&(_, xv)| (xv, 1.0)).collect();
+        lp.add_row(coeffs, Cmp::Eq, 1.0);
+    }
+
+    TiseLp {
+        lp,
+        points,
+        c_vars,
+        x_vars,
+        machine_budget,
+    }
+}
+
+/// Solve the TISE LP and verify the solution against all constraints.
+pub fn solve_lp(tise: &TiseLp, opts: &SolveOptions) -> Result<FractionalSolution, SchedError> {
+    let sol = solve_with_presolve(&tise.lp, opts)?;
+    match sol.status {
+        SolveStatus::Optimal => {}
+        SolveStatus::Infeasible => {
+            return Err(SchedError::Infeasible {
+                reason: format!(
+                    "TISE LP on {} machines has no fractional solution; by Lemma 2 the \
+                     ISE instance is infeasible on {} machines",
+                    tise.machine_budget,
+                    tise.machine_budget / 3
+                ),
+            })
+        }
+        SolveStatus::Unbounded => {
+            // Minimization of a nonnegative sum cannot be unbounded; treat
+            // as numerical failure.
+            return Err(SchedError::Internal {
+                stage: "lp: unbounded minimization",
+                jobs: vec![],
+            });
+        }
+    }
+    let violations = check_solution(&tise.lp, &sol.x, 1e-6);
+    if !violations.is_empty() {
+        return Err(SchedError::Internal {
+            stage: "lp: solution fails verification",
+            jobs: vec![],
+        });
+    }
+    let c: Vec<f64> = tise.c_vars.iter().map(|&v| sol.x[v].max(0.0)).collect();
+    let x: Vec<Vec<(usize, f64)>> = tise
+        .x_vars
+        .iter()
+        .map(|vars| {
+            vars.iter()
+                .map(|&(pi, xv)| (pi, sol.x[xv].max(0.0)))
+                .filter(|&(_, f)| f > 1e-12)
+                .collect()
+        })
+        .collect();
+    let certified_dual_bound = check_dual(&tise.lp, &sol.duals, 1e-6).ok();
+    Ok(FractionalSolution {
+        points: tise.points.clone(),
+        c,
+        x,
+        objective: sol.objective,
+        certified_dual_bound,
+        iterations: sol.iterations,
+    })
+}
+
+/// Convenience: build and solve in one step.
+pub fn relax_and_solve(
+    jobs: &[Job],
+    calib_len: Dur,
+    machine_budget: usize,
+    opts: &SolveOptions,
+) -> Result<FractionalSolution, SchedError> {
+    // A job whose window cannot contain any calibration makes constraint
+    // (4) unsatisfiable; report that crisply instead of via the LP.
+    if let Some(job) = jobs.iter().find(|j| j.window() < calib_len) {
+        return Err(SchedError::Infeasible {
+            reason: format!(
+                "job {} has window {} < T = {}: no TISE-feasible calibration exists",
+                job.id,
+                job.window(),
+                calib_len
+            ),
+        });
+    }
+    let tise = build(jobs, calib_len, machine_budget);
+    solve_lp(&tise, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> SolveOptions {
+        SolveOptions::default()
+    }
+
+    #[test]
+    fn single_long_job_needs_one_calibration() {
+        let jobs = vec![Job::new(0, 0, 40, 5)];
+        let sol = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        assert!(
+            (sol.objective - 1.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
+        // The job is fully assigned.
+        let total: f64 = sol.x[0].iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_jobs_share_one_calibration() {
+        let jobs = vec![Job::new(0, 0, 40, 5), Job::new(1, 0, 40, 5)];
+        let sol = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        assert!(
+            (sol.objective - 1.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn work_forces_more_calibrations() {
+        // 3 jobs × 7 ticks = 21 work, T = 10 => at least 3 calibrations
+        // (fractionally 2.1, but each X_jt <= C_t and jobs are large).
+        let jobs = vec![
+            Job::new(0, 0, 40, 7),
+            Job::new(1, 0, 40, 7),
+            Job::new(2, 0, 40, 7),
+        ];
+        let sol = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        assert!(sol.objective >= 2.1 - 1e-6, "objective {}", sol.objective);
+    }
+
+    #[test]
+    fn machine_budget_binds() {
+        // Ten 10-tick jobs with identical tight-ish windows [0, 20):
+        // every calibration must start in [0, 10]; with machine budget 1,
+        // at most ~2 calibration-mass fits any window... in fact all
+        // calibrations fall within a 10-long range of each other, so
+        // budget 1 allows only 1 simultaneous: infeasible fractionally.
+        let jobs: Vec<Job> = (0..10).map(|i| Job::new(i, 0, 20, 10)).collect();
+        let result = relax_and_solve(&jobs, Dur(10), 1, &opts());
+        assert!(matches!(result, Err(SchedError::Infeasible { .. })));
+        // With budget 5 it becomes feasible (5 at t=0, 5 at t=10).
+        let sol = relax_and_solve(&jobs, Dur(10), 5, &opts()).unwrap();
+        assert!(sol.objective >= 10.0 - 1e-6);
+    }
+
+    #[test]
+    fn window_shorter_than_t_is_infeasible() {
+        let jobs = vec![Job::new(0, 0, 8, 5)];
+        assert!(matches!(
+            relax_and_solve(&jobs, Dur(10), 3, &opts()),
+            Err(SchedError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn lp_value_lower_bounds_integer_schedules() {
+        // Two well-separated job groups: integer optimum is 2; the LP must
+        // not exceed it.
+        let jobs = vec![
+            Job::new(0, 0, 30, 5),
+            Job::new(1, 0, 30, 5),
+            Job::new(2, 100, 130, 5),
+            Job::new(3, 100, 130, 5),
+        ];
+        let sol = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        assert!(sol.objective <= 2.0 + 1e-6);
+        assert!(sol.objective >= 1.0 - 1e-6); // separated: can't share
+    }
+
+    #[test]
+    fn dual_certificate_matches_primal_at_optimum() {
+        let jobs = vec![
+            Job::new(0, 0, 40, 7),
+            Job::new(1, 0, 45, 6),
+            Job::new(2, 5, 50, 7),
+        ];
+        let sol = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        let dual = sol
+            .certified_dual_bound
+            .expect("dual certificate available");
+        // Strong duality at the optimum, so the certified bound is tight.
+        assert!(
+            (dual - sol.objective).abs() <= 1e-5 * (1.0 + sol.objective.abs()),
+            "duality gap: primal {} vs dual {dual}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn empty_jobs_solve_trivially() {
+        let sol = relax_and_solve(&[], Dur(10), 3, &opts()).unwrap();
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn x_fractions_respect_c() {
+        let jobs = vec![Job::new(0, 0, 40, 5), Job::new(1, 5, 45, 6)];
+        let sol = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        for (j, assignments) in sol.x.iter().enumerate() {
+            for &(pi, f) in assignments {
+                assert!(
+                    f <= sol.c[pi] + 1e-6,
+                    "job {j} fraction {f} exceeds C at point {pi} = {}",
+                    sol.c[pi]
+                );
+            }
+        }
+    }
+}

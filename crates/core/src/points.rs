@@ -1,0 +1,155 @@
+//! Potential calibration points (Lemma 3).
+//!
+//! Lemma 3: some optimal TISE solution only starts calibrations at a
+//! release time or immediately after the preceding calibration on the same
+//! machine. Hence the point set `𝒯 = { r_j + kT | j ∈ J, 0 ≤ k ≤ n }` (at
+//! most `n(n+1)` points) suffices for the LP.
+//!
+//! Two sound prunings keep `𝒯` small in practice:
+//!
+//! * points later than `max_j d_j − T` can never host a TISE-feasible
+//!   calibration;
+//! * points that are TISE-feasible for **no** job can be dropped: every
+//!   calibration in the canonical optimal solution is nonempty, and a
+//!   nonempty TISE calibration is by definition feasible for the job it
+//!   contains, so all canonical-optimal start times survive this pruning.
+//!   (Chains `r_j + iT` in the canonical solution consist of nonempty
+//!   calibrations, so interior chain points survive as well.)
+
+use ise_model::{Dur, Job, Time};
+
+/// Generate the pruned, sorted, deduplicated set of potential calibration
+/// points for `jobs` with calibration length `calib_len`.
+///
+/// ```
+/// use ise_sched::points::calibration_points;
+/// use ise_model::{Dur, Job, Time};
+/// let jobs = vec![Job::new(0, 0, 40, 5), Job::new(1, 0, 40, 5)];
+/// // n = 2: chains r + kT for k <= 2, capped at max_d - T = 30.
+/// assert_eq!(calibration_points(&jobs, Dur(10)), vec![Time(0), Time(10), Time(20)]);
+/// ```
+pub fn calibration_points(jobs: &[Job], calib_len: Dur) -> Vec<Time> {
+    calibration_points_with(jobs, calib_len, true)
+}
+
+/// As [`calibration_points`], optionally without the feasibility pruning
+/// (used by the Lemma 3 experiment to measure how much pruning saves).
+pub fn calibration_points_with(jobs: &[Job], calib_len: Dur, prune: bool) -> Vec<Time> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let n = jobs.len() as i64;
+    let horizon = jobs.iter().map(|j| j.deadline).max().expect("nonempty") - calib_len;
+    let mut points = Vec::with_capacity(jobs.len() * (jobs.len() + 1));
+    for job in jobs {
+        for k in 0..=n {
+            let t = job.release + calib_len * k;
+            if t > horizon {
+                break;
+            }
+            points.push(t);
+        }
+    }
+    points.sort_unstable();
+    points.dedup();
+    if prune {
+        points.retain(|&t| jobs.iter().any(|j| j.tise_admits(t, calib_len)));
+    }
+    points
+}
+
+/// The TISE-feasible point indices for one job: `r_j <= t <= d_j - T`.
+/// Returns the half-open index range into the sorted `points` slice.
+pub fn feasible_range(job: &Job, points: &[Time], calib_len: Dur) -> std::ops::Range<usize> {
+    let lo = points.partition_point(|&t| t < job.release);
+    let hi = points.partition_point(|&t| t + calib_len <= job.deadline);
+    lo..hi.max(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_release_times() {
+        let jobs = vec![Job::new(0, 0, 40, 5), Job::new(1, 7, 50, 5)];
+        let pts = calibration_points(&jobs, Dur(10));
+        assert!(pts.contains(&Time(0)));
+        assert!(pts.contains(&Time(7)));
+    }
+
+    #[test]
+    fn contains_chained_points_within_horizon() {
+        // n = 1: chains of length at most n suffice (an optimal solution
+        // uses at most n calibrations), so k in {0, 1} only.
+        let jobs = vec![Job::new(0, 0, 40, 5)];
+        let pts = calibration_points(&jobs, Dur(10));
+        assert_eq!(pts, vec![Time(0), Time(10)]);
+        // With two copies of the job the chain extends (k <= 2), capped at
+        // the horizon max_d - T = 30.
+        let jobs2 = vec![Job::new(0, 0, 40, 5), Job::new(1, 0, 40, 5)];
+        let pts2 = calibration_points(&jobs2, Dur(10));
+        assert_eq!(pts2, vec![Time(0), Time(10), Time(20)]);
+    }
+
+    #[test]
+    fn prunes_infeasible_points() {
+        // Job 0 (window [0, 25)) admits t in [0, 15]; its k=2 chain point
+        // t=20 ends at 30 > 25 and is feasible for no job (job 1's window
+        // is far away), so it must be pruned.
+        let jobs = vec![Job::new(0, 0, 25, 5), Job::new(1, 40, 60, 3)];
+        let t = Dur(10);
+        let pruned = calibration_points(&jobs, t);
+        let unpruned = calibration_points_with(&jobs, t, false);
+        assert!(pruned
+            .iter()
+            .all(|&p| jobs.iter().any(|j| j.tise_admits(p, t))));
+        assert!(unpruned.contains(&Time(20)));
+        assert!(!pruned.contains(&Time(20)));
+        assert!(pruned.len() < unpruned.len());
+        assert!(pruned.contains(&Time(40))); // r_1
+    }
+
+    #[test]
+    fn empty_jobs_no_points() {
+        assert!(calibration_points(&[], Dur(10)).is_empty());
+    }
+
+    #[test]
+    fn point_count_is_polynomial() {
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| Job::new(i, i as i64 * 3, i as i64 * 3 + 50, 4))
+            .collect();
+        let pts = calibration_points(&jobs, Dur(10));
+        assert!(pts.len() <= jobs.len() * (jobs.len() + 1));
+    }
+
+    #[test]
+    fn feasible_range_matches_tise_admits() {
+        let jobs = vec![Job::new(0, 0, 40, 5), Job::new(1, 7, 50, 5)];
+        let t = Dur(10);
+        let pts = calibration_points(&jobs, t);
+        for job in &jobs {
+            let range = feasible_range(job, &pts, t);
+            for (i, &p) in pts.iter().enumerate() {
+                assert_eq!(
+                    range.contains(&i),
+                    job.tise_admits(p, t),
+                    "point {p} job {:?}",
+                    job.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_range_can_be_empty() {
+        // A short-window job admits no TISE calibration when window < T.
+        let long = Job::new(0, 0, 40, 5);
+        let short = Job::new(1, 30, 38, 5);
+        let t = Dur(10);
+        let pts = calibration_points(&[long], t);
+        let range = feasible_range(&short, &pts, t);
+        assert!(range.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Human-readable solve reports.
+//!
+//! Aggregates a [`crate::solver::SolveOutcome`] with schedule statistics,
+//! certified lower bounds, and the per-pipeline breakdown into one
+//! displayable summary — what the examples and the experiment harness
+//! print, and what a deployment would log per scheduling run.
+
+use crate::lower_bound::{lower_bound, LowerBoundReport};
+use crate::solver::SolveOutcome;
+use ise_model::{Instance, ScheduleStats};
+use std::fmt;
+
+/// A complete report on one solve.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Schedule statistics (calibrations, machines, utilization, ...).
+    pub stats: ScheduleStats,
+    /// Certified lower bounds on the calibration optimum.
+    pub bounds: LowerBoundReport,
+    /// Number of long-window jobs handled by the LP pipeline.
+    pub long_jobs: usize,
+    /// Number of short-window jobs handled by the MM pipeline.
+    pub short_jobs: usize,
+    /// LP objective of the long-window relaxation, if that pipeline ran.
+    pub lp_objective: Option<f64>,
+    /// Total crossing jobs across short-window intervals.
+    pub crossing_jobs: usize,
+    /// `calibrations / max(1, lower bound)` — upper bound on the true
+    /// approximation ratio of this run.
+    pub ratio: f64,
+}
+
+impl SolveReport {
+    /// Build a report for `outcome` on `instance`.
+    pub fn new(instance: &Instance, outcome: &SolveOutcome) -> SolveReport {
+        let stats = ScheduleStats::compute(instance, &outcome.schedule);
+        let bounds = lower_bound(instance, &Default::default());
+        let crossing = outcome
+            .short
+            .as_ref()
+            .map(|s| s.intervals.iter().map(|i| i.crossing_jobs).sum())
+            .unwrap_or(0);
+        let ratio = stats.calibrations as f64 / bounds.best.max(1) as f64;
+        SolveReport {
+            stats,
+            bounds,
+            long_jobs: outcome.long_jobs,
+            short_jobs: outcome.short_jobs,
+            lp_objective: outcome.long.as_ref().map(|l| l.fractional.objective),
+            crossing_jobs: crossing,
+            ratio,
+        }
+    }
+}
+
+impl fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} long + {} short; calibrations: {} (lower bound {}, ratio <= {:.2})",
+            self.long_jobs, self.short_jobs, self.stats.calibrations, self.bounds.best, self.ratio
+        )?;
+        writeln!(
+            f,
+            "machines: {} at speed {}; utilization {:.1}%; makespan {}",
+            self.stats.machines,
+            self.stats.speed,
+            self.stats.utilization * 100.0,
+            self.stats.makespan
+        )?;
+        if let Some(lp) = self.lp_objective {
+            writeln!(f, "long-window LP objective: {lp:.2}")?;
+        }
+        if self.short_jobs > 0 {
+            writeln!(f, "crossing jobs: {}", self.crossing_jobs)?;
+        }
+        write!(
+            f,
+            "bounds: work {} / interval {} / LP {}",
+            self.bounds.work,
+            self.bounds.interval,
+            self.bounds
+                .lp_long
+                .map_or("-".to_string(), |v| v.to_string())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, SolverOptions};
+
+    #[test]
+    fn report_for_mixed_instance() {
+        let inst = Instance::new([(0, 40, 7), (0, 12, 6)], 1, 10).unwrap();
+        let outcome = solve(&inst, &SolverOptions::default()).unwrap();
+        let report = SolveReport::new(&inst, &outcome);
+        assert_eq!(report.long_jobs, 1);
+        assert_eq!(report.short_jobs, 1);
+        assert!(report.ratio >= 1.0);
+        assert!(report.lp_objective.is_some());
+        let text = report.to_string();
+        assert!(text.contains("calibrations"));
+        assert!(text.contains("bounds: work"));
+    }
+
+    #[test]
+    fn report_without_short_jobs_hides_crossings() {
+        let inst = Instance::new([(0, 40, 7)], 1, 10).unwrap();
+        let outcome = solve(&inst, &SolverOptions::default()).unwrap();
+        let report = SolveReport::new(&inst, &outcome);
+        assert_eq!(report.short_jobs, 0);
+        assert!(!report.to_string().contains("crossing"));
+    }
+}

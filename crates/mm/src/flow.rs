@@ -1,0 +1,188 @@
+//! Dinic max-flow on integer capacities.
+//!
+//! Used by [`crate::lower_bound::preemptive_lower_bound`] to decide
+//! feasibility of the preemptive relaxation of machine minimization: jobs
+//! feed work into time segments, segments absorb at most `w × length`. This
+//! is a compact, allocation-conscious Dinic (BFS level graph + DFS blocking
+//! flow), entirely integer, so feasibility decisions are exact.
+
+/// A flow network under construction. Nodes are `0..num_nodes`; add edges
+/// with [`FlowNetwork::add_edge`], then call [`FlowNetwork::max_flow`].
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    // Edges stored in pairs: edge 2k is forward, 2k+1 its residual twin.
+    to: Vec<u32>,
+    cap: Vec<i64>,
+    head: Vec<Vec<u32>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Create a network with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> FlowNetwork {
+        FlowNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); num_nodes],
+            level: vec![0; num_nodes],
+            iter: vec![0; num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Add a directed edge `from → to` with capacity `cap >= 0`. Returns an
+    /// edge id usable with [`FlowNetwork::flow_on`].
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> usize {
+        assert!(cap >= 0, "capacity must be nonnegative");
+        assert!(
+            from < self.head.len() && to < self.head.len(),
+            "node out of range"
+        );
+        let id = self.to.len();
+        self.head[from].push(id as u32);
+        self.to.push(to as u32);
+        self.cap.push(cap);
+        self.head[to].push((id + 1) as u32);
+        self.to.push(from as u32);
+        self.cap.push(0);
+        id
+    }
+
+    /// Flow currently routed through edge `id` (after [`FlowNetwork::max_flow`]):
+    /// the residual capacity of its twin.
+    pub fn flow_on(&self, id: usize) -> i64 {
+        self.cap[id ^ 1]
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &e in &self.head[v] {
+                let e = e as usize;
+                let u = self.to[e] as usize;
+                if self.cap[e] > 0 && self.level[u] < 0 {
+                    self.level[u] = self.level[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, limit: i64) -> i64 {
+        if v == t {
+            return limit;
+        }
+        while self.iter[v] < self.head[v].len() {
+            let e = self.head[v][self.iter[v]] as usize;
+            let u = self.to[e] as usize;
+            if self.cap[e] > 0 && self.level[u] == self.level[v] + 1 {
+                let pushed = self.dfs(u, t, limit.min(self.cap[e]));
+                if pushed > 0 {
+                    self.cap[e] -= pushed;
+                    self.cap[e ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Compute the maximum `s → t` flow. May be called once per network.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow = 0i64;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs(s, t, i64::MAX);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 7);
+        assert_eq!(g.max_flow(0, 1), 7);
+        assert_eq!(g.flow_on(e), 7);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (1)
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 1);
+        assert_eq!(g.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 10);
+        assert_eq!(g.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn bottleneck_path() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 100);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, 100);
+        assert_eq!(g.max_flow(0, 3), 1);
+    }
+
+    #[test]
+    fn residual_rerouting_needed() {
+        // The greedy path s-a-d-t must be partially undone to reach max flow.
+        let mut g = FlowNetwork::new(6);
+        let (s, a, b, c, d, t) = (0, 1, 2, 3, 4, 5);
+        g.add_edge(s, a, 1);
+        g.add_edge(s, b, 1);
+        g.add_edge(a, c, 1);
+        g.add_edge(a, d, 1);
+        g.add_edge(b, d, 1);
+        g.add_edge(c, t, 1);
+        g.add_edge(d, t, 1);
+        assert_eq!(g.max_flow(s, t), 2);
+    }
+
+    #[test]
+    fn zero_capacity_edges_carry_nothing() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 0);
+        assert_eq!(g.max_flow(0, 1), 0);
+        assert_eq!(g.flow_on(e), 0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 1, 4);
+        assert_eq!(g.max_flow(0, 1), 7);
+    }
+}

@@ -1,0 +1,209 @@
+//! Lower bounds on the number of machines needed.
+//!
+//! Two bounds, both exact (integer) computations:
+//!
+//! * [`demand_lower_bound`] — interval density: for any interval `[a, b)`,
+//!   the jobs whose windows are nested inside it supply
+//!   `ceil(total work / (b-a))` machines of demand. Only intervals with
+//!   `a` a release time and `b` a deadline matter.
+//! * [`preemptive_lower_bound`] — the minimum `w` for which the *preemptive*
+//!   relaxation is feasible, decided exactly by max-flow: split time at all
+//!   releases/deadlines into segments; job `j` can place at most
+//!   `min(p_j, len)` work into a segment inside its window (a single machine
+//!   can run it for at most the segment length), and a segment of length `L`
+//!   absorbs at most `w · L` work in total. Nonpreemptive feasibility
+//!   implies preemptive feasibility, so this bounds the true optimum from
+//!   below, and it dominates the demand bound.
+
+use crate::flow::FlowNetwork;
+use ise_model::{Job, Time};
+
+/// Interval-density lower bound. `O(n² · n)` worst case, exact.
+pub fn demand_lower_bound(jobs: &[Job]) -> usize {
+    if jobs.is_empty() {
+        return 0;
+    }
+    let mut releases: Vec<Time> = jobs.iter().map(|j| j.release).collect();
+    let mut deadlines: Vec<Time> = jobs.iter().map(|j| j.deadline).collect();
+    releases.sort_unstable();
+    releases.dedup();
+    deadlines.sort_unstable();
+    deadlines.dedup();
+
+    let mut best = 1usize;
+    for &a in &releases {
+        for &b in &deadlines {
+            if b <= a {
+                continue;
+            }
+            let len = b - a;
+            let work: i64 = jobs
+                .iter()
+                .filter(|j| a <= j.release && j.deadline <= b)
+                .map(|j| j.proc.ticks())
+                .sum();
+            if work > 0 {
+                let need = ((work + len.ticks() - 1) / len.ticks()) as usize;
+                best = best.max(need);
+            }
+        }
+    }
+    best
+}
+
+/// Preemptive-relaxation lower bound via max-flow; dominates
+/// [`demand_lower_bound`]. Exact integer computation.
+///
+/// ```
+/// use ise_mm::preemptive_lower_bound;
+/// use ise_model::Job;
+/// // Three 5-tick jobs crammed into [0, 10): 15 work needs 2 machines.
+/// let jobs: Vec<Job> = (0..3).map(|i| Job::new(i, 0, 10, 5)).collect();
+/// assert_eq!(preemptive_lower_bound(&jobs), 2);
+/// ```
+pub fn preemptive_lower_bound(jobs: &[Job]) -> usize {
+    if jobs.is_empty() {
+        return 0;
+    }
+    let lo = demand_lower_bound(jobs);
+    let hi = jobs.len().max(lo);
+    // Feasibility is monotone in w: binary search the threshold.
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if preemptive_feasible(jobs, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Decide whether the preemptive relaxation is feasible on `w` machines.
+pub fn preemptive_feasible(jobs: &[Job], w: usize) -> bool {
+    if jobs.is_empty() {
+        return true;
+    }
+    if w == 0 {
+        return false;
+    }
+    let mut cuts: Vec<Time> = jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let segments: Vec<(Time, Time)> = cuts.windows(2).map(|p| (p[0], p[1])).collect();
+
+    // Nodes: source, jobs, segments, sink.
+    let source = 0;
+    let job_base = 1;
+    let seg_base = job_base + jobs.len();
+    let sink = seg_base + segments.len();
+    let mut g = FlowNetwork::new(sink + 1);
+    let mut demand = 0i64;
+    for (ji, job) in jobs.iter().enumerate() {
+        g.add_edge(source, job_base + ji, job.proc.ticks());
+        demand += job.proc.ticks();
+        for (si, &(s, e)) in segments.iter().enumerate() {
+            if job.release <= s && e <= job.deadline {
+                // One machine can run the job for at most the segment
+                // length; the job needs at most p_j anywhere.
+                let cap = (e - s).ticks().min(job.proc.ticks());
+                g.add_edge(job_base + ji, seg_base + si, cap);
+            }
+        }
+    }
+    for (si, &(s, e)) in segments.iter().enumerate() {
+        g.add_edge(seg_base + si, sink, (e - s).ticks() * w as i64);
+    }
+    g.max_flow(source, sink) == demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_needs_one_machine() {
+        let jobs = vec![Job::new(0, 0, 10, 5)];
+        assert_eq!(demand_lower_bound(&jobs), 1);
+        assert_eq!(preemptive_lower_bound(&jobs), 1);
+    }
+
+    #[test]
+    fn empty_needs_zero() {
+        assert_eq!(demand_lower_bound(&[]), 0);
+        assert_eq!(preemptive_lower_bound(&[]), 0);
+    }
+
+    #[test]
+    fn tight_interval_forces_parallelism() {
+        // Three 5-tick jobs all in [0, 10): 15 work / 10 => 2 machines.
+        let jobs = vec![
+            Job::new(0, 0, 10, 5),
+            Job::new(1, 0, 10, 5),
+            Job::new(2, 0, 10, 5),
+        ];
+        assert_eq!(demand_lower_bound(&jobs), 2);
+        assert_eq!(preemptive_lower_bound(&jobs), 2);
+    }
+
+    #[test]
+    fn zero_slack_overlap() {
+        // Two fixed intervals overlapping at [4, 6): need 2 machines.
+        let jobs = vec![Job::new(0, 0, 6, 6), Job::new(1, 4, 10, 6)];
+        assert_eq!(demand_lower_bound(&jobs), 2);
+        assert_eq!(preemptive_lower_bound(&jobs), 2);
+    }
+
+    #[test]
+    fn preemptive_dominates_demand() {
+        // Demand bound looks at nested windows only; a staircase of
+        // overlapping tight jobs can fool it, but the flow bound cannot.
+        let jobs = vec![
+            Job::new(0, 0, 4, 4),
+            Job::new(1, 2, 6, 4),
+            Job::new(2, 4, 8, 4),
+        ];
+        let d = demand_lower_bound(&jobs);
+        let p = preemptive_lower_bound(&jobs);
+        assert!(p >= d);
+        assert_eq!(p, 2); // jobs 0 and 1 overlap on [2,4) with no slack
+    }
+
+    #[test]
+    fn disjoint_jobs_need_one_machine() {
+        let jobs = vec![
+            Job::new(0, 0, 5, 5),
+            Job::new(1, 5, 10, 5),
+            Job::new(2, 10, 15, 5),
+        ];
+        assert_eq!(preemptive_lower_bound(&jobs), 1);
+    }
+
+    #[test]
+    fn preemptive_feasible_is_monotone_in_w() {
+        let jobs = vec![
+            Job::new(0, 0, 10, 7),
+            Job::new(1, 0, 10, 7),
+            Job::new(2, 0, 10, 7),
+        ];
+        assert!(!preemptive_feasible(&jobs, 2)); // 21 work > 20 capacity
+        assert!(preemptive_feasible(&jobs, 3));
+        assert!(preemptive_feasible(&jobs, 4));
+    }
+
+    #[test]
+    fn per_job_rate_limit_matters() {
+        // One 10-tick job in a 10-tick window plus two 5-tick jobs with the
+        // same window: work = 20 = 2×10, but job 0 must run the whole time
+        // on one machine and the others overlap it; w=2 suffices
+        // preemptively (job 0 on machine 1, jobs 1+2 back-to-back on 2).
+        let jobs = vec![
+            Job::new(0, 0, 10, 10),
+            Job::new(1, 0, 10, 5),
+            Job::new(2, 0, 10, 5),
+        ];
+        assert!(preemptive_feasible(&jobs, 2));
+        assert!(!preemptive_feasible(&jobs, 1));
+    }
+}

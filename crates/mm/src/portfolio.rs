@@ -1,0 +1,168 @@
+//! A portfolio combinator over machine minimizers.
+//!
+//! Runs several MM algorithms on the same job set and keeps the best
+//! (fewest-machines) valid schedule. Algorithms that error (unsupported
+//! input, exhausted budgets) are skipped; at least one component must
+//! succeed. The combined approximation factor is the minimum of the
+//! components' factors, which is how a deployment would actually consume
+//! the black box of Theorem 1.
+
+use crate::problem::{validate_mm, MachineMinimizer, MmError, MmSchedule};
+use ise_model::Job;
+
+/// Best-of portfolio over boxed minimizers.
+pub struct Portfolio {
+    members: Vec<Box<dyn MachineMinimizer>>,
+}
+
+impl Portfolio {
+    /// Empty portfolio; add members with [`Portfolio::with`].
+    pub fn new() -> Portfolio {
+        Portfolio {
+            members: Vec::new(),
+        }
+    }
+
+    /// Add a member minimizer.
+    pub fn with(mut self, member: impl MachineMinimizer + 'static) -> Portfolio {
+        self.members.push(Box::new(member));
+        self
+    }
+
+    /// The standard lineup: exact (bounded), unit (when applicable),
+    /// interval (when applicable), greedy.
+    pub fn standard() -> Portfolio {
+        Portfolio::new()
+            .with(crate::ExactMm {
+                node_budget: 200_000,
+            })
+            .with(crate::UnitMm)
+            .with(crate::IntervalMm)
+            .with(crate::GreedyMm)
+    }
+
+    /// Number of member algorithms.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the portfolio has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Default for Portfolio {
+    fn default() -> Portfolio {
+        Portfolio::standard()
+    }
+}
+
+impl MachineMinimizer for Portfolio {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn minimize(&self, jobs: &[Job]) -> Result<MmSchedule, MmError> {
+        let mut best: Option<MmSchedule> = None;
+        let mut last_err = MmError::UnsupportedInput {
+            requirement: "portfolio has no members",
+        };
+        for member in &self.members {
+            match member.minimize(jobs) {
+                Ok(schedule) => {
+                    // Defensive: never accept an invalid member result.
+                    if validate_mm(jobs, &schedule).is_err() {
+                        continue;
+                    }
+                    if best.as_ref().is_none_or(|b| schedule.machines < b.machines) {
+                        best = Some(schedule);
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        best.ok_or(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExactMm, GreedyMm};
+
+    fn jobs() -> Vec<Job> {
+        vec![
+            Job::new(0, 0, 9, 4),
+            Job::new(1, 1, 5, 4),
+            Job::new(2, 3, 14, 5),
+            Job::new(3, 0, 20, 6),
+        ]
+    }
+
+    #[test]
+    fn portfolio_matches_best_member() {
+        let exact = ExactMm::default().minimize(&jobs()).unwrap();
+        let portfolio = Portfolio::standard().minimize(&jobs()).unwrap();
+        assert_eq!(
+            portfolio.machines, exact.machines,
+            "exact member should win or tie"
+        );
+        validate_mm(&jobs(), &portfolio).unwrap();
+    }
+
+    #[test]
+    fn skips_unsupported_members() {
+        // UnitMm and IntervalMm error on these jobs; greedy succeeds.
+        let p = Portfolio::new().with(crate::UnitMm).with(GreedyMm);
+        let out = p.minimize(&jobs()).unwrap();
+        validate_mm(&jobs(), &out).unwrap();
+    }
+
+    #[test]
+    fn empty_portfolio_errors() {
+        let p = Portfolio::new();
+        assert!(p.is_empty());
+        assert!(matches!(
+            p.minimize(&jobs()),
+            Err(MmError::UnsupportedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn all_members_unsupported_reports_error() {
+        let p = Portfolio::new().with(crate::UnitMm); // non-unit jobs
+        assert!(matches!(
+            p.minimize(&jobs()),
+            Err(MmError::UnsupportedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn standard_lineup_has_four_members() {
+        assert_eq!(Portfolio::standard().len(), 4);
+    }
+
+    #[test]
+    fn never_worse_than_greedy_alone() {
+        for seed in 0..10u64 {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            let mut rand = move |m: i64| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as i64).rem_euclid(m)
+            };
+            let js: Vec<Job> = (0..7)
+                .map(|i| {
+                    let r = rand(15);
+                    let p = 1 + rand(6);
+                    Job::new(i as u32, r, r + p + rand(10), p)
+                })
+                .collect();
+            let greedy = GreedyMm.minimize(&js).unwrap();
+            let portfolio = Portfolio::standard().minimize(&js).unwrap();
+            assert!(portfolio.machines <= greedy.machines);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! MM schedules, the black-box trait, and validation.
+
+use ise_model::{Dur, Job, JobId, Time};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One nonpreemptive execution in an MM schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MmPlacement {
+    /// The job being run.
+    pub job: JobId,
+    /// Machine index in `0..machines`.
+    pub machine: usize,
+    /// Start time `x_j`.
+    pub start: Time,
+}
+
+/// A machine-minimization schedule: a machine count and a placement for
+/// every job.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MmSchedule {
+    /// Number of machines used (`w` in the paper).
+    pub machines: usize,
+    /// Placements, one per job.
+    pub placements: Vec<MmPlacement>,
+}
+
+/// Failures of MM algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MmError {
+    /// The algorithm only handles a restricted job class and the input is
+    /// outside it (e.g. [`crate::UnitMm`] on non-unit jobs).
+    UnsupportedInput {
+        /// Which requirement failed.
+        requirement: &'static str,
+    },
+    /// The exact search exceeded its node budget.
+    BudgetExceeded {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::UnsupportedInput { requirement } => {
+                write!(f, "input violates algorithm requirement: {requirement}")
+            }
+            MmError::BudgetExceeded { budget } => {
+                write!(f, "exact search exceeded node budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+/// The machine-minimization black box of the paper's Theorem 1 / Section 4.
+///
+/// Implementations must return a schedule in which every job runs
+/// nonpreemptively within its window; the machine count is the quantity
+/// being minimized. Every job set is feasible on `n` machines (each job
+/// alone at its release), so `minimize` fails only on unsupported input or
+/// exhausted search budgets.
+pub trait MachineMinimizer {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produce a feasible schedule using as few machines as this algorithm
+    /// manages.
+    fn minimize(&self, jobs: &[Job]) -> Result<MmSchedule, MmError>;
+}
+
+/// A violation found by [`validate_mm`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MmValidationError {
+    /// A job has no placement.
+    Unplaced { job: JobId },
+    /// A job has more than one placement.
+    Duplicate { job: JobId },
+    /// A placement's machine index is out of range.
+    MachineOutOfRange { job: JobId, machine: usize },
+    /// A job runs outside its `[r_j, d_j)` window.
+    OutsideWindow { job: JobId },
+    /// Two jobs overlap on a machine.
+    Overlap {
+        first: JobId,
+        second: JobId,
+        machine: usize,
+    },
+}
+
+impl fmt::Display for MmValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmValidationError::Unplaced { job } => write!(f, "job {job} unplaced"),
+            MmValidationError::Duplicate { job } => write!(f, "job {job} placed twice"),
+            MmValidationError::MachineOutOfRange { job, machine } => {
+                write!(f, "job {job} on out-of-range machine {machine}")
+            }
+            MmValidationError::OutsideWindow { job } => {
+                write!(f, "job {job} runs outside its window")
+            }
+            MmValidationError::Overlap {
+                first,
+                second,
+                machine,
+            } => {
+                write!(f, "jobs {first} and {second} overlap on machine {machine}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MmValidationError {}
+
+/// Check that `schedule` is a feasible MM schedule for `jobs`: every job
+/// placed exactly once, inside its window, with no overlap per machine.
+pub fn validate_mm(jobs: &[Job], schedule: &MmSchedule) -> Result<(), MmValidationError> {
+    let by_id: HashMap<JobId, &Job> = jobs.iter().map(|j| (j.id, j)).collect();
+    let mut placed: HashMap<JobId, u32> = HashMap::new();
+    let mut runs: HashMap<usize, Vec<(Time, Time, JobId)>> = HashMap::new();
+
+    for p in &schedule.placements {
+        let Some(job) = by_id.get(&p.job) else {
+            return Err(MmValidationError::Unplaced { job: p.job }); // unknown id
+        };
+        *placed.entry(p.job).or_insert(0) += 1;
+        if p.machine >= schedule.machines {
+            return Err(MmValidationError::MachineOutOfRange {
+                job: p.job,
+                machine: p.machine,
+            });
+        }
+        if p.start < job.release || p.start + job.proc > job.deadline {
+            return Err(MmValidationError::OutsideWindow { job: p.job });
+        }
+        runs.entry(p.machine)
+            .or_default()
+            .push((p.start, p.start + job.proc, p.job));
+    }
+    for job in jobs {
+        match placed.get(&job.id) {
+            None => return Err(MmValidationError::Unplaced { job: job.id }),
+            Some(&c) if c > 1 => return Err(MmValidationError::Duplicate { job: job.id }),
+            _ => {}
+        }
+    }
+    for (machine, intervals) in runs.iter_mut() {
+        intervals.sort_unstable_by_key(|&(s, e, j)| (s, e, j));
+        for w in intervals.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(MmValidationError::Overlap {
+                    first: w[0].2,
+                    second: w[1].2,
+                    machine: *machine,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Schedule every job alone on its own machine at its release time — the
+/// trivial always-feasible `n`-machine solution, used as a final fallback.
+pub fn one_machine_per_job(jobs: &[Job]) -> MmSchedule {
+    MmSchedule {
+        machines: jobs.len(),
+        placements: jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| MmPlacement {
+                job: j.id,
+                machine: i,
+                start: j.release,
+            })
+            .collect(),
+    }
+}
+
+/// Shared helper: total work of a job set.
+pub fn total_work(jobs: &[Job]) -> Dur {
+    jobs.iter().map(|j| j.proc).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs() -> Vec<Job> {
+        vec![
+            Job::new(0, 0, 10, 5),
+            Job::new(1, 0, 10, 5),
+            Job::new(2, 5, 20, 5),
+        ]
+    }
+
+    #[test]
+    fn trivial_schedule_validates() {
+        let js = jobs();
+        let s = one_machine_per_job(&js);
+        assert_eq!(validate_mm(&js, &s), Ok(()));
+        assert_eq!(s.machines, 3);
+    }
+
+    #[test]
+    fn rejects_window_violation() {
+        let js = jobs();
+        let mut s = one_machine_per_job(&js);
+        s.placements[0].start = Time(6); // ends at 11 > deadline 10
+        assert_eq!(
+            validate_mm(&js, &s),
+            Err(MmValidationError::OutsideWindow { job: JobId(0) })
+        );
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let js = jobs();
+        let s = MmSchedule {
+            machines: 1,
+            placements: vec![
+                MmPlacement {
+                    job: JobId(0),
+                    machine: 0,
+                    start: Time(0),
+                },
+                MmPlacement {
+                    job: JobId(1),
+                    machine: 0,
+                    start: Time(4),
+                },
+                MmPlacement {
+                    job: JobId(2),
+                    machine: 0,
+                    start: Time(10),
+                },
+            ],
+        };
+        assert!(matches!(
+            validate_mm(&js, &s),
+            Err(MmValidationError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unplaced_and_out_of_range() {
+        let js = jobs();
+        let mut s = one_machine_per_job(&js);
+        s.placements.pop();
+        assert_eq!(
+            validate_mm(&js, &s),
+            Err(MmValidationError::Unplaced { job: JobId(2) })
+        );
+        let mut s2 = one_machine_per_job(&js);
+        s2.machines = 2;
+        assert!(matches!(
+            validate_mm(&js, &s2),
+            Err(MmValidationError::MachineOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn back_to_back_jobs_do_not_overlap() {
+        let js = vec![Job::new(0, 0, 10, 5), Job::new(1, 0, 20, 5)];
+        let s = MmSchedule {
+            machines: 1,
+            placements: vec![
+                MmPlacement {
+                    job: JobId(0),
+                    machine: 0,
+                    start: Time(0),
+                },
+                MmPlacement {
+                    job: JobId(1),
+                    machine: 0,
+                    start: Time(5),
+                },
+            ],
+        };
+        assert_eq!(validate_mm(&js, &s), Ok(()));
+    }
+}

@@ -1,0 +1,133 @@
+//! Speed augmentation for the MM black box.
+//!
+//! Theorem 1 of Fineman & Sheridan accepts an *`s`-speed* α-approximate MM
+//! algorithm: one whose machines run `s` times faster than the optimum it
+//! is compared against. [`SpeedScaled`] realizes that interface exactly on
+//! integer ticks by *refining time*: releases and deadlines are multiplied
+//! by `s` while processing times stay put (a job of `p` ticks of work takes
+//! `p` refined ticks on a speed-`s` machine, since one refined tick is
+//! `1/s` of an original tick). The inner minimizer then runs unchanged on
+//! the refined instance.
+//!
+//! The wrapper returns the schedule in refined ticks along with the factor,
+//! so callers can translate back (divide by `s`, exact only at multiples —
+//! which is precisely why the refined representation is kept).
+
+use crate::problem::{MachineMinimizer, MmError, MmSchedule};
+use ise_model::Job;
+
+/// An MM schedule produced under speed augmentation: times are in refined
+/// ticks (`1/speed` of an instance tick).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpeedMmSchedule {
+    /// The schedule, in refined ticks.
+    pub schedule: MmSchedule,
+    /// The speed factor `s >= 1`.
+    pub speed: i64,
+}
+
+/// Wrap a machine minimizer so it runs with `speed`-times-faster machines.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedScaled<M> {
+    inner: M,
+    speed: i64,
+}
+
+impl<M: MachineMinimizer> SpeedScaled<M> {
+    /// Wrap `inner` at the given speed (`>= 1`).
+    pub fn new(inner: M, speed: i64) -> SpeedScaled<M> {
+        assert!(speed >= 1, "speed must be >= 1");
+        SpeedScaled { inner, speed }
+    }
+
+    /// The refined job set the inner minimizer sees: windows scaled by `s`,
+    /// processing times unchanged.
+    pub fn refine(&self, jobs: &[Job]) -> Vec<Job> {
+        jobs.iter()
+            .map(|j| Job {
+                release: j.release.scale(self.speed),
+                deadline: j.deadline.scale(self.speed),
+                ..*j
+            })
+            .collect()
+    }
+
+    /// Minimize with speed augmentation. The result's times are in refined
+    /// ticks.
+    pub fn minimize_scaled(&self, jobs: &[Job]) -> Result<SpeedMmSchedule, MmError> {
+        let refined = self.refine(jobs);
+        let schedule = self.inner.minimize(&refined)?;
+        Ok(SpeedMmSchedule {
+            schedule,
+            speed: self.speed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::validate_mm;
+    use crate::{ExactMm, GreedyMm};
+
+    #[test]
+    fn speed_one_is_identity() {
+        let jobs = vec![Job::new(0, 0, 10, 5), Job::new(1, 0, 10, 5)];
+        let wrapped = SpeedScaled::new(ExactMm::default(), 1);
+        let plain = ExactMm::default().minimize(&jobs).unwrap();
+        let scaled = wrapped.minimize_scaled(&jobs).unwrap();
+        assert_eq!(scaled.schedule.machines, plain.machines);
+    }
+
+    #[test]
+    fn speed_strictly_helps_tight_instances() {
+        // Two zero-slack overlapping jobs need 2 machines at speed 1, but
+        // at speed 2 each takes half its window and they serialize.
+        let jobs = vec![Job::new(0, 0, 6, 6), Job::new(1, 4, 10, 6)];
+        assert_eq!(ExactMm::default().minimize(&jobs).unwrap().machines, 2);
+        let wrapped = SpeedScaled::new(ExactMm::default(), 2);
+        let scaled = wrapped.minimize_scaled(&jobs).unwrap();
+        // Refined: windows [0,12) and [8,20), procs 6: [0,6) and [8,14)
+        // fit on one machine.
+        assert_eq!(scaled.schedule.machines, 1);
+        validate_mm(&wrapped.refine(&jobs), &scaled.schedule).unwrap();
+    }
+
+    #[test]
+    fn refined_schedule_validates_against_refined_jobs() {
+        let jobs = vec![
+            Job::new(0, 0, 9, 4),
+            Job::new(1, 1, 5, 4),
+            Job::new(2, 3, 12, 5),
+        ];
+        for s in 1..=4 {
+            let wrapped = SpeedScaled::new(GreedyMm, s);
+            let out = wrapped.minimize_scaled(&jobs).unwrap();
+            validate_mm(&wrapped.refine(&jobs), &out.schedule).unwrap();
+            assert_eq!(out.speed, s);
+        }
+    }
+
+    #[test]
+    fn machines_never_increase_with_speed() {
+        let jobs: Vec<Job> = (0..6).map(|i| Job::new(i, (i as i64) % 4, 14, 5)).collect();
+        let mut prev = usize::MAX;
+        for s in [1i64, 2, 4, 8] {
+            let out = SpeedScaled::new(ExactMm::default(), s)
+                .minimize_scaled(&jobs)
+                .unwrap();
+            assert!(
+                out.schedule.machines <= prev,
+                "speed {s} used {} machines, slower run used {prev}",
+                out.schedule.machines
+            );
+            prev = out.schedule.machines;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be >= 1")]
+    fn rejects_zero_speed() {
+        let _ = SpeedScaled::new(GreedyMm, 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Exact polynomial machine minimization for unit jobs.
+//!
+//! With `p_j = 1` (and integer releases/deadlines), earliest-deadline-first
+//! at integer time steps is an optimal feasibility test on `w` machines: at
+//! each time step, running the `w` released jobs with the earliest deadlines
+//! is exchange-optimal. Binary search over `w` then yields the exact
+//! minimum. This is the setting of the prior work (Bender et al., SPAA
+//! 2013) that Fineman & Sheridan generalize.
+
+use crate::lower_bound::demand_lower_bound;
+use crate::problem::{MachineMinimizer, MmError, MmPlacement, MmSchedule};
+use ise_model::{Dur, Job, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Exact polynomial MM for unit jobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnitMm;
+
+impl MachineMinimizer for UnitMm {
+    fn name(&self) -> &'static str {
+        "unit-edf"
+    }
+
+    fn minimize(&self, jobs: &[Job]) -> Result<MmSchedule, MmError> {
+        if jobs.iter().any(|j| j.proc != Dur(1)) {
+            return Err(MmError::UnsupportedInput {
+                requirement: "all processing times must be 1",
+            });
+        }
+        if jobs.is_empty() {
+            return Ok(MmSchedule::default());
+        }
+        let (mut lo, mut hi) = (demand_lower_bound(jobs).max(1), jobs.len());
+        // Feasibility is monotone in w.
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if edf_schedule(jobs, mid).is_some() {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(edf_schedule(jobs, lo).expect("n machines always feasible for unit jobs"))
+    }
+}
+
+/// EDF feasibility test for unit jobs on `w` machines; returns the schedule
+/// on success.
+pub fn edf_schedule(jobs: &[Job], w: usize) -> Option<MmSchedule> {
+    if w == 0 {
+        return if jobs.is_empty() {
+            Some(MmSchedule::default())
+        } else {
+            None
+        };
+    }
+    let mut order: Vec<&Job> = jobs.iter().collect();
+    order.sort_unstable_by_key(|j| j.release);
+    let mut heap: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new(); // (deadline, id)
+    let mut placements = Vec::with_capacity(jobs.len());
+    let mut next = 0usize;
+    let mut t = order[0].release;
+    while next < order.len() || !heap.is_empty() {
+        if heap.is_empty() && next < order.len() {
+            t = t.max(order[next].release);
+        }
+        while next < order.len() && order[next].release <= t {
+            heap.push(Reverse((order[next].deadline, order[next].id.0)));
+            next += 1;
+        }
+        // Run up to w earliest-deadline jobs in [t, t+1).
+        for machine in 0..w {
+            let Some(Reverse((deadline, id))) = heap.pop() else {
+                break;
+            };
+            if t + Dur(1) > deadline {
+                return None; // EDF misses => infeasible on w machines
+            }
+            placements.push(MmPlacement {
+                job: ise_model::JobId(id),
+                machine,
+                start: t,
+            });
+        }
+        t += Dur(1);
+    }
+    placements.sort_unstable_by_key(|p| p.job);
+    Some(MmSchedule {
+        machines: w,
+        placements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::validate_mm;
+    use crate::ExactMm;
+
+    fn unit(id: u32, r: i64, d: i64) -> Job {
+        Job::new(id, r, d, 1)
+    }
+
+    #[test]
+    fn rejects_non_unit() {
+        let jobs = vec![Job::new(0, 0, 10, 2)];
+        assert!(matches!(
+            UnitMm.minimize(&jobs),
+            Err(MmError::UnsupportedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_burst_requires_parallelism() {
+        // 4 unit jobs all in [0, 2): need 2 machines.
+        let jobs: Vec<Job> = (0..4).map(|i| unit(i, 0, 2)).collect();
+        let s = UnitMm.minimize(&jobs).unwrap();
+        assert_eq!(s.machines, 2);
+        validate_mm(&jobs, &s).unwrap();
+    }
+
+    #[test]
+    fn chainable_jobs_use_one_machine() {
+        let jobs: Vec<Job> = (0..5).map(|i| unit(i, 0, 10)).collect();
+        let s = UnitMm.minimize(&jobs).unwrap();
+        assert_eq!(s.machines, 1);
+        validate_mm(&jobs, &s).unwrap();
+    }
+
+    #[test]
+    fn edf_handles_staggered_releases() {
+        // Jobs chain perfectly: [0,1), [1,2), [2,3) on one machine.
+        let jobs = vec![unit(0, 0, 2), unit(1, 1, 2), unit(2, 1, 3)];
+        let s = UnitMm.minimize(&jobs).unwrap();
+        validate_mm(&jobs, &s).unwrap();
+        assert_eq!(s.machines, 1);
+    }
+
+    #[test]
+    fn conflicting_unit_deadlines_force_two_machines() {
+        // Both jobs 1 and 2 must occupy [1, 2).
+        let jobs = vec![unit(0, 0, 1), unit(1, 0, 2), unit(2, 1, 2)];
+        let s = UnitMm.minimize(&jobs).unwrap();
+        validate_mm(&jobs, &s).unwrap();
+        assert_eq!(s.machines, 2);
+    }
+
+    #[test]
+    fn matches_exact_solver_on_small_instances() {
+        // Deterministic pseudo-random small instances.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rand = move |m: i64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i64).rem_euclid(m)
+        };
+        for _ in 0..30 {
+            let n = 3 + rand(6) as usize;
+            let jobs: Vec<Job> = (0..n)
+                .map(|i| {
+                    let r = rand(8);
+                    let d = r + 1 + rand(5);
+                    unit(i as u32, r, d)
+                })
+                .collect();
+            let unit_sol = UnitMm.minimize(&jobs).unwrap();
+            let exact_sol = ExactMm::default().minimize(&jobs).unwrap();
+            validate_mm(&jobs, &unit_sol).unwrap();
+            assert_eq!(
+                unit_sol.machines, exact_sol.machines,
+                "EDF unit solution must be exactly optimal: {jobs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(UnitMm.minimize(&[]).unwrap().machines, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by model construction.
+
+use std::fmt;
+
+/// Errors raised when constructing an [`crate::Instance`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// The calibration length `T` must be positive.
+    NonPositiveCalibrationLength {
+        /// The offending value.
+        calib_len: i64,
+    },
+    /// The machine count `m` must be positive.
+    NoMachines,
+    /// A job's processing time must be positive.
+    NonPositiveProcessingTime {
+        /// Offending job index.
+        job: usize,
+    },
+    /// A job's processing time exceeds the calibration length `T`; such a job
+    /// can never run inside a single calibration.
+    ProcessingTimeExceedsCalibration {
+        /// Offending job index.
+        job: usize,
+        /// The job's processing time.
+        proc: i64,
+        /// The calibration length.
+        calib_len: i64,
+    },
+    /// A job's window `[r_j, d_j)` is too small for its processing time
+    /// (`d_j < r_j + p_j`).
+    WindowTooSmall {
+        /// Offending job index.
+        job: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositiveCalibrationLength { calib_len } => {
+                write!(f, "calibration length T must be positive, got {calib_len}")
+            }
+            ModelError::NoMachines => write!(f, "instance must have at least one machine"),
+            ModelError::NonPositiveProcessingTime { job } => {
+                write!(f, "job {job}: processing time must be positive")
+            }
+            ModelError::ProcessingTimeExceedsCalibration {
+                job,
+                proc,
+                calib_len,
+            } => write!(
+                f,
+                "job {job}: processing time {proc} exceeds calibration length {calib_len}"
+            ),
+            ModelError::WindowTooSmall { job } => {
+                write!(f, "job {job}: window cannot fit processing time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

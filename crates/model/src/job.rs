@@ -1,0 +1,187 @@
+//! Jobs: the unit of work in the ISE problem.
+
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a job, stable across all transformations. Job ids are
+/// indices into the owning [`crate::Instance`]'s job vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One job of the ISE problem: processing time `p`, release time `r`, and
+/// deadline `d`, with `r + p <= d` and (in a valid [`crate::Instance`])
+/// `p <= T`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable identifier (index in the instance).
+    pub id: JobId,
+    /// Release time `r_j`: the job may not start before this.
+    pub release: Time,
+    /// Deadline `d_j`: the job must complete by this time.
+    pub deadline: Time,
+    /// Processing time `p_j > 0`.
+    pub proc: Dur,
+}
+
+impl Job {
+    /// Construct a job; panics if the window cannot contain the processing
+    /// time. Use [`crate::InstanceBuilder`] for fallible construction.
+    pub fn new(
+        id: u32,
+        release: impl Into<i64>,
+        deadline: impl Into<i64>,
+        proc: impl Into<i64>,
+    ) -> Job {
+        let job = Job {
+            id: JobId(id),
+            release: Time(release.into()),
+            deadline: Time(deadline.into()),
+            proc: Dur(proc.into()),
+        };
+        assert!(
+            job.proc.is_positive(),
+            "job {id}: processing time must be positive"
+        );
+        assert!(
+            job.release + job.proc <= job.deadline,
+            "job {id}: window [{}, {}) cannot fit processing time {}",
+            job.release,
+            job.deadline,
+            job.proc
+        );
+        job
+    }
+
+    /// Window length `d_j - r_j`.
+    #[inline]
+    pub fn window(&self) -> Dur {
+        self.deadline - self.release
+    }
+
+    /// Latest feasible start time `d_j - p_j`.
+    #[inline]
+    pub fn latest_start(&self) -> Time {
+        self.deadline - self.proc
+    }
+
+    /// Slack `d_j - r_j - p_j`: how much the job can be shifted within its
+    /// window.
+    #[inline]
+    pub fn slack(&self) -> Dur {
+        self.window() - self.proc
+    }
+
+    /// Definition 1 of the paper: a job is *long* (long-window) iff
+    /// `d_j - r_j >= 2T`.
+    #[inline]
+    pub fn is_long(&self, calib_len: Dur) -> bool {
+        self.window() >= calib_len * 2
+    }
+
+    /// Definition 1 of the paper: a job is *short* (short-window) iff
+    /// `d_j - r_j < 2T`.
+    #[inline]
+    pub fn is_short(&self, calib_len: Dur) -> bool {
+        !self.is_long(calib_len)
+    }
+
+    /// True if the TISE restriction admits a calibration starting at `t` for
+    /// this job: the calibration `[t, t+T)` must fall completely inside the
+    /// job's window, i.e. `r_j <= t <= d_j - T`.
+    #[inline]
+    pub fn tise_admits(&self, t: Time, calib_len: Dur) -> bool {
+        self.release <= t && t + calib_len <= self.deadline
+    }
+
+    /// True if the (plain ISE) problem admits *some* execution of this job
+    /// inside a calibration starting at `t`: there must exist a start
+    /// `x >= max(r_j, t)` with `x + p_j <= min(d_j, t + T)`.
+    #[inline]
+    pub fn ise_admits(&self, t: Time, calib_len: Dur) -> bool {
+        self.release.max(t) + self.proc <= self.deadline.min(t + calib_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Dur {
+        Dur(10)
+    }
+
+    #[test]
+    fn window_and_slack() {
+        let j = Job::new(0, 5, 30, 7);
+        assert_eq!(j.window(), Dur(25));
+        assert_eq!(j.slack(), Dur(18));
+        assert_eq!(j.latest_start(), Time(23));
+    }
+
+    #[test]
+    fn long_short_threshold_is_2t() {
+        // Window exactly 2T is long; just below is short (Definition 1).
+        let long = Job::new(0, 0, 20, 5);
+        let short = Job::new(1, 0, 19, 5);
+        assert!(long.is_long(t()));
+        assert!(!long.is_short(t()));
+        assert!(short.is_short(t()));
+        assert!(!short.is_long(t()));
+    }
+
+    #[test]
+    fn tise_admissibility_is_window_containment() {
+        let j = Job::new(0, 5, 30, 3);
+        assert!(j.tise_admits(Time(5), t()));
+        assert!(j.tise_admits(Time(20), t()));
+        assert!(!j.tise_admits(Time(21), t())); // calibration would end at 31 > 30
+        assert!(!j.tise_admits(Time(4), t())); // starts before release
+    }
+
+    #[test]
+    fn ise_admissibility_allows_partial_overlap() {
+        let j = Job::new(0, 5, 30, 3);
+        // Calibration [0,10): job can run at [5,8) even though the
+        // calibration starts before the release.
+        assert!(j.ise_admits(Time(0), t()));
+        // Calibration [26,36): job can run at [26,29).
+        assert!(j.ise_admits(Time(26), t()));
+        // Calibration [28,38): only [28,30) of the window remains: too short.
+        assert!(!j.ise_admits(Time(28), t()));
+        // Calibration ending before the release plus proc is useless.
+        assert!(!j.ise_admits(Time(-3), t()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn rejects_window_smaller_than_proc() {
+        let _ = Job::new(0, 0, 4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_proc() {
+        let _ = Job::new(0, 0, 4, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! ASCII rendering of schedules — a Gantt-style timeline per machine.
+//!
+//! Intended for examples, debugging, and experiment reports. The renderer
+//! is exact about interval endpoints (each character cell covers a
+//! half-open tick range) and degrades gracefully for long horizons by
+//! scaling ticks per cell.
+//!
+//! ```text
+//! machine 0 |[====j0====j1--]    [==j3------]   |
+//! machine 1 |   [j2========]                    |
+//!            0        10        20        30
+//! ```
+//!
+//! `[` marks a calibration start, `=`/`-` alternate per job execution, and
+//! spaces are idle/uncalibrated time.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+#[cfg(test)]
+use crate::time::Time;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct RenderOptions {
+    /// Maximum number of character cells for the timeline body; longer
+    /// horizons are scaled down.
+    pub max_width: usize,
+    /// Label jobs inside their bars when space permits.
+    pub label_jobs: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> RenderOptions {
+        RenderOptions {
+            max_width: 96,
+            label_jobs: true,
+        }
+    }
+}
+
+/// Render `schedule` against `instance` as an ASCII Gantt chart, one row
+/// per machine, plus a tick ruler. Returns an empty string for schedules
+/// with no calibrations and no placements.
+pub fn render_gantt(instance: &Instance, schedule: &Schedule, opts: &RenderOptions) -> String {
+    let calib_len = schedule.calib_len_scaled(instance.calib_len());
+    // Collect the covered time range.
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for c in &schedule.calibrations {
+        lo = lo.min(c.start.ticks());
+        hi = hi.max((c.start + calib_len).ticks());
+    }
+    for p in &schedule.placements {
+        let Some(job) = instance.find_job(p.job) else {
+            continue;
+        };
+        let Some(exec) = schedule.exec_len(job.proc) else {
+            continue;
+        };
+        lo = lo.min(p.start.ticks());
+        hi = hi.max((p.start + exec).ticks());
+    }
+    if lo > hi {
+        return String::new();
+    }
+    let span = (hi - lo).max(1) as usize;
+    // Ticks per character cell (>= 1).
+    let scale = span.div_ceil(opts.max_width).max(1);
+    let width = span.div_ceil(scale);
+    let cell_of = |t: i64| (((t - lo).max(0) as usize) / scale).min(width.saturating_sub(1));
+
+    // Group by machine.
+    let mut machines: BTreeMap<usize, Vec<char>> = BTreeMap::new();
+    // Calibrated spans first (as '.'), then job bars on top.
+    for c in &schedule.calibrations {
+        let cells = machines
+            .entry(c.machine)
+            .or_insert_with(|| vec![' '; width]);
+        let a = cell_of(c.start.ticks());
+        let b = cell_of((c.start + calib_len).ticks() - 1);
+        for cell in cells.iter_mut().take(b + 1).skip(a) {
+            if *cell == ' ' {
+                *cell = '.';
+            }
+        }
+    }
+    let mut placements = schedule.placements.clone();
+    placements.sort_unstable_by_key(|p| (p.machine, p.start));
+    for (i, p) in placements.iter().enumerate() {
+        let Some(job) = instance.find_job(p.job) else {
+            continue;
+        };
+        let Some(exec) = schedule.exec_len(job.proc) else {
+            continue;
+        };
+        let a = cell_of(p.start.ticks());
+        let b = cell_of((p.start + exec).ticks() - 1);
+        let fill = if i % 2 == 0 { '=' } else { '-' };
+        let cells = machines
+            .entry(p.machine)
+            .or_insert_with(|| vec![' '; width]);
+        for cell in cells.iter_mut().take(b + 1).skip(a) {
+            *cell = fill;
+        }
+        if opts.label_jobs {
+            let label = format!("j{}", p.job);
+            if label.len() <= b + 1 - a {
+                for (k, ch) in label.chars().enumerate() {
+                    cells[a + k] = ch;
+                }
+            }
+        }
+    }
+
+    // Calibration-start markers win over job bars: the boundary is the
+    // piece of information a reader needs to check containment by eye.
+    for c in &schedule.calibrations {
+        if let Some(cells) = machines.get_mut(&c.machine) {
+            cells[cell_of(c.start.ticks())] = '[';
+        }
+    }
+
+    let mut out = String::new();
+    let id_width = machines
+        .keys()
+        .max()
+        .map(|m| m.to_string().len())
+        .unwrap_or(1);
+    for (machine, cells) in &machines {
+        let body: String = cells.iter().collect();
+        writeln!(out, "machine {machine:>id_width$} |{body}|").expect("write to String");
+    }
+    // Ruler: origin, midpoint, end.
+    let prefix = " ".repeat("machine ".len() + id_width + 1);
+    let mid = lo + (span as i64) / 2;
+    let mut ruler = vec![' '; width + 2];
+    let place_label = |ruler: &mut Vec<char>, cell: usize, text: &str| {
+        for (k, ch) in text.chars().enumerate() {
+            if cell + k + 1 < ruler.len() {
+                ruler[cell + k + 1] = ch;
+            }
+        }
+    };
+    place_label(&mut ruler, 0, &lo.to_string());
+    place_label(&mut ruler, width / 2, &mid.to_string());
+    let hi_text = hi.to_string();
+    let hi_cell = width.saturating_sub(hi_text.len());
+    place_label(&mut ruler, hi_cell, &hi_text);
+    writeln!(out, "{prefix}{}", ruler.into_iter().collect::<String>()).expect("write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    fn setup() -> (Instance, Schedule) {
+        let inst = Instance::new([(0, 30, 4), (2, 25, 6)], 1, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(2));
+        s.place(JobId(0), 0, Time(2));
+        s.place(JobId(1), 0, Time(6));
+        (inst, s)
+    }
+
+    #[test]
+    fn renders_rows_and_ruler() {
+        let (inst, s) = setup();
+        let text = render_gantt(&inst, &s, &RenderOptions::default());
+        assert!(text.contains("machine 0 |"));
+        assert!(text.lines().count() == 2); // one machine + ruler
+        assert!(text.contains('['), "calibration start marker missing");
+        assert!(text.contains("j0") || text.contains('='), "job bar missing");
+    }
+
+    #[test]
+    fn empty_schedule_renders_empty() {
+        let inst = Instance::new([(0, 30, 4)], 1, 10).unwrap();
+        assert_eq!(
+            render_gantt(&inst, &Schedule::new(), &RenderOptions::default()),
+            ""
+        );
+    }
+
+    #[test]
+    fn long_horizons_scale_down() {
+        let inst = Instance::new([(0, 30, 4), (100_000, 100_030, 4)], 1, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        s.calibrate(0, Time(100_000));
+        s.place(JobId(1), 0, Time(100_000));
+        let opts = RenderOptions {
+            max_width: 50,
+            label_jobs: false,
+        };
+        let text = render_gantt(&inst, &s, &opts);
+        let body_len = text.lines().next().unwrap().len();
+        assert!(body_len <= "machine 0 |".len() + 50 + 1);
+    }
+
+    #[test]
+    fn multiple_machines_each_get_a_row() {
+        let inst = Instance::new([(0, 30, 4), (0, 30, 4)], 2, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.calibrate(1, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        s.place(JobId(1), 1, Time(0));
+        let text = render_gantt(&inst, &s, &RenderOptions::default());
+        assert!(text.contains("machine 0 |"));
+        assert!(text.contains("machine 1 |"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn uncovered_calibrated_time_shows_as_dots() {
+        let inst = Instance::new([(0, 30, 2)], 1, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        let text = render_gantt(
+            &inst,
+            &s,
+            &RenderOptions {
+                max_width: 20,
+                label_jobs: false,
+            },
+        );
+        assert!(
+            text.contains('.'),
+            "idle calibrated time should render as dots"
+        );
+    }
+}

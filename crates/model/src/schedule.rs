@@ -1,0 +1,285 @@
+//! Schedules: calibrations plus nonpreemptive job placements.
+//!
+//! A [`Schedule`] may be *time-refined* and *speed-augmented*:
+//!
+//! * `time_scale = k` means every [`Time`] stored in the schedule is measured
+//!   in units of `1/k` tick. Instance quantities are converted by
+//!   multiplying by `k`. The paper's Theorem 14 transformation places jobs at
+//!   offsets that are multiples of `T / (2c)`, which are representable
+//!   exactly after refining ticks by `2c`.
+//! * `speed = s` means every machine runs `s` times faster, so job `j`
+//!   occupies `p_j * time_scale / s` schedule units. The validator requires
+//!   this to divide exactly (the algorithms always choose
+//!   `time_scale = speed`).
+//!
+//! Ordinary (1-speed) schedules have `time_scale = speed = 1`.
+
+use crate::job::JobId;
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a machine within a schedule. Machines are identical, so the
+/// id is just an index used to check non-overlap constraints.
+pub type MachineId = usize;
+
+/// One calibration: machine `machine` becomes usable on
+/// `[start, start + T)` (in schedule time units).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Schedule time at which the calibration is performed.
+    pub start: Time,
+    /// Machine being calibrated.
+    pub machine: MachineId,
+}
+
+/// One nonpreemptive execution of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    /// The job being run.
+    pub job: JobId,
+    /// Machine on which it runs.
+    pub machine: MachineId,
+    /// Schedule time at which it starts.
+    pub start: Time,
+}
+
+/// A complete ISE schedule: a set of calibrations and a placement for every
+/// job. Construct with [`Schedule::new`] for plain schedules or
+/// [`Schedule::with_augmentation`] for refined/speed-augmented ones, then
+/// check with [`crate::validate()`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// All calibrations, in no particular order.
+    pub calibrations: Vec<Calibration>,
+    /// All job placements, in no particular order.
+    pub placements: Vec<Placement>,
+    /// Time refinement factor `k >= 1`: stored times are in units of
+    /// `1/k` tick.
+    pub time_scale: i64,
+    /// Machine speed `s >= 1`.
+    pub speed: i64,
+}
+
+impl Schedule {
+    /// An empty 1-speed, unrefined schedule.
+    pub fn new() -> Schedule {
+        Schedule::with_augmentation(1, 1)
+    }
+
+    /// An empty schedule with the given time refinement and speed.
+    pub fn with_augmentation(time_scale: i64, speed: i64) -> Schedule {
+        assert!(time_scale >= 1, "time_scale must be >= 1");
+        assert!(speed >= 1, "speed must be >= 1");
+        Schedule {
+            calibrations: Vec::new(),
+            placements: Vec::new(),
+            time_scale,
+            speed,
+        }
+    }
+
+    /// Add a calibration at `start` (schedule units) on `machine`.
+    pub fn calibrate(&mut self, machine: MachineId, start: Time) {
+        self.calibrations.push(Calibration { start, machine });
+    }
+
+    /// Add a placement of `job` at `start` (schedule units) on `machine`.
+    pub fn place(&mut self, job: JobId, machine: MachineId, start: Time) {
+        self.placements.push(Placement {
+            job,
+            machine,
+            start,
+        });
+    }
+
+    /// Number of calibrations — the objective value of the ISE problem.
+    #[inline]
+    pub fn num_calibrations(&self) -> usize {
+        self.calibrations.len()
+    }
+
+    /// Number of distinct machines that carry at least one calibration or
+    /// placement.
+    pub fn machines_used(&self) -> usize {
+        let mut ids: Vec<MachineId> = self
+            .calibrations
+            .iter()
+            .map(|c| c.machine)
+            .chain(self.placements.iter().map(|p| p.machine))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Convert an instance-level duration to schedule units.
+    #[inline]
+    pub fn scale_dur(&self, d: Dur) -> Dur {
+        d.scale(self.time_scale)
+    }
+
+    /// Convert an instance-level time to schedule units.
+    #[inline]
+    pub fn scale_time(&self, t: Time) -> Time {
+        t.scale(self.time_scale)
+    }
+
+    /// The execution length of a job with processing time `p` in schedule
+    /// units: `p * time_scale / speed`. Returns `None` if the speed does not
+    /// divide evenly (the validator treats that as an error).
+    pub fn exec_len(&self, p: Dur) -> Option<Dur> {
+        let scaled = p.ticks().checked_mul(self.time_scale)?;
+        if scaled % self.speed != 0 {
+            return None;
+        }
+        Some(Dur(scaled / self.speed))
+    }
+
+    /// Calibration length in schedule units.
+    #[inline]
+    pub fn calib_len_scaled(&self, calib_len: Dur) -> Dur {
+        self.scale_dur(calib_len)
+    }
+
+    /// Remove calibrations that contain no placement. Never affects
+    /// validity; used by the practical front end (the paper's Algorithm 5
+    /// calibrates unconditionally and its bound counts those calibrations).
+    pub fn trim_empty_calibrations(&mut self, calib_len: Dur) {
+        let len = self.calib_len_scaled(calib_len);
+        let placements = std::mem::take(&mut self.placements);
+        self.calibrations.retain(|c| {
+            placements
+                .iter()
+                .any(|p| p.machine == c.machine && c.start <= p.start && p.start < c.start + len)
+        });
+        self.placements = placements;
+    }
+
+    /// Renumber machines densely (0..machines_used) preserving relative
+    /// order. Useful after taking unions of sub-schedules with sparse ids.
+    pub fn compact_machines(&mut self) {
+        let mut ids: Vec<MachineId> = self
+            .calibrations
+            .iter()
+            .map(|c| c.machine)
+            .chain(self.placements.iter().map(|p| p.machine))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let remap = |m: MachineId| ids.binary_search(&m).expect("machine id present");
+        for c in &mut self.calibrations {
+            c.machine = remap(c.machine);
+        }
+        for p in &mut self.placements {
+            p.machine = remap(p.machine);
+        }
+    }
+
+    /// Merge another schedule into this one, offsetting the other's machine
+    /// ids by `machine_offset`. Both must have the same augmentation.
+    pub fn absorb(&mut self, other: Schedule, machine_offset: usize) {
+        assert_eq!(
+            self.time_scale, other.time_scale,
+            "mismatched time_scale in absorb"
+        );
+        assert_eq!(self.speed, other.speed, "mismatched speed in absorb");
+        self.calibrations
+            .extend(other.calibrations.into_iter().map(|c| Calibration {
+                machine: c.machine + machine_offset,
+                ..c
+            }));
+        self.placements
+            .extend(other.placements.into_iter().map(|p| Placement {
+                machine: p.machine + machine_offset,
+                ..p
+            }));
+    }
+
+    /// The placement of a given job, if any.
+    pub fn placement_of(&self, job: JobId) -> Option<&Placement> {
+        self.placements.iter().find(|p| p.job == job)
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Schedule {
+        Schedule::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_used_counts_distinct() {
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.calibrate(2, Time(0));
+        s.place(JobId(0), 2, Time(1));
+        s.place(JobId(1), 5, Time(1));
+        assert_eq!(s.machines_used(), 3);
+        assert_eq!(s.num_calibrations(), 2);
+    }
+
+    #[test]
+    fn exec_len_requires_exact_division() {
+        let s = Schedule::with_augmentation(4, 4);
+        assert_eq!(s.exec_len(Dur(3)), Some(Dur(3)));
+        let odd = Schedule::with_augmentation(1, 2);
+        assert_eq!(odd.exec_len(Dur(3)), None);
+        assert_eq!(odd.exec_len(Dur(4)), Some(Dur(2)));
+    }
+
+    #[test]
+    fn trim_empty_calibrations_keeps_used_ones() {
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.calibrate(0, Time(10));
+        s.calibrate(1, Time(0));
+        s.place(JobId(0), 0, Time(12));
+        s.trim_empty_calibrations(Dur(10));
+        assert_eq!(
+            s.calibrations,
+            vec![Calibration {
+                start: Time(10),
+                machine: 0
+            }]
+        );
+        assert_eq!(s.placements.len(), 1);
+    }
+
+    #[test]
+    fn absorb_offsets_machines() {
+        let mut a = Schedule::new();
+        a.calibrate(0, Time(0));
+        let mut b = Schedule::new();
+        b.calibrate(1, Time(5));
+        b.place(JobId(0), 1, Time(6));
+        a.absorb(b, 10);
+        assert_eq!(a.calibrations[1].machine, 11);
+        assert_eq!(a.placements[0].machine, 11);
+    }
+
+    #[test]
+    fn compact_machines_renumbers_densely() {
+        let mut s = Schedule::new();
+        s.calibrate(7, Time(0));
+        s.calibrate(3, Time(0));
+        s.place(JobId(0), 7, Time(1));
+        s.compact_machines();
+        assert_eq!(s.machines_used(), 2);
+        let mut machines: Vec<_> = s.calibrations.iter().map(|c| c.machine).collect();
+        machines.sort_unstable();
+        assert_eq!(machines, vec![0, 1]);
+        assert_eq!(s.placements[0].machine, 1); // 7 was the larger id
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched time_scale")]
+    fn absorb_rejects_mismatched_scale() {
+        let mut a = Schedule::new();
+        let b = Schedule::with_augmentation(2, 2);
+        a.absorb(b, 0);
+    }
+}

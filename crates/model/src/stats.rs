@@ -1,0 +1,238 @@
+//! Summary statistics for schedules, used by the experiment harness.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-machine usage breakdown.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Machine id.
+    pub machine: usize,
+    /// Calibrations on this machine.
+    pub calibrations: usize,
+    /// Work executed on this machine, in ticks.
+    pub work: i64,
+    /// Fraction of this machine's calibrated time spent executing jobs.
+    pub utilization: f64,
+}
+
+/// Resource usage and utilization summary of a schedule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Number of calibrations (the ISE objective).
+    pub calibrations: usize,
+    /// Distinct machines used.
+    pub machines: usize,
+    /// Machine speed (resource augmentation).
+    pub speed: i64,
+    /// Total work placed, in ticks.
+    pub total_work: i64,
+    /// Total calibrated machine-time, in ticks (calibrations × `T`),
+    /// normalized back to instance ticks and accounting for speed: a
+    /// calibration at speed `s` supplies `s·T` ticks of work capacity.
+    pub calibrated_capacity: i64,
+    /// `total_work / calibrated_capacity` — fraction of paid-for calibrated
+    /// time actually used.
+    pub utilization: f64,
+    /// Maximum number of calibrations whose intervals overlap any single
+    /// point in time (a lower bound on machines needed for them).
+    pub peak_concurrent_calibrations: usize,
+    /// Number of calibrations containing no job.
+    pub empty_calibrations: usize,
+    /// Makespan: latest completion time (instance ticks, rounded up when
+    /// speed-scaled), or 0 for empty schedules.
+    pub makespan: i64,
+    /// Per-machine breakdown, sorted by machine id.
+    pub per_machine: Vec<MachineStats>,
+}
+
+impl ScheduleStats {
+    /// Compute statistics of `schedule` for `instance`.
+    pub fn compute(instance: &Instance, schedule: &Schedule) -> ScheduleStats {
+        let calib_len = schedule.calib_len_scaled(instance.calib_len());
+        let total_work: i64 = schedule
+            .placements
+            .iter()
+            .filter_map(|p| instance.find_job(p.job))
+            .map(|j| j.proc.ticks())
+            .sum();
+        let capacity =
+            schedule.num_calibrations() as i64 * instance.calib_len().ticks() * schedule.speed;
+        let utilization = if capacity > 0 {
+            total_work as f64 / capacity as f64
+        } else {
+            0.0
+        };
+
+        // Peak concurrency via an event sweep over calibration intervals.
+        let mut events: Vec<(Time, i32)> = Vec::with_capacity(schedule.calibrations.len() * 2);
+        for c in &schedule.calibrations {
+            events.push((c.start, 1));
+            events.push((c.start + calib_len, -1));
+        }
+        events.sort_unstable_by_key(|&(t, delta)| (t, delta)); // ends (-1) before starts at equal t
+        let mut depth = 0i32;
+        let mut peak = 0i32;
+        for (_, delta) in events {
+            depth += delta;
+            peak = peak.max(depth);
+        }
+
+        // Empty calibrations: those containing no placement.
+        let mut by_machine: HashMap<usize, Vec<Time>> = HashMap::new();
+        for p in &schedule.placements {
+            by_machine.entry(p.machine).or_default().push(p.start);
+        }
+        for starts in by_machine.values_mut() {
+            starts.sort_unstable();
+        }
+        let empty = schedule
+            .calibrations
+            .iter()
+            .filter(|c| {
+                by_machine
+                    .get(&c.machine)
+                    .map(|starts| {
+                        let lo = starts.partition_point(|&s| s < c.start);
+                        let hi = starts.partition_point(|&s| s < c.start + calib_len);
+                        lo == hi
+                    })
+                    .unwrap_or(true)
+            })
+            .count();
+
+        let makespan = schedule
+            .placements
+            .iter()
+            .filter_map(|p| {
+                let job = instance.find_job(p.job)?;
+                let exec = schedule.exec_len(job.proc)?;
+                Some((p.start + exec).ticks())
+            })
+            .max()
+            .map(|end_scaled| {
+                // Round up to instance ticks.
+                end_scaled.div_euclid(schedule.time_scale)
+                    + i64::from(end_scaled.rem_euclid(schedule.time_scale) != 0)
+            })
+            .unwrap_or(0);
+
+        // Per-machine breakdown.
+        let mut machines: std::collections::BTreeMap<usize, (usize, i64)> =
+            std::collections::BTreeMap::new();
+        for c in &schedule.calibrations {
+            machines.entry(c.machine).or_default().0 += 1;
+        }
+        for p in &schedule.placements {
+            if let Some(job) = instance.find_job(p.job) {
+                machines.entry(p.machine).or_default().1 += job.proc.ticks();
+            }
+        }
+        let per_machine = machines
+            .into_iter()
+            .map(|(machine, (cals, work))| {
+                let cap = cals as i64 * instance.calib_len().ticks() * schedule.speed;
+                MachineStats {
+                    machine,
+                    calibrations: cals,
+                    work,
+                    utilization: if cap > 0 {
+                        work as f64 / cap as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+
+        ScheduleStats {
+            calibrations: schedule.num_calibrations(),
+            machines: schedule.machines_used(),
+            speed: schedule.speed,
+            total_work,
+            calibrated_capacity: capacity,
+            utilization,
+            peak_concurrent_calibrations: peak as usize,
+            empty_calibrations: empty,
+            makespan,
+            per_machine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    #[test]
+    fn stats_of_simple_schedule() {
+        let inst = Instance::new([(0, 30, 4), (2, 25, 6)], 1, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(2));
+        s.calibrate(1, Time(5)); // empty, overlaps the first in time
+        s.place(JobId(0), 0, Time(2));
+        s.place(JobId(1), 0, Time(6));
+        let stats = ScheduleStats::compute(&inst, &s);
+        assert_eq!(stats.calibrations, 2);
+        assert_eq!(stats.machines, 2);
+        assert_eq!(stats.total_work, 10);
+        assert_eq!(stats.calibrated_capacity, 20);
+        assert!((stats.utilization - 0.5).abs() < 1e-12);
+        assert_eq!(stats.peak_concurrent_calibrations, 2);
+        assert_eq!(stats.empty_calibrations, 1);
+        assert_eq!(stats.makespan, 12);
+    }
+
+    #[test]
+    fn per_machine_breakdown() {
+        let inst = Instance::new([(0, 30, 4), (2, 25, 6)], 2, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        s.calibrate(1, Time(2));
+        s.place(JobId(1), 1, Time(2));
+        let stats = ScheduleStats::compute(&inst, &s);
+        assert_eq!(stats.per_machine.len(), 2);
+        assert_eq!(stats.per_machine[0].machine, 0);
+        assert_eq!(stats.per_machine[0].work, 4);
+        assert!((stats.per_machine[0].utilization - 0.4).abs() < 1e-12);
+        assert_eq!(stats.per_machine[1].work, 6);
+    }
+
+    #[test]
+    fn empty_schedule_stats() {
+        let inst = Instance::new([], 1, 10).unwrap();
+        let s = Schedule::new();
+        let stats = ScheduleStats::compute(&inst, &s);
+        assert_eq!(stats.calibrations, 0);
+        assert_eq!(stats.utilization, 0.0);
+        assert_eq!(stats.makespan, 0);
+    }
+
+    #[test]
+    fn speed_counts_toward_capacity() {
+        let inst = Instance::new([(0, 30, 4)], 1, 10).unwrap();
+        let mut s = Schedule::with_augmentation(2, 2);
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        let stats = ScheduleStats::compute(&inst, &s);
+        assert_eq!(stats.calibrated_capacity, 20); // T=10 at speed 2
+        assert_eq!(stats.makespan, 2); // 4 schedule units / scale 2
+    }
+
+    #[test]
+    fn back_to_back_calibrations_have_depth_one() {
+        let inst = Instance::new([(0, 40, 4)], 1, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.calibrate(0, Time(10));
+        s.place(JobId(0), 0, Time(0));
+        let stats = ScheduleStats::compute(&inst, &s);
+        assert_eq!(stats.peak_concurrent_calibrations, 1);
+        assert_eq!(stats.empty_calibrations, 1);
+    }
+}

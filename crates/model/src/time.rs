@@ -1,0 +1,288 @@
+//! Integer-tick time points and durations.
+//!
+//! The paper allows release times, deadlines, and processing times to be
+//! arbitrary (rational) numbers. We represent time as a signed 64-bit count
+//! of *ticks*; any rational input can be scaled to ticks up front. Using
+//! integers keeps every feasibility comparison in the validator exact.
+//!
+//! [`Time`] is a point on the timeline; [`Dur`] is a length of time. The two
+//! are distinct newtypes so that nonsensical arithmetic (adding two time
+//! points, for example) is rejected at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// A point in time, measured in integer ticks from an arbitrary origin.
+/// Negative times are legal (the paper's Lemma 2 construction shifts
+/// calibrations by `-T`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(pub i64);
+
+/// A duration, measured in integer ticks. Durations may be negative as an
+/// intermediate value (e.g. `a - b` of two times), but processing times and
+/// calibration lengths are always positive.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Dur(pub i64);
+
+impl Time {
+    /// The origin (tick 0).
+    pub const ZERO: Time = Time(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Multiply the tick count by an integer refinement factor. Used when
+    /// converting a schedule to a finer time scale (Theorem 14).
+    #[inline]
+    pub fn scale(self, factor: i64) -> Time {
+        Time(self.0.checked_mul(factor).expect("time scale overflow"))
+    }
+}
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// True if strictly positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// Multiply by an integer refinement factor (see [`Time::scale`]).
+    #[inline]
+    pub fn scale(self, factor: i64) -> Dur {
+        Dur(self.0.checked_mul(factor).expect("duration scale overflow"))
+    }
+
+    /// Ceiling division by another duration: the least `k` with
+    /// `k * other >= self`. Used by work-based lower bounds.
+    #[inline]
+    pub fn div_ceil(self, other: Dur) -> i64 {
+        assert!(other.0 > 0, "division by non-positive duration");
+        debug_assert!(self.0 >= 0, "div_ceil on negative duration");
+        (self.0 + other.0 - 1).div_euclid(other.0)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign<Dur> for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: i64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: i64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Rem<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn rem(self, rhs: Dur) -> Dur {
+        Dur(self.0.rem_euclid(rhs.0))
+    }
+}
+
+impl Neg for Dur {
+    type Output = Dur;
+    #[inline]
+    fn neg(self) -> Dur {
+        Dur(-self.0)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        Dur(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_dur_arithmetic() {
+        let t = Time(10);
+        let d = Dur(4);
+        assert_eq!(t + d, Time(14));
+        assert_eq!(t - d, Time(6));
+        assert_eq!(Time(14) - Time(10), Dur(4));
+        assert_eq!(d + Dur(1), Dur(5));
+        assert_eq!(d * 3, Dur(12));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(1) < Time(2));
+        assert!(Dur(3) > Dur(-1));
+        assert_eq!(Time(5).max(Time(3)), Time(5));
+        assert_eq!(Time(5).min(Time(3)), Time(3));
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(Dur(10).div_ceil(Dur(3)), 4);
+        assert_eq!(Dur(9).div_ceil(Dur(3)), 3);
+        assert_eq!(Dur(0).div_ceil(Dur(3)), 0);
+        assert_eq!(Dur(1).div_ceil(Dur(3)), 1);
+    }
+
+    #[test]
+    fn scaling_refines_ticks() {
+        assert_eq!(Time(7).scale(4), Time(28));
+        assert_eq!(Dur(-3).scale(2), Dur(-6));
+    }
+
+    #[test]
+    fn negative_times_are_legal() {
+        let t = Time(0) - Dur(5);
+        assert_eq!(t, Time(-5));
+        assert!(t < Time::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = [Dur(1), Dur(2), Dur(3)].into_iter().sum();
+        assert_eq!(total, Dur(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by non-positive duration")]
+    fn div_ceil_rejects_zero_divisor() {
+        let _ = Dur(1).div_ceil(Dur(0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Instance transformations: time shifting and tick rescaling.
+//!
+//! The algorithms in this workspace operate on integer ticks. Real inputs
+//! with rational times are handled by rescaling ticks up front
+//! ([`rescale_ticks`]); instances anchored far from the origin can be
+//! shifted ([`shift_time`]) to keep arithmetic comfortably inside `i64`.
+//! Both transformations are exact bijections on feasible schedules:
+//! shifting by `δ` maps a schedule with calibration/placement times `t` to
+//! one with times `t + δ`, and rescaling by `k` maps `t` to `k·t` (with
+//! `T' = k·T`), preserving the number of calibrations in both directions.
+
+use crate::instance::Instance;
+use crate::job::Job;
+use crate::schedule::Schedule;
+use crate::time::{Dur, Time};
+
+/// Shift every release and deadline by `delta` ticks. The calibration
+/// length and machine count are unchanged.
+pub fn shift_time(instance: &Instance, delta: Dur) -> Instance {
+    let jobs: Vec<Job> = instance
+        .jobs()
+        .iter()
+        .map(|j| Job {
+            release: j.release + delta,
+            deadline: j.deadline + delta,
+            ..*j
+        })
+        .collect();
+    rebuild(instance, jobs, instance.calib_len())
+}
+
+/// Multiply every time quantity (releases, deadlines, processing times,
+/// and `T`) by `factor >= 1`. Useful to express inputs with a coarser
+/// original unit (e.g. quarter-hours) in ticks.
+pub fn rescale_ticks(instance: &Instance, factor: i64) -> Instance {
+    assert!(factor >= 1, "rescale factor must be >= 1");
+    let jobs: Vec<Job> = instance
+        .jobs()
+        .iter()
+        .map(|j| Job {
+            release: j.release.scale(factor),
+            deadline: j.deadline.scale(factor),
+            proc: j.proc.scale(factor),
+            ..*j
+        })
+        .collect();
+    rebuild(instance, jobs, instance.calib_len().scale(factor))
+}
+
+/// Apply the same shift to a schedule so it matches a shifted instance.
+pub fn shift_schedule(schedule: &Schedule, delta: Dur) -> Schedule {
+    let mut out = schedule.clone();
+    let scaled = Dur(delta.ticks() * schedule.time_scale);
+    for c in &mut out.calibrations {
+        c.start += scaled;
+    }
+    for p in &mut out.placements {
+        p.start += scaled;
+    }
+    out
+}
+
+fn rebuild(original: &Instance, jobs: Vec<Job>, calib_len: Dur) -> Instance {
+    let mut b = crate::instance::InstanceBuilder::new(original.machines(), calib_len.ticks());
+    for j in &jobs {
+        b.push(j.release.ticks(), j.deadline.ticks(), j.proc.ticks());
+    }
+    b.build()
+        .expect("transformation preserves model invariants")
+}
+
+/// Normalize an instance so its earliest release is at time 0; returns the
+/// shifted instance and the shift that was applied (add it back to
+/// schedule times via [`shift_schedule`] with the negated value).
+pub fn normalize_origin(instance: &Instance) -> (Instance, Dur) {
+    let delta = Time::ZERO - instance.min_release();
+    (shift_time(instance, delta), delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::validate::validate;
+
+    fn inst() -> Instance {
+        Instance::new([(5, 35, 4), (7, 30, 6)], 1, 10).unwrap()
+    }
+
+    fn sched() -> Schedule {
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(7));
+        s.place(JobId(0), 0, Time(7));
+        s.place(JobId(1), 0, Time(11));
+        s
+    }
+
+    #[test]
+    fn shift_preserves_feasibility() {
+        let (i, s) = (inst(), sched());
+        validate(&i, &s).unwrap();
+        let i2 = shift_time(&i, Dur(100));
+        let s2 = shift_schedule(&s, Dur(100));
+        validate(&i2, &s2).unwrap();
+        assert_eq!(s2.num_calibrations(), s.num_calibrations());
+        let i3 = shift_time(&i, Dur(-50));
+        let s3 = shift_schedule(&s, Dur(-50));
+        validate(&i3, &s3).unwrap();
+    }
+
+    #[test]
+    fn rescale_preserves_feasibility_shape() {
+        let i = inst();
+        let i2 = rescale_ticks(&i, 4);
+        assert_eq!(i2.calib_len(), Dur(40));
+        assert_eq!(i2.job(JobId(0)).release, Time(20));
+        assert_eq!(i2.job(JobId(0)).proc, Dur(16));
+        // A rescaled schedule validates against the rescaled instance.
+        let mut s2 = Schedule::new();
+        s2.calibrate(0, Time(28));
+        s2.place(JobId(0), 0, Time(28));
+        s2.place(JobId(1), 0, Time(44));
+        validate(&i2, &s2).unwrap();
+    }
+
+    #[test]
+    fn normalize_origin_moves_min_release_to_zero() {
+        let (i2, delta) = normalize_origin(&inst());
+        assert_eq!(i2.min_release(), Time(0));
+        assert_eq!(delta, Dur(-5));
+        // Long/short classification is shift-invariant.
+        assert_eq!(
+            inst().partition_long_short().0.len(),
+            i2.partition_long_short().0.len()
+        );
+    }
+
+    #[test]
+    fn shift_schedule_respects_time_scale() {
+        let mut s = Schedule::with_augmentation(2, 2);
+        s.calibrate(0, Time(10));
+        let shifted = shift_schedule(&s, Dur(3));
+        // 3 instance ticks = 6 schedule units at scale 2.
+        assert_eq!(shifted.calibrations[0].start, Time(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn rescale_rejects_zero() {
+        rescale_ticks(&inst(), 0);
+    }
+}

@@ -1,0 +1,574 @@
+//! Exact feasibility validation of schedules.
+//!
+//! A feasible ISE schedule must satisfy (numbering follows the proof of
+//! Lemma 15 in the paper):
+//!
+//! 1. every job is scheduled nonpreemptively within its window;
+//! 2. jobs on the same machine do not overlap;
+//! 3. every job's execution is contained in a single calibration on its
+//!    machine;
+//! 4. calibrations on the same machine do not overlap.
+//!
+//! Additionally every job must be placed exactly once, and for
+//! speed-augmented schedules the scaled execution length must be integral.
+//!
+//! [`validate_tise`] additionally enforces the *TISE restriction*: the
+//! calibration containing a job must lie completely inside the job's window
+//! (`r_j <= t` and `t + T <= d_j`).
+//!
+//! All checks are integer comparisons — there is no floating point anywhere
+//! in the feasibility decision.
+
+use crate::instance::Instance;
+use crate::job::JobId;
+use crate::schedule::{MachineId, Schedule};
+use crate::time::Time;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reason a schedule is infeasible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A job has no placement.
+    Unplaced { job: JobId },
+    /// A job has more than one placement (the problem is nonpreemptive).
+    DuplicatePlacement { job: JobId },
+    /// A placement references a job id not in the instance.
+    UnknownJob { job: JobId },
+    /// `p_j * time_scale` is not divisible by `speed`, so the execution
+    /// length is not representable in schedule units.
+    InexactExecutionLength { job: JobId },
+    /// The job starts before its release time.
+    StartsBeforeRelease { job: JobId, start: Time },
+    /// The job completes after its deadline.
+    MissesDeadline { job: JobId, end: Time },
+    /// The job's execution is not contained in any calibration on its
+    /// machine (property 3).
+    OutsideCalibration {
+        job: JobId,
+        machine: MachineId,
+        start: Time,
+    },
+    /// Two jobs overlap on the same machine (property 2).
+    JobsOverlap {
+        first: JobId,
+        second: JobId,
+        machine: MachineId,
+    },
+    /// Two calibrations on the same machine overlap (property 4).
+    CalibrationsOverlap {
+        machine: MachineId,
+        first: Time,
+        second: Time,
+    },
+    /// TISE restriction violated: the containing calibration is not nested
+    /// in the job's window.
+    TiseViolation { job: JobId, calibration_start: Time },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Unplaced { job } => write!(f, "job {job} is not placed"),
+            ValidationError::DuplicatePlacement { job } => {
+                write!(f, "job {job} is placed more than once")
+            }
+            ValidationError::UnknownJob { job } => {
+                write!(f, "placement references unknown job {job}")
+            }
+            ValidationError::InexactExecutionLength { job } => {
+                write!(f, "job {job}: execution length is not integral at this speed/scale")
+            }
+            ValidationError::StartsBeforeRelease { job, start } => {
+                write!(f, "job {job} starts at {start} before its (scaled) release")
+            }
+            ValidationError::MissesDeadline { job, end } => {
+                write!(f, "job {job} completes at {end} after its (scaled) deadline")
+            }
+            ValidationError::OutsideCalibration { job, machine, start } => write!(
+                f,
+                "job {job} at time {start} on machine {machine} is not inside a calibration"
+            ),
+            ValidationError::JobsOverlap { first, second, machine } => {
+                write!(f, "jobs {first} and {second} overlap on machine {machine}")
+            }
+            ValidationError::CalibrationsOverlap { machine, first, second } => write!(
+                f,
+                "calibrations at {first} and {second} overlap on machine {machine}"
+            ),
+            ValidationError::TiseViolation { job, calibration_start } => write!(
+                f,
+                "TISE: calibration at {calibration_start} containing job {job} is not nested in its window"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Everything the validator found, plus summary facts that experiments use.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// All violations found (empty iff the schedule is feasible).
+    pub errors: Vec<ValidationError>,
+    /// Number of calibrations in the schedule.
+    pub calibrations: usize,
+    /// Number of distinct machines used.
+    pub machines: usize,
+}
+
+impl ValidationReport {
+    /// True if no violations were found.
+    pub fn is_feasible(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Validate `schedule` against `instance` as a plain ISE schedule. Returns
+/// `Ok(())` if feasible, otherwise the first violation found.
+///
+/// ```
+/// use ise_model::{validate, Instance, JobId, Schedule, Time};
+/// let inst = Instance::new([(0, 30, 4)], 1, 10).unwrap();
+/// let mut s = Schedule::new();
+/// s.calibrate(0, Time(0));
+/// s.place(JobId(0), 0, Time(2));
+/// assert!(validate(&inst, &s).is_ok());
+/// s.placements[0].start = Time(8); // runs [8, 12): leaves the calibration
+/// assert!(validate(&inst, &s).is_err());
+/// ```
+pub fn validate(instance: &Instance, schedule: &Schedule) -> Result<(), ValidationError> {
+    let report = report_with(
+        instance,
+        schedule,
+        Mode {
+            tise: false,
+            allow_overlap: false,
+        },
+    );
+    match report.errors.into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Validate `schedule` against `instance` with the additional TISE
+/// restriction (each containing calibration nested in its job's window).
+pub fn validate_tise(instance: &Instance, schedule: &Schedule) -> Result<(), ValidationError> {
+    let report = report_with(
+        instance,
+        schedule,
+        Mode {
+            tise: true,
+            allow_overlap: false,
+        },
+    );
+    match report.errors.into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Validate under the **relaxed** problem variant of the paper's footnote
+/// 3: a machine may be recalibrated before its previous calibration ends
+/// (property 4 is dropped; every job must still fit inside a *single*
+/// calibration).
+pub fn validate_relaxed(instance: &Instance, schedule: &Schedule) -> Result<(), ValidationError> {
+    let report = report_with(
+        instance,
+        schedule,
+        Mode {
+            tise: false,
+            allow_overlap: true,
+        },
+    );
+    match report.errors.into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Validation mode flags.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mode {
+    /// Additionally enforce the TISE restriction.
+    pub tise: bool,
+    /// Allow overlapping calibrations on a machine (footnote 3's relaxed
+    /// problem variant).
+    pub allow_overlap: bool,
+}
+
+/// Full validation, collecting every violation (strict variant).
+pub fn report(instance: &Instance, schedule: &Schedule, tise: bool) -> ValidationReport {
+    report_with(
+        instance,
+        schedule,
+        Mode {
+            tise,
+            allow_overlap: false,
+        },
+    )
+}
+
+/// Full validation, collecting every violation.
+pub fn report_with(instance: &Instance, schedule: &Schedule, mode: Mode) -> ValidationReport {
+    let tise = mode.tise;
+    let mut errors = Vec::new();
+    let calib_len = schedule.calib_len_scaled(instance.calib_len());
+
+    // --- Property 4: calibrations on a machine must not overlap (unless
+    // the relaxed footnote-3 variant is being checked). ---
+    let mut by_machine: HashMap<MachineId, Vec<Time>> = HashMap::new();
+    for c in &schedule.calibrations {
+        by_machine.entry(c.machine).or_default().push(c.start);
+    }
+    for (machine, starts) in by_machine.iter_mut() {
+        starts.sort_unstable();
+        if mode.allow_overlap {
+            continue;
+        }
+        for w in starts.windows(2) {
+            if w[1] - w[0] < calib_len {
+                errors.push(ValidationError::CalibrationsOverlap {
+                    machine: *machine,
+                    first: w[0],
+                    second: w[1],
+                });
+            }
+        }
+    }
+
+    // --- Placement bookkeeping: exactly one placement per job. Job ids
+    // need not be dense (restricted sub-instances keep their parent's
+    // ids), so count by id. ---
+    let by_id: HashMap<JobId, &crate::job::Job> =
+        instance.jobs().iter().map(|j| (j.id, j)).collect();
+    let mut seen: HashMap<JobId, usize> = HashMap::with_capacity(instance.len());
+    for p in &schedule.placements {
+        if by_id.contains_key(&p.job) {
+            *seen.entry(p.job).or_insert(0) += 1;
+        } else {
+            errors.push(ValidationError::UnknownJob { job: p.job });
+        }
+    }
+    for job in instance.jobs() {
+        match seen.get(&job.id).copied().unwrap_or(0) {
+            0 => errors.push(ValidationError::Unplaced { job: job.id }),
+            1 => {}
+            _ => errors.push(ValidationError::DuplicatePlacement { job: job.id }),
+        }
+    }
+
+    // --- Properties 1 and 3 per placement. ---
+    // Execution intervals per machine for the overlap check (property 2).
+    let mut runs: HashMap<MachineId, Vec<(Time, Time, JobId)>> = HashMap::new();
+    for p in &schedule.placements {
+        let Some(&job) = by_id.get(&p.job) else {
+            continue;
+        };
+        let Some(exec) = schedule.exec_len(job.proc) else {
+            errors.push(ValidationError::InexactExecutionLength { job: p.job });
+            continue;
+        };
+        let end = p.start + exec;
+        let release = schedule.scale_time(job.release);
+        let deadline = schedule.scale_time(job.deadline);
+        if p.start < release {
+            errors.push(ValidationError::StartsBeforeRelease {
+                job: p.job,
+                start: p.start,
+            });
+        }
+        if end > deadline {
+            errors.push(ValidationError::MissesDeadline { job: p.job, end });
+        }
+        // Property 3: containment in a *single* calibration on the same
+        // machine. Any calibration starting in (start - T, start] is a
+        // candidate; with overlapping calibrations allowed there may be
+        // several, and containment in any one suffices.
+        let containing = by_machine.get(&p.machine).and_then(|starts| {
+            let hi = starts.partition_point(|&s| s <= p.start);
+            let lo = starts.partition_point(|&s| s + calib_len <= p.start);
+            starts[lo..hi]
+                .iter()
+                .rev()
+                .copied()
+                .find(|&cs| end <= cs + calib_len)
+        });
+        match containing {
+            Some(cs) if end <= cs + calib_len => {
+                if tise {
+                    // TISE restriction: calibration nested in the window.
+                    if cs < release || cs + calib_len > deadline {
+                        errors.push(ValidationError::TiseViolation {
+                            job: p.job,
+                            calibration_start: cs,
+                        });
+                    }
+                }
+            }
+            _ => errors.push(ValidationError::OutsideCalibration {
+                job: p.job,
+                machine: p.machine,
+                start: p.start,
+            }),
+        }
+        runs.entry(p.machine)
+            .or_default()
+            .push((p.start, end, p.job));
+    }
+
+    // --- Property 2: executions on a machine must not overlap. ---
+    for (machine, intervals) in runs.iter_mut() {
+        intervals.sort_unstable_by_key(|&(s, e, j)| (s, e, j));
+        for w in intervals.windows(2) {
+            let (_, end0, id0) = w[0];
+            let (start1, _, id1) = w[1];
+            if start1 < end0 {
+                errors.push(ValidationError::JobsOverlap {
+                    first: id0,
+                    second: id1,
+                    machine: *machine,
+                });
+            }
+        }
+    }
+
+    ValidationReport {
+        errors,
+        calibrations: schedule.num_calibrations(),
+        machines: schedule.machines_used(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    fn inst() -> Instance {
+        // T = 10, one machine, two jobs.
+        Instance::new([(0, 30, 4), (2, 25, 6)], 1, 10).unwrap()
+    }
+
+    fn good_schedule() -> Schedule {
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(2));
+        s.place(JobId(0), 0, Time(2));
+        s.place(JobId(1), 0, Time(6));
+        s
+    }
+
+    #[test]
+    fn accepts_feasible_schedule() {
+        assert_eq!(validate(&inst(), &good_schedule()), Ok(()));
+        // Calibration [2,12) nested in both windows, so TISE holds too.
+        assert_eq!(validate_tise(&inst(), &good_schedule()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unplaced_job() {
+        let mut s = good_schedule();
+        s.placements.pop();
+        assert_eq!(
+            validate(&inst(), &s),
+            Err(ValidationError::Unplaced { job: JobId(1) })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_placement() {
+        let mut s = good_schedule();
+        s.place(JobId(0), 0, Time(20)); // second copy — also outside calibration
+        let rep = report(&inst(), &s, false);
+        assert!(rep
+            .errors
+            .contains(&ValidationError::DuplicatePlacement { job: JobId(0) }));
+    }
+
+    #[test]
+    fn rejects_start_before_release() {
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        s.place(JobId(1), 0, Time(1)); // release is 2
+        let rep = report(&inst(), &s, false);
+        assert!(rep.errors.contains(&ValidationError::StartsBeforeRelease {
+            job: JobId(1),
+            start: Time(1)
+        }));
+    }
+
+    #[test]
+    fn rejects_deadline_miss() {
+        // Job 1 has deadline 25.
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(2));
+        s.calibrate(0, Time(20));
+        s.place(JobId(0), 0, Time(2));
+        s.place(JobId(1), 0, Time(21)); // ends at 27 > 25
+        let rep = report(&inst(), &s, false);
+        assert!(rep.errors.contains(&ValidationError::MissesDeadline {
+            job: JobId(1),
+            end: Time(27)
+        }));
+    }
+
+    #[test]
+    fn rejects_job_outside_calibration() {
+        let mut s = good_schedule();
+        s.placements[1].start = Time(9); // runs [9,15) but calibration ends at 12
+        let rep = report(&inst(), &s, false);
+        assert!(rep.errors.contains(&ValidationError::OutsideCalibration {
+            job: JobId(1),
+            machine: 0,
+            start: Time(9),
+        }));
+    }
+
+    #[test]
+    fn rejects_job_with_no_calibration_at_all() {
+        let mut s = good_schedule();
+        s.calibrations.clear();
+        let rep = report(&inst(), &s, false);
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::OutsideCalibration { .. })));
+    }
+
+    #[test]
+    fn rejects_overlapping_jobs() {
+        let mut s = good_schedule();
+        s.placements[1].start = Time(4); // overlaps job 0's [2,6)
+        let rep = report(&inst(), &s, false);
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::JobsOverlap { .. })));
+    }
+
+    #[test]
+    fn rejects_overlapping_calibrations() {
+        let mut s = good_schedule();
+        s.calibrate(0, Time(5));
+        let rep = report(&inst(), &s, false);
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::CalibrationsOverlap { machine: 0, .. })));
+    }
+
+    #[test]
+    fn back_to_back_calibrations_are_fine() {
+        let mut s = good_schedule();
+        s.calibrate(0, Time(12)); // exactly T after the first
+        assert_eq!(validate(&inst(), &s), Ok(()));
+    }
+
+    #[test]
+    fn tise_rejects_partially_overlapping_calibration() {
+        // Calibration [0, 10); job 1's window starts at 2, so TISE fails for
+        // job 1 even though the plain ISE schedule is fine.
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        s.place(JobId(1), 0, Time(4));
+        assert_eq!(validate(&inst(), &s), Ok(()));
+        assert_eq!(
+            validate_tise(&inst(), &s),
+            Err(ValidationError::TiseViolation {
+                job: JobId(1),
+                calibration_start: Time(0)
+            })
+        );
+    }
+
+    #[test]
+    fn speed_augmented_schedule_validates_exactly() {
+        // T=10, speed 2, scale 2: calibration spans 20 schedule units; a
+        // 4-tick job occupies 4 units.
+        let inst = Instance::new([(0, 30, 4)], 1, 10).unwrap();
+        let mut s = Schedule::with_augmentation(2, 2);
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(16)); // ends at 20 == calibration end, deadline 60
+        assert_eq!(validate(&inst, &s), Ok(()));
+        s.placements[0].start = Time(17); // ends at 21 > calibration end
+        assert!(validate(&inst, &s).is_err());
+    }
+
+    #[test]
+    fn inexact_execution_length_is_an_error() {
+        let inst = Instance::new([(0, 30, 3)], 1, 10).unwrap();
+        let mut s = Schedule::with_augmentation(1, 2); // 3/2 units: inexact
+        s.calibrate(0, Time(0));
+        s.place(JobId(0), 0, Time(0));
+        assert_eq!(
+            validate(&inst, &s),
+            Err(ValidationError::InexactExecutionLength { job: JobId(0) })
+        );
+    }
+
+    #[test]
+    fn unknown_job_is_reported() {
+        let mut s = good_schedule();
+        s.place(JobId(9), 0, Time(2));
+        let rep = report(&inst(), &s, false);
+        assert!(rep
+            .errors
+            .contains(&ValidationError::UnknownJob { job: JobId(9) }));
+    }
+
+    #[test]
+    fn relaxed_mode_allows_overlapping_calibrations() {
+        // Two overlapping calibrations on one machine: the strict (paper
+        // main-text) variant rejects, the footnote-3 variant accepts, and
+        // each job must still sit inside one single calibration.
+        let inst = Instance::new([(0, 30, 4), (2, 28, 6)], 1, 10).unwrap();
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(0));
+        s.calibrate(0, Time(4)); // overlaps [0, 10)
+        s.place(JobId(0), 0, Time(0));
+        s.place(JobId(1), 0, Time(6)); // [6, 12) ⊆ [4, 14): needs the 2nd
+        assert!(matches!(
+            validate(&inst, &s),
+            Err(ValidationError::CalibrationsOverlap { .. })
+        ));
+        assert_eq!(crate::validate::validate_relaxed(&inst, &s), Ok(()));
+        // A job spanning both calibrations but inside neither is still
+        // rejected in relaxed mode.
+        let mut bad = s.clone();
+        bad.placements[1].start = Time(8); // [8, 14): ends past both? [4,14) covers! use 9
+        bad.placements[1].start = Time(9); // [9, 15): past 14
+        assert!(matches!(
+            crate::validate::validate_relaxed(&inst, &bad),
+            Err(ValidationError::OutsideCalibration { .. })
+        ));
+    }
+
+    #[test]
+    fn restricted_instances_with_sparse_ids_validate() {
+        // Sub-instances keep their parent's job ids; the validator must
+        // match placements by id, not by index.
+        let parent = Instance::new([(0, 30, 4), (2, 25, 6), (50, 80, 5)], 1, 10).unwrap();
+        let sub = parent.restrict(vec![*parent.job(JobId(2))], 1);
+        let mut s = Schedule::new();
+        s.calibrate(0, Time(50));
+        s.place(JobId(2), 0, Time(50));
+        assert_eq!(validate(&sub, &s), Ok(()));
+        // And an unplaced sparse id is still reported.
+        s.placements.clear();
+        assert_eq!(
+            validate(&sub, &s),
+            Err(ValidationError::Unplaced { job: JobId(2) })
+        );
+    }
+
+    #[test]
+    fn report_counts_resources() {
+        let rep = report(&inst(), &good_schedule(), false);
+        assert!(rep.is_feasible());
+        assert_eq!(rep.calibrations, 1);
+        assert_eq!(rep.machines, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the model crate: transformation round trips, serde
+//! stability, validator coherence across modes, and renderer robustness.
+
+use ise_model::{
+    normalize_origin, render_gantt, rescale_ticks, shift_schedule, shift_time, validate,
+    validate_relaxed, Dur, Instance, InstanceBuilder, JobId, RenderOptions, Schedule, Time,
+};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let job = (-20i64..60, 1i64..9, 0i64..25);
+    proptest::collection::vec(job, 1..10).prop_map(|raw| {
+        let mut b = InstanceBuilder::new(2, 10);
+        for (r, p, slack) in raw {
+            b.push(r, r + p + slack, p);
+        }
+        b.build().expect("well-formed")
+    })
+}
+
+/// A simple feasible schedule: every job alone on machine 0..n at release.
+fn trivial_schedule(inst: &Instance) -> Schedule {
+    let mut s = Schedule::new();
+    for (m, j) in inst.jobs().iter().enumerate() {
+        s.calibrate(m, j.release);
+        s.place(j.id, m, j.release);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// The one-job-per-machine schedule is always feasible (p <= T).
+    #[test]
+    fn trivial_schedule_validates(inst in arb_instance()) {
+        let s = trivial_schedule(&inst);
+        prop_assert!(validate(&inst, &s).is_ok());
+        // Strict feasibility implies relaxed feasibility.
+        prop_assert!(validate_relaxed(&inst, &s).is_ok());
+    }
+
+    /// Shifting instance and schedule in lockstep preserves feasibility
+    /// and all counts, in both directions.
+    #[test]
+    fn shift_round_trip(inst in arb_instance(), delta in -500i64..500) {
+        let s = trivial_schedule(&inst);
+        let inst2 = shift_time(&inst, Dur(delta));
+        let s2 = shift_schedule(&s, Dur(delta));
+        prop_assert!(validate(&inst2, &s2).is_ok());
+        prop_assert_eq!(s2.num_calibrations(), s.num_calibrations());
+        // Round trip back.
+        let inst3 = shift_time(&inst2, Dur(-delta));
+        prop_assert_eq!(&inst3, &inst);
+    }
+
+    /// Rescaling ticks preserves the long/short split and feasibility of a
+    /// correspondingly rescaled schedule.
+    #[test]
+    fn rescale_preserves_structure(inst in arb_instance(), k in 1i64..6) {
+        let inst2 = rescale_ticks(&inst, k);
+        prop_assert_eq!(
+            inst.partition_long_short().0.len(),
+            inst2.partition_long_short().0.len()
+        );
+        let mut s2 = Schedule::new();
+        for (m, j) in inst2.jobs().iter().enumerate() {
+            s2.calibrate(m, j.release);
+            s2.place(j.id, m, j.release);
+        }
+        prop_assert!(validate(&inst2, &s2).is_ok());
+    }
+
+    /// normalize_origin always lands min release at 0.
+    #[test]
+    fn normalization_anchors_origin(inst in arb_instance()) {
+        let (inst2, _) = normalize_origin(&inst);
+        prop_assert_eq!(inst2.min_release(), Time(0));
+    }
+
+    /// Serde round trip is the identity for instances and schedules.
+    #[test]
+    fn serde_round_trip(inst in arb_instance()) {
+        let json = serde_json::to_string(&inst).expect("serialize");
+        let back: Instance = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &inst);
+        let s = trivial_schedule(&inst);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: Schedule = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &s);
+    }
+
+    /// The renderer never panics and emits one row per used machine plus a
+    /// ruler, at any width.
+    #[test]
+    fn renderer_is_total(inst in arb_instance(), width in 10usize..200) {
+        let s = trivial_schedule(&inst);
+        let text = render_gantt(&inst, &s, &RenderOptions { max_width: width, label_jobs: true });
+        prop_assert_eq!(text.lines().count(), inst.len() + 1);
+        for line in text.lines().take(inst.len()) {
+            prop_assert!(line.starts_with("machine "));
+        }
+    }
+
+    /// Mutating any placement off its calibration start by more than the
+    /// calibration slack is caught by the validator.
+    #[test]
+    fn validator_catches_gross_mutations(inst in arb_instance(), jump in 1000i64..5000) {
+        let mut s = trivial_schedule(&inst);
+        s.placements[0].start += Dur(jump);
+        prop_assert!(validate(&inst, &s).is_err());
+        // Removing the placement is also caught.
+        let mut s2 = trivial_schedule(&inst);
+        s2.placements.remove(0);
+        let unplaced = matches!(
+            validate(&inst, &s2),
+            Err(ise_model::ValidationError::Unplaced { .. })
+        );
+        prop_assert!(unplaced);
+    }
+}
+
+#[test]
+fn schedule_helpers_compose() {
+    let inst = Instance::new([(0, 30, 4), (5, 40, 6)], 2, 10).unwrap();
+    let mut a = trivial_schedule(&inst);
+    a.compact_machines();
+    assert_eq!(a.machines_used(), 2);
+    assert!(a.placement_of(JobId(1)).is_some());
+    assert!(a.placement_of(JobId(9)).is_none());
+}

@@ -1,0 +1,33 @@
+//! # ise-simplex — a self-contained linear-programming solver
+//!
+//! The long-window algorithm of Fineman & Sheridan (SPAA 2015) solves an LP
+//! relaxation of the *trimmed ISE* problem and rounds it. No LP solver crate
+//! is available in this build environment, so this crate implements one from
+//! scratch: a **two-phase revised primal simplex** with
+//!
+//! * sparse column storage of the constraint matrix,
+//! * a dense, explicitly maintained basis inverse with periodic
+//!   refactorization (Gauss–Jordan with partial pivoting),
+//! * Dantzig pricing with an automatic switch to Bland's rule when the
+//!   iteration stalls on degenerate pivots (anti-cycling),
+//! * a zero-ratio leaving rule that immediately evicts artificial variables
+//!   that remain basic at level zero after phase 1.
+//!
+//! The solver is deterministic. Solutions carry the achieved objective and
+//! primal vector; [`verify::check_solution`] re-checks every constraint with
+//! explicit tolerances so downstream consumers never trust the solver
+//! blindly.
+//!
+//! This is a general-purpose small/medium LP solver: it is sized for the
+//! TISE relaxation (thousands of rows/columns), not for industrial LPs with
+//! millions of nonzeros.
+
+pub mod presolve;
+pub mod problem;
+pub mod solver;
+pub mod verify;
+
+pub use presolve::{presolve, solve_with_presolve, Presolved};
+pub use problem::{Cmp, LinearProgram, Row};
+pub use solver::{solve, Solution, SolveOptions, SolveStatus, SolverError};
+pub use verify::{check_dual, check_solution, Violation};

@@ -1,0 +1,192 @@
+//! LP problem representation.
+//!
+//! Problems are stated in the natural form
+//!
+//! ```text
+//! minimize    cᵀ x
+//! subject to  aᵢᵀ x  {<=, >=, =}  bᵢ      for each row i
+//!             x >= 0
+//! ```
+//!
+//! Rows are sparse. The solver converts to equality standard form
+//! internally.
+
+use std::fmt;
+
+/// Row comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `aᵀx <= b`
+    Le,
+    /// `aᵀx >= b`
+    Ge,
+    /// `aᵀx = b`
+    Eq,
+}
+
+/// One sparse constraint row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// `(variable index, coefficient)` pairs; indices must be unique and
+    /// within `num_vars`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over nonnegative variables.
+#[derive(Clone, Debug, Default)]
+pub struct LinearProgram {
+    num_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+impl LinearProgram {
+    /// An empty program with no variables.
+    pub fn new() -> LinearProgram {
+        LinearProgram::default()
+    }
+
+    /// Add a variable with the given objective coefficient (to *minimize*);
+    /// returns its index.
+    pub fn add_var(&mut self, cost: f64) -> usize {
+        assert!(cost.is_finite(), "objective coefficient must be finite");
+        self.objective.push(cost);
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Add `count` variables sharing an objective coefficient; returns the
+    /// index of the first.
+    pub fn add_vars(&mut self, count: usize, cost: f64) -> usize {
+        let first = self.num_vars;
+        for _ in 0..count {
+            self.add_var(cost);
+        }
+        first
+    }
+
+    /// Add a constraint row. Zero coefficients are dropped; duplicate
+    /// variable indices are combined.
+    pub fn add_row(&mut self, coeffs: impl IntoIterator<Item = (usize, f64)>, cmp: Cmp, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        let mut coeffs: Vec<(usize, f64)> = coeffs.into_iter().collect();
+        coeffs.sort_unstable_by_key(|&(v, _)| v);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        for (v, a) in coeffs {
+            assert!(v < self.num_vars, "row references unknown variable {v}");
+            assert!(a.is_finite(), "coefficient must be finite");
+            match merged.last_mut() {
+                Some((last_v, last_a)) if *last_v == v => *last_a += a,
+                _ => merged.push((v, a)),
+            }
+        }
+        merged.retain(|&(_, a)| a != 0.0);
+        self.rows.push(Row {
+            coeffs: merged,
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraint rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Total number of nonzero coefficients.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(|r| r.coeffs.len()).sum()
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Evaluate row `i`'s left-hand side at a point.
+    pub fn row_value(&self, i: usize, x: &[f64]) -> f64 {
+        self.rows[i].coeffs.iter().map(|&(v, a)| a * x[v]).sum()
+    }
+}
+
+impl fmt::Display for LinearProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "minimize over {} vars, {} rows, {} nnz",
+            self.num_vars,
+            self.rows.len(),
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_evaluates() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_rows(), 1);
+        assert_eq!(lp.objective_value(&[1.0, 2.0]), 5.0);
+        assert_eq!(lp.row_value(0, &[1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn merges_duplicate_coefficients() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0);
+        lp.add_row([(x, 1.0), (x, 2.0)], Cmp::Le, 5.0);
+        assert_eq!(lp.rows()[0].coeffs, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn drops_zero_coefficients() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0);
+        let y = lp.add_var(0.0);
+        lp.add_row([(x, 0.0), (y, 1.0)], Cmp::Eq, 1.0);
+        assert_eq!(lp.rows()[0].coeffs, vec![(y, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn rejects_unknown_variable() {
+        let mut lp = LinearProgram::new();
+        lp.add_row([(0, 1.0)], Cmp::Le, 1.0);
+    }
+
+    #[test]
+    fn add_vars_returns_first_index() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(0.0);
+        let first = lp.add_vars(3, 1.5);
+        assert_eq!(first, 1);
+        assert_eq!(lp.num_vars(), 4);
+        assert_eq!(lp.objective()[3], 1.5);
+    }
+}

@@ -1,0 +1,755 @@
+//! Two-phase revised primal simplex.
+//!
+//! The implementation keeps an explicit dense basis inverse `B⁻¹` (row
+//! major), updated by the standard product-form elimination after each pivot
+//! and rebuilt from scratch (Gauss–Jordan with partial pivoting) every
+//! [`SolveOptions::refactor_every`] iterations or when a pivot looks
+//! numerically unsafe. Pricing is Dantzig (most negative reduced cost) and
+//! switches to Bland's least-index rule while the iteration is stuck on
+//! degenerate pivots, which guarantees termination.
+//!
+//! Phase 1 minimizes the sum of artificial variables; artificial variables
+//! that remain basic at level zero afterwards are driven out by zero-ratio
+//! pivots, and rows where that is impossible are redundant and harmless
+//! (their artificial is barred from re-entering and evicted by the
+//! zero-ratio rule if it ever threatens to move).
+
+// The pivot kernels index several parallel arrays (`w`, `binv`, `xb`,
+// `basis`) by row; iterator rewrites obscure the numerics for no gain.
+#![allow(clippy::needless_range_loop)]
+
+use crate::problem::{Cmp, LinearProgram};
+
+/// Outcome classification of a solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// A solved LP.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Status of the solve. `x`/`objective` are meaningful only for
+    /// [`SolveStatus::Optimal`].
+    pub status: SolveStatus,
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal primal point (length = `lp.num_vars()`).
+    pub x: Vec<f64>,
+    /// Row duals (simplex multipliers) in the *original* row order and
+    /// orientation, one per constraint; empty unless the status is
+    /// [`SolveStatus::Optimal`]. A feasible dual vector certifies a lower
+    /// bound on the optimum by weak duality — see
+    /// [`crate::verify::check_dual`].
+    pub duals: Vec<f64>,
+    /// Total simplex iterations across both phases.
+    pub iterations: usize,
+}
+
+/// Hard solver failures (distinct from infeasible/unbounded outcomes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// The iteration limit was exceeded.
+    IterationLimit { limit: usize },
+    /// The basis matrix became numerically singular.
+    SingularBasis,
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit {limit} exceeded")
+            }
+            SolverError::SingularBasis => write!(f, "basis matrix is numerically singular"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Tunable solver parameters. The defaults suit the LPs in this workspace.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Minimum acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Iteration limit; `0` selects `200 * (rows + cols) + 20_000`.
+    pub max_iters: usize,
+    /// Rebuild the basis inverse after this many pivots.
+    pub refactor_every: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> SolveOptions {
+        SolveOptions {
+            feas_tol: 1e-7,
+            opt_tol: 1e-9,
+            pivot_tol: 1e-8,
+            max_iters: 0,
+            refactor_every: 512,
+        }
+    }
+}
+
+/// Solve `lp` to optimality (or detect infeasibility/unboundedness).
+///
+/// ```
+/// use ise_simplex::{solve, Cmp, LinearProgram, SolveOptions, SolveStatus};
+/// // min x + 2y  s.t.  x + y >= 3,  x <= 2.
+/// let mut lp = LinearProgram::new();
+/// let x = lp.add_var(1.0);
+/// let y = lp.add_var(2.0);
+/// lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+/// lp.add_row([(x, 1.0)], Cmp::Le, 2.0);
+/// let sol = solve(&lp, &SolveOptions::default()).unwrap();
+/// assert_eq!(sol.status, SolveStatus::Optimal);
+/// assert!((sol.objective - 4.0).abs() < 1e-6);
+/// ```
+pub fn solve(lp: &LinearProgram, opts: &SolveOptions) -> Result<Solution, SolverError> {
+    Tableau::build(lp, *opts).run()
+}
+
+/// Variable classes in the standard-form program.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VarKind {
+    Structural,
+    Slack,
+    Artificial,
+}
+
+struct Tableau {
+    opts: SolveOptions,
+    m: usize,
+    /// Sparse columns of the standard-form matrix (structural, then
+    /// slack/surplus, then artificial).
+    cols: Vec<Vec<(usize, f64)>>,
+    kind: Vec<VarKind>,
+    /// Phase-2 costs per standard-form variable.
+    cost2: Vec<f64>,
+    /// Normalized right-hand side (`>= 0`).
+    b: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Dense `B⁻¹`, row major, `m × m`.
+    binv: Vec<f64>,
+    /// Current basic solution values.
+    xb: Vec<f64>,
+    iterations: usize,
+    pivots_since_refactor: usize,
+    num_structural: usize,
+    has_artificials: bool,
+    /// +1 per row, or -1 where normalization multiplied the row by -1.
+    row_sign: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram, opts: SolveOptions) -> Tableau {
+        let m = lp.num_rows();
+        let n = lp.num_vars();
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut kind = vec![VarKind::Structural; n];
+        let mut cost2 = lp.objective().to_vec();
+        let mut b = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+
+        // Normalize rows to rhs >= 0 and scatter coefficients into columns.
+        let mut needs_artificial = Vec::with_capacity(m);
+        let mut row_sign = Vec::with_capacity(m);
+        for (i, row) in lp.rows().iter().enumerate() {
+            let flip = row.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            row_sign.push(sign);
+            b[i] = row.rhs * sign;
+            for &(v, a) in &row.coeffs {
+                cols[v].push((i, a * sign));
+            }
+            let cmp = match (row.cmp, flip) {
+                (Cmp::Eq, _) => Cmp::Eq,
+                (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+                (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            };
+            match cmp {
+                Cmp::Le => {
+                    // Slack enters the initial basis.
+                    let s = cols.len();
+                    cols.push(vec![(i, 1.0)]);
+                    kind.push(VarKind::Slack);
+                    cost2.push(0.0);
+                    basis[i] = s;
+                    needs_artificial.push(false);
+                }
+                Cmp::Ge => {
+                    // Surplus column; basis seat filled by an artificial.
+                    cols.push(vec![(i, -1.0)]);
+                    kind.push(VarKind::Slack);
+                    cost2.push(0.0);
+                    needs_artificial.push(true);
+                }
+                Cmp::Eq => needs_artificial.push(true),
+            }
+        }
+        let mut has_artificials = false;
+        for (i, &needed) in needs_artificial.iter().enumerate() {
+            if needed {
+                let a = cols.len();
+                cols.push(vec![(i, 1.0)]);
+                kind.push(VarKind::Artificial);
+                cost2.push(0.0);
+                basis[i] = a;
+                has_artificials = true;
+            }
+        }
+
+        let total = cols.len();
+        let mut in_basis = vec![false; total];
+        for &v in &basis {
+            in_basis[v] = true;
+        }
+        // Initial basis is the identity (slacks + artificials), so B⁻¹ = I
+        // and xb = b.
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        Tableau {
+            opts,
+            m,
+            cols,
+            kind,
+            cost2,
+            b: b.clone(),
+            basis,
+            in_basis,
+            binv,
+            xb: b,
+            iterations: 0,
+            pivots_since_refactor: 0,
+            num_structural: n,
+            has_artificials,
+            row_sign,
+        }
+    }
+
+    fn iter_limit(&self) -> usize {
+        if self.opts.max_iters > 0 {
+            self.opts.max_iters
+        } else {
+            200 * (self.m + self.cols.len()) + 20_000
+        }
+    }
+
+    fn run(mut self) -> Result<Solution, SolverError> {
+        if self.m > 0 && self.has_artificials {
+            let phase1_cost: Vec<f64> = self
+                .kind
+                .iter()
+                .map(|k| if *k == VarKind::Artificial { 1.0 } else { 0.0 })
+                .collect();
+            let status = self.optimize(&phase1_cost, /*phase1=*/ true)?;
+            debug_assert_eq!(status, SolveStatus::Optimal, "phase 1 is always bounded");
+            let infeas: f64 = self
+                .basis
+                .iter()
+                .zip(&self.xb)
+                .filter(|&(&v, _)| self.kind[v] == VarKind::Artificial)
+                .map(|(_, &x)| x)
+                .sum();
+            let scale = 1.0 + self.b.iter().map(|v| v.abs()).sum::<f64>();
+            if infeas > self.opts.feas_tol * scale {
+                return Ok(Solution {
+                    status: SolveStatus::Infeasible,
+                    objective: f64::NAN,
+                    x: vec![0.0; self.num_structural],
+                    duals: Vec::new(),
+                    iterations: self.iterations,
+                });
+            }
+            self.drive_out_artificials()?;
+        }
+
+        let cost2 = self.cost2.clone();
+        let status = self.optimize(&cost2, /*phase1=*/ false)?;
+        let x = self.extract();
+        let objective = cost2[..]
+            .iter()
+            .zip(&x_full(&self, &x))
+            .map(|(c, v)| c * v)
+            .sum();
+        let duals = if status == SolveStatus::Optimal {
+            self.duals(&cost2)
+        } else {
+            Vec::new()
+        };
+        Ok(Solution {
+            status,
+            objective,
+            x,
+            duals,
+            iterations: self.iterations,
+        })
+    }
+
+    /// Simplex multipliers `y = c_B B⁻¹`, mapped back to the original row
+    /// orientation (rows normalized by `-1` get their dual negated).
+    fn duals(&self, cost: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (k, &bv) in self.basis.iter().enumerate() {
+            let cb = cost[bv];
+            if cb != 0.0 {
+                let row = &self.binv[k * m..(k + 1) * m];
+                for (yi, &v) in y.iter_mut().zip(row) {
+                    *yi += cb * v;
+                }
+            }
+        }
+        for (yi, &sign) in y.iter_mut().zip(&self.row_sign) {
+            *yi *= sign;
+        }
+        y
+    }
+
+    /// The main simplex loop for a given cost vector. Returns `Optimal` or
+    /// `Unbounded`.
+    fn optimize(&mut self, cost: &[f64], phase1: bool) -> Result<SolveStatus, SolverError> {
+        let limit = self.iter_limit();
+        let mut degenerate_streak = 0usize;
+        let mut bland = false;
+        loop {
+            if self.iterations >= limit {
+                return Err(SolverError::IterationLimit { limit });
+            }
+            self.iterations += 1;
+            if self.pivots_since_refactor >= self.opts.refactor_every {
+                self.refactorize()?;
+            }
+
+            // Simplex multipliers y = c_Bᵀ B⁻¹.
+            let mut y = vec![0.0; self.m];
+            for (i, &bv) in self.basis.iter().enumerate() {
+                let cb = cost[bv];
+                if cb != 0.0 {
+                    let row = &self.binv[i * self.m..(i + 1) * self.m];
+                    for (yk, &v) in y.iter_mut().zip(row) {
+                        *yk += cb * v;
+                    }
+                }
+            }
+
+            // Pricing.
+            let mut entering = usize::MAX;
+            let mut best = -self.opts.opt_tol;
+            for j in 0..self.cols.len() {
+                if self.in_basis[j] {
+                    continue;
+                }
+                // Artificials may never (re-)enter.
+                if self.kind[j] == VarKind::Artificial && (!phase1 || cost[j] == 0.0) {
+                    continue;
+                }
+                let mut d = cost[j];
+                for &(r, a) in &self.cols[j] {
+                    d -= y[r] * a;
+                }
+                if bland {
+                    if d < -self.opts.opt_tol {
+                        entering = j;
+                        break;
+                    }
+                } else if d < best {
+                    best = d;
+                    entering = j;
+                }
+            }
+            if entering == usize::MAX {
+                return Ok(SolveStatus::Optimal);
+            }
+
+            // Direction w = B⁻¹ A_j.
+            let mut w = vec![0.0; self.m];
+            for &(r, a) in &self.cols[entering] {
+                for i in 0..self.m {
+                    w[i] += a * self.binv[i * self.m + r];
+                }
+            }
+
+            // Ratio test. Artificial basics at level ~0 leave at ratio 0 on
+            // any significant movement (either direction) so they can never
+            // become positive.
+            let mut leaving = usize::MAX;
+            let mut theta = f64::INFINITY;
+            let mut best_piv = 0.0f64;
+            for i in 0..self.m {
+                let wi = w[i];
+                let basic_is_artificial = self.kind[self.basis[i]] == VarKind::Artificial;
+                let artificial_at_zero = basic_is_artificial && self.xb[i] <= self.opts.feas_tol;
+                let candidate = if artificial_at_zero && wi.abs() > self.opts.pivot_tol {
+                    Some(0.0)
+                } else if wi > self.opts.pivot_tol {
+                    Some((self.xb[i].max(0.0)) / wi)
+                } else {
+                    None
+                };
+                let Some(ratio) = candidate else { continue };
+                let better = if bland {
+                    ratio < theta - 1e-12
+                        || (ratio < theta + 1e-12
+                            && (leaving == usize::MAX || self.basis[i] < self.basis[leaving]))
+                } else {
+                    ratio < theta - 1e-12 || (ratio < theta + 1e-12 && wi.abs() > best_piv)
+                };
+                if better {
+                    theta = ratio;
+                    leaving = i;
+                    best_piv = wi.abs();
+                }
+            }
+            if leaving == usize::MAX {
+                if phase1 {
+                    // Phase 1 is bounded below by 0; an unbounded ray means
+                    // numerical trouble. Refactorize and retry once per
+                    // refactor window.
+                    self.refactorize()?;
+                    continue;
+                }
+                return Ok(SolveStatus::Unbounded);
+            }
+
+            // Anti-cycling: long runs of zero-step pivots switch to Bland.
+            if theta <= 1e-12 {
+                degenerate_streak += 1;
+                if degenerate_streak > 64 {
+                    bland = true;
+                }
+            } else {
+                degenerate_streak = 0;
+                bland = false;
+            }
+
+            self.pivot(entering, leaving, &w, theta)?;
+        }
+    }
+
+    fn pivot(
+        &mut self,
+        entering: usize,
+        leaving_row: usize,
+        w: &[f64],
+        theta: f64,
+    ) -> Result<(), SolverError> {
+        let piv = w[leaving_row];
+        if piv.abs() < self.opts.pivot_tol {
+            // Extremely small pivot: rebuild and hope pricing picks a better
+            // column next round.
+            return self.refactorize();
+        }
+        // Update basic values.
+        for i in 0..self.m {
+            if i != leaving_row {
+                self.xb[i] = (self.xb[i] - theta * w[i]).max(-self.opts.feas_tol);
+            }
+        }
+        self.xb[leaving_row] = theta;
+
+        // Update B⁻¹: eliminate column `entering` from all rows but the
+        // pivot row.
+        let m = self.m;
+        let inv_piv = 1.0 / piv;
+        {
+            let (before, rest) = self.binv.split_at_mut(leaving_row * m);
+            let (prow, after) = rest.split_at_mut(m);
+            for v in prow.iter_mut() {
+                *v *= inv_piv;
+            }
+            for (i, chunk) in before.chunks_exact_mut(m).enumerate() {
+                let f = w[i];
+                if f != 0.0 {
+                    for (c, p) in chunk.iter_mut().zip(prow.iter()) {
+                        *c -= f * p;
+                    }
+                }
+            }
+            for (k, chunk) in after.chunks_exact_mut(m).enumerate() {
+                let f = w[leaving_row + 1 + k];
+                if f != 0.0 {
+                    for (c, p) in chunk.iter_mut().zip(prow.iter()) {
+                        *c -= f * p;
+                    }
+                }
+            }
+        }
+
+        let old = self.basis[leaving_row];
+        self.in_basis[old] = false;
+        self.in_basis[entering] = true;
+        self.basis[leaving_row] = entering;
+        self.pivots_since_refactor += 1;
+        Ok(())
+    }
+
+    /// Rebuild `B⁻¹` by Gauss–Jordan elimination with partial pivoting and
+    /// recompute the basic values from it.
+    fn refactorize(&mut self) -> Result<(), SolverError> {
+        let m = self.m;
+        // Dense basis matrix.
+        let mut a = vec![0.0; m * m];
+        for (col, &bv) in self.basis.iter().enumerate() {
+            for &(r, v) in &self.cols[bv] {
+                a[r * m + col] = v;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut best = col;
+            let mut best_val = a[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = a[r * m + col].abs();
+                if v > best_val {
+                    best_val = v;
+                    best = r;
+                }
+            }
+            if best_val < 1e-12 {
+                return Err(SolverError::SingularBasis);
+            }
+            if best != col {
+                for k in 0..m {
+                    a.swap(col * m + k, best * m + k);
+                    inv.swap(col * m + k, best * m + k);
+                }
+            }
+            let piv = a[col * m + col];
+            let inv_piv = 1.0 / piv;
+            for k in 0..m {
+                a[col * m + k] *= inv_piv;
+                inv[col * m + k] *= inv_piv;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = a[r * m + col];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            a[r * m + k] -= f * a[col * m + k];
+                            inv[r * m + k] -= f * inv[col * m + k];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        // xb = B⁻¹ b.
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            self.xb[i] = row.iter().zip(&self.b).map(|(v, b)| v * b).sum();
+        }
+        self.pivots_since_refactor = 0;
+        Ok(())
+    }
+
+    /// After phase 1: pivot still-basic artificials out wherever a
+    /// non-artificial column has a usable pivot element in their row.
+    fn drive_out_artificials(&mut self) -> Result<(), SolverError> {
+        for row in 0..self.m {
+            if self.kind[self.basis[row]] != VarKind::Artificial {
+                continue;
+            }
+            let mut found = None;
+            'search: for j in 0..self.cols.len() {
+                if self.in_basis[j] || self.kind[j] == VarKind::Artificial {
+                    continue;
+                }
+                // w_row = (B⁻¹ A_j)[row]
+                let mut w_row = 0.0;
+                for &(r, a) in &self.cols[j] {
+                    w_row += a * self.binv[row * self.m + r];
+                }
+                if w_row.abs() > 1e-6 {
+                    found = Some(j);
+                    break 'search;
+                }
+            }
+            if let Some(j) = found {
+                let mut w = vec![0.0; self.m];
+                for &(r, a) in &self.cols[j] {
+                    for i in 0..self.m {
+                        w[i] += a * self.binv[i * self.m + r];
+                    }
+                }
+                self.pivot(j, row, &w, 0.0)?;
+            }
+            // If no pivot exists the row is linearly dependent; the
+            // artificial stays basic at zero and is evicted by the
+            // zero-ratio rule if anything tries to move it.
+        }
+        Ok(())
+    }
+
+    /// Read the structural part of the current basic solution.
+    fn extract(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.num_structural];
+        for (i, &bv) in self.basis.iter().enumerate() {
+            if bv < self.num_structural {
+                x[bv] = self.xb[i].max(0.0);
+            }
+        }
+        x
+    }
+}
+
+/// Expand a structural solution to the standard-form length for objective
+/// evaluation (slacks contribute zero cost, so their values are irrelevant).
+fn x_full(t: &Tableau, x: &[f64]) -> Vec<f64> {
+    let mut full = vec![0.0; t.cols.len()];
+    full[..x.len()].copy_from_slice(x);
+    full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, LinearProgram};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn simple_2d_minimization() {
+        // min x + 2y  s.t.  x + y >= 3, x <= 2  => x=2, y=1, obj=4.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+        lp.add_row([(x, 1.0)], Cmp::Le, 2.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.objective, 4.0, 1e-6);
+        assert_close(sol.x[x], 2.0, 1e-6);
+        assert_close(sol.x[y], 1.0, 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 3x + y  s.t.  x + y = 4, x - y = 2  => x=3, y=1, obj=10.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0);
+        let y = lp.add_var(1.0);
+        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
+        lp.add_row([(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.objective, 10.0, 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 2 cannot both hold.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_row([(x, 1.0)], Cmp::Le, 1.0);
+        lp.add_row([(x, 1.0)], Cmp::Ge, 2.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x  s.t.  x >= 1: x can grow forever.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0);
+        lp.add_row([(x, 1.0)], Cmp::Ge, 1.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // min x  s.t.  -x <= -5  (i.e. x >= 5).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_row([(x, -1.0)], Cmp::Le, -5.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.x[x], 5.0, 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: many redundant constraints through the origin.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-0.75);
+        let y = lp.add_var(150.0);
+        let z = lp.add_var(-0.02);
+        let w = lp.add_var(6.0);
+        // Beale's cycling example (with Dantzig pricing it cycles without
+        // anti-cycling safeguards).
+        lp.add_row([(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Cmp::Le, 0.0);
+        lp.add_row([(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Cmp::Le, 0.0);
+        lp.add_row([(z, 1.0)], Cmp::Le, 1.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.objective, -0.05, 1e-6);
+    }
+
+    #[test]
+    fn empty_lp_is_trivially_optimal() {
+        let lp = LinearProgram::new();
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn no_rows_negative_cost_is_unbounded() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(-1.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // Duplicate equality rows leave an artificial basic at zero.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        lp.add_row([(x, 1.0)], Cmp::Le, 1.5);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.objective, 2.0, 1e-6);
+    }
+
+    #[test]
+    fn transportation_style_lp() {
+        // 2 suppliers (cap 10, 15) x 2 consumers (demand 8, 12), costs:
+        //   c11=1 c12=4 c21=2 c22=1. Optimal: x11=8, x22=12, cost 20.
+        let mut lp = LinearProgram::new();
+        let x11 = lp.add_var(1.0);
+        let x12 = lp.add_var(4.0);
+        let x21 = lp.add_var(2.0);
+        let x22 = lp.add_var(1.0);
+        lp.add_row([(x11, 1.0), (x12, 1.0)], Cmp::Le, 10.0);
+        lp.add_row([(x21, 1.0), (x22, 1.0)], Cmp::Le, 15.0);
+        lp.add_row([(x11, 1.0), (x21, 1.0)], Cmp::Ge, 8.0);
+        lp.add_row([(x12, 1.0), (x22, 1.0)], Cmp::Ge, 12.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.objective, 20.0, 1e-6);
+    }
+}

@@ -1,0 +1,235 @@
+//! A-posteriori verification of LP solutions.
+//!
+//! The rounding steps downstream of the LP rely on the solution actually
+//! satisfying the constraints, so callers re-check every row and the
+//! nonnegativity bounds with an explicit tolerance instead of trusting the
+//! solver's internal state.
+
+use crate::problem::{Cmp, LinearProgram};
+
+/// One violated requirement of a candidate solution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// `x[var] < -tol`.
+    NegativeVariable {
+        /// Variable index.
+        var: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// Row `row` is violated by `amount` (positive = infeasible slack).
+    Row {
+        /// Row index.
+        row: usize,
+        /// How far outside the constraint the point lies.
+        amount: f64,
+    },
+    /// The solution vector has the wrong length.
+    WrongLength {
+        /// Expected number of variables.
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NegativeVariable { var, value } => {
+                write!(f, "variable {var} is negative: {value}")
+            }
+            Violation::Row { row, amount } => {
+                write!(f, "row {row} violated by {amount}")
+            }
+            Violation::WrongLength { expected, actual } => {
+                write!(f, "solution has length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+/// Check `x` against every constraint of `lp`. Tolerances are scaled by the
+/// magnitude of each row (`tol * (1 + |rhs| + |lhs|)`), which keeps the check
+/// meaningful for rows of very different scales.
+pub fn check_solution(lp: &LinearProgram, x: &[f64], tol: f64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if x.len() != lp.num_vars() {
+        violations.push(Violation::WrongLength {
+            expected: lp.num_vars(),
+            actual: x.len(),
+        });
+        return violations;
+    }
+    for (var, &value) in x.iter().enumerate() {
+        if value < -tol {
+            violations.push(Violation::NegativeVariable { var, value });
+        }
+    }
+    for (i, row) in lp.rows().iter().enumerate() {
+        let lhs = lp.row_value(i, x);
+        let scale = 1.0 + row.rhs.abs() + lhs.abs();
+        let excess = match row.cmp {
+            Cmp::Le => lhs - row.rhs,
+            Cmp::Ge => row.rhs - lhs,
+            Cmp::Eq => (lhs - row.rhs).abs(),
+        };
+        if excess > tol * scale {
+            violations.push(Violation::Row {
+                row: i,
+                amount: excess,
+            });
+        }
+    }
+    violations
+}
+
+/// Check a dual vector `y` (one entry per row) for feasibility with respect
+/// to the dual of `min cᵀx, rows, x >= 0`:
+///
+/// * `y_i <= 0` for `Le` rows, `y_i >= 0` for `Ge` rows, free for `Eq`;
+/// * reduced costs `c_j - Σ_i y_i a_ij >= 0` for every variable.
+///
+/// On success returns the **dual objective** `Σ y_i b_i`, which by weak
+/// duality is a true lower bound on the LP optimum *regardless of how the
+/// primal solver behaved* — this is what makes LP-based lower bounds in the
+/// experiment harness certificates rather than trust.
+pub fn check_dual(lp: &LinearProgram, y: &[f64], tol: f64) -> Result<f64, Vec<Violation>> {
+    let mut violations = Vec::new();
+    if y.len() != lp.num_rows() {
+        violations.push(Violation::WrongLength {
+            expected: lp.num_rows(),
+            actual: y.len(),
+        });
+        return Err(violations);
+    }
+    for (i, row) in lp.rows().iter().enumerate() {
+        let bad = match row.cmp {
+            Cmp::Le => y[i] > tol,
+            Cmp::Ge => y[i] < -tol,
+            Cmp::Eq => false,
+        };
+        if bad {
+            violations.push(Violation::Row {
+                row: i,
+                amount: y[i].abs(),
+            });
+        }
+    }
+    // Reduced costs.
+    let mut reduced: Vec<f64> = lp.objective().to_vec();
+    for (i, row) in lp.rows().iter().enumerate() {
+        for &(v, a) in &row.coeffs {
+            reduced[v] -= y[i] * a;
+        }
+    }
+    for (var, &d) in reduced.iter().enumerate() {
+        let scale = 1.0 + lp.objective()[var].abs() + d.abs();
+        if d < -tol * scale {
+            violations.push(Violation::NegativeVariable { var, value: d });
+        }
+    }
+    if violations.is_empty() {
+        Ok(lp.rows().iter().zip(y).map(|(r, &yi)| r.rhs * yi).sum())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LinearProgram;
+    use crate::solver::{solve, SolveOptions, SolveStatus};
+
+    #[test]
+    fn accepts_feasible_point() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_row([(x, 1.0)], Cmp::Ge, 2.0);
+        assert!(check_solution(&lp, &[2.0], 1e-9).is_empty());
+        assert!(check_solution(&lp, &[3.0], 1e-9).is_empty());
+    }
+
+    #[test]
+    fn flags_violated_row_and_negative_var() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_row([(x, 1.0)], Cmp::Ge, 2.0);
+        let violations = check_solution(&lp, &[-1.0], 1e-9);
+        assert_eq!(violations.len(), 2);
+        assert!(matches!(
+            violations[0],
+            Violation::NegativeVariable { var: 0, .. }
+        ));
+        assert!(matches!(violations[1], Violation::Row { row: 0, .. }));
+    }
+
+    #[test]
+    fn flags_wrong_length() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(0.0);
+        let violations = check_solution(&lp, &[], 1e-9);
+        assert_eq!(
+            violations,
+            vec![Violation::WrongLength {
+                expected: 1,
+                actual: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn solver_duals_certify_the_optimum() {
+        // min x + 2y  s.t.  x + y >= 3, x <= 2  => optimum 4.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+        lp.add_row([(x, 1.0)], Cmp::Le, 2.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        let dual_obj = check_dual(&lp, &sol.duals, 1e-6).expect("dual feasible");
+        // Strong duality: the certified bound meets the primal value.
+        assert!(
+            (dual_obj - sol.objective).abs() < 1e-6,
+            "{dual_obj} vs {sol:?}"
+        );
+    }
+
+    #[test]
+    fn duals_survive_negative_rhs_normalization() {
+        // min x  s.t.  -x <= -5  (x >= 5): optimum 5; the original row is
+        // a Le with a *positive* optimal dual only if orientation flipped —
+        // the mapped dual must satisfy the Le sign condition (y <= 0).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_row([(x, -1.0)], Cmp::Le, -5.0);
+        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        let dual_obj = check_dual(&lp, &sol.duals, 1e-6).expect("dual feasible");
+        assert!((dual_obj - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_duals_are_rejected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_row([(x, 1.0)], Cmp::Ge, 3.0);
+        // y = 2 gives reduced cost 1 - 2 = -1 < 0: infeasible dual.
+        assert!(check_dual(&lp, &[2.0], 1e-9).is_err());
+        // y = 1 is feasible with dual objective 3 (the true optimum).
+        assert_eq!(check_dual(&lp, &[1.0], 1e-9).unwrap(), 3.0);
+        // y = 0.5 is feasible and certifies the weaker bound 1.5.
+        assert_eq!(check_dual(&lp, &[0.5], 1e-9).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn equality_both_directions() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0);
+        lp.add_row([(x, 1.0)], Cmp::Eq, 1.0);
+        assert!(check_solution(&lp, &[1.0], 1e-9).is_empty());
+        assert!(!check_solution(&lp, &[1.1], 1e-9).is_empty());
+        assert!(!check_solution(&lp, &[0.9], 1e-9).is_empty());
+    }
+}

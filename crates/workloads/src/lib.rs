@@ -1,0 +1,510 @@
+//! # ise-workloads — deterministic instance generators
+//!
+//! Workload families used by the test suite, the examples, and the
+//! experiment harness. Every generator takes an explicit seed and is fully
+//! deterministic, so experiment tables are reproducible run to run.
+//!
+//! Families:
+//!
+//! * [`uniform`] — windows and processing times drawn uniformly over a
+//!   horizon; the general-purpose workload.
+//! * [`long_only`] / [`short_only`] — restricted to one side of the
+//!   Definition 1 split, exercising each pipeline in isolation.
+//! * [`unit_jobs`] — the prior work's setting (`p_j = 1`), for baseline
+//!   comparisons.
+//! * [`stockpile`] — the motivating scenario: periodic evaluation campaigns
+//!   (bursts) of device tests with mixed urgencies, mimicking Sandia's
+//!   integrated stockpile evaluation workload shape.
+//! * [`boundary_adversarial`] — short jobs engineered to straddle the
+//!   Algorithm 4 interval boundaries so the second partitioning pass and
+//!   the crossing-job machinery are exercised.
+//! * [`partition_hard`] — tight two-machine instances in the style of the
+//!   paper's NP-hardness reduction from Partition (zero-slack windows,
+//!   `Σ p_j = 2T`).
+
+use ise_model::{Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters shared by the random generators.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadParams {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Machine count of the generated instance.
+    pub machines: usize,
+    /// Calibration length `T`.
+    pub calib_len: i64,
+    /// Release times are drawn from `[0, horizon)`.
+    pub horizon: i64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> WorkloadParams {
+        WorkloadParams {
+            jobs: 20,
+            machines: 2,
+            calib_len: 10,
+            horizon: 200,
+        }
+    }
+}
+
+/// Uniform mixed workload: `p_j ∈ [1, T]`, window slack uniform in
+/// `[0, 4T]`, so the long/short split lands near the middle.
+///
+/// ```
+/// use ise_workloads::{uniform, WorkloadParams};
+/// let params = WorkloadParams { jobs: 8, ..WorkloadParams::default() };
+/// let a = uniform(&params, 7);
+/// let b = uniform(&params, 7);
+/// assert_eq!(a, b); // deterministic per seed
+/// assert_eq!(a.len(), 8);
+/// ```
+pub fn uniform(params: &WorkloadParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    for _ in 0..params.jobs {
+        let p = rng.gen_range(1..=t);
+        let r = rng.gen_range(0..params.horizon.max(1));
+        let slack = rng.gen_range(0..=4 * t);
+        b.push(r, r + p + slack, p);
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// Long-window jobs only: window length in `[2T, 5T]`.
+pub fn long_only(params: &WorkloadParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    for _ in 0..params.jobs {
+        let p = rng.gen_range(1..=t);
+        let r = rng.gen_range(0..params.horizon.max(1));
+        let window = rng.gen_range(2 * t..=5 * t);
+        b.push(r, r + window.max(p), p);
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// Short-window jobs only: window length in `[p_j, 2T - 1]`.
+pub fn short_only(params: &WorkloadParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    for _ in 0..params.jobs {
+        let p = rng.gen_range(1..=t);
+        let r = rng.gen_range(0..params.horizon.max(1));
+        let window = rng.gen_range(p..=(2 * t - 1).max(p));
+        b.push(r, r + window, p);
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// Unit jobs with integer windows — the setting of Bender et al. 2013.
+pub fn unit_jobs(params: &WorkloadParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    for _ in 0..params.jobs {
+        let r = rng.gen_range(0..params.horizon.max(1));
+        let window = rng.gen_range(1..=3 * t);
+        b.push(r, r + window, 1);
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// The motivating scenario: evaluation campaigns arrive as bursts every
+/// `campaign_period` ticks; each burst holds `burst_size` device tests with
+/// processing times in `[T/4, T]` and a mix of urgent (short-window) and
+/// routine (long-window) deadlines.
+pub fn stockpile(
+    params: &WorkloadParams,
+    campaign_period: i64,
+    burst_size: usize,
+    seed: u64,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    let mut produced = 0usize;
+    let mut campaign_start = 0i64;
+    while produced < params.jobs {
+        for _ in 0..burst_size {
+            if produced >= params.jobs {
+                break;
+            }
+            let p = rng.gen_range((t / 4).max(1)..=t);
+            let r = campaign_start + rng.gen_range(0..t.max(1));
+            // 30% urgent (short window), 70% routine (long window).
+            let window = if rng.gen_bool(0.3) {
+                rng.gen_range(p..=(2 * t - 1).max(p))
+            } else {
+                rng.gen_range(2 * t..=6 * t).max(p)
+            };
+            b.push(r, r + window, p);
+            produced += 1;
+        }
+        campaign_start += campaign_period;
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// Short jobs placed to straddle the Algorithm 4 pass-1 boundaries at
+/// multiples of `4T`: each job's window crosses `k·4T`, forcing the second
+/// partitioning pass; processing times near `T` also force crossing jobs
+/// inside Algorithm 5.
+pub fn boundary_adversarial(params: &WorkloadParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let interval = 4 * t;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    for i in 0..params.jobs {
+        let boundary = ((i as i64 % 4) + 1) * interval;
+        let p = rng.gen_range((t / 2).max(1)..=t);
+        // Window of length < 2T straddling the boundary.
+        let before = rng.gen_range(1..2 * t - p.max(1)).min(2 * t - 1);
+        let r = boundary - before;
+        let window = rng.gen_range((p + before).max(before + 1)..=(2 * t - 1).max(p + before));
+        b.push(r, r + window.max(p), p);
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// Heavy-tailed processing times: most jobs are small (`p ∈ [1, T/4]`),
+/// a `heavy_fraction` are near-maximal (`p ∈ [3T/4, T]`). Stresses the
+/// EDF step of Algorithm 2 (large jobs that refuse to share calibrations)
+/// and the crossing-job machinery of Algorithm 5.
+pub fn heavy_tail(params: &WorkloadParams, heavy_fraction: f64, seed: u64) -> Instance {
+    assert!((0.0..=1.0).contains(&heavy_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    for _ in 0..params.jobs {
+        let p = if rng.gen_bool(heavy_fraction) {
+            rng.gen_range((3 * t / 4).max(1)..=t)
+        } else {
+            rng.gen_range(1..=(t / 4).max(1))
+        };
+        let r = rng.gen_range(0..params.horizon.max(1));
+        let slack = rng.gen_range(0..=4 * t);
+        b.push(r, r + p + slack, p);
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// A deadline cliff: all jobs released across the horizon but sharing one
+/// common deadline, so pressure (and the machine-minimization demand)
+/// rises toward the cliff. Exercises the LP's window-capacity constraint
+/// where calibration mass must concentrate.
+pub fn deadline_cliff(params: &WorkloadParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let cliff = params.horizon + 2 * t;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    for _ in 0..params.jobs {
+        let p = rng.gen_range(1..=t);
+        let r = rng
+            .gen_range(0..params.horizon.max(1))
+            .min(cliff - p - 2 * t);
+        b.push(r.max(0), cliff, p);
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// Periodic maintenance shape: jobs arrive in fixed-period waves with
+/// identical in-wave windows (the classic shape for recurring device
+/// checks). Every wave's jobs nest in a `2T` window, so the whole load is
+/// short-window and periodic — the best case for Lemma 18's lower bound
+/// and a direct test that the partitioning reuses machines across waves.
+pub fn periodic_maintenance(
+    params: &WorkloadParams,
+    period: i64,
+    wave_size: usize,
+    seed: u64,
+) -> Instance {
+    assert!(period > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    let mut produced = 0usize;
+    let mut wave_start = 0i64;
+    while produced < params.jobs {
+        for _ in 0..wave_size.min(params.jobs - produced) {
+            let p = rng.gen_range(1..=t);
+            let window = rng.gen_range(p..=(2 * t - 1).max(p));
+            b.push(wave_start, wave_start + window, p);
+            produced += 1;
+        }
+        wave_start += period;
+    }
+    b.build().expect("generator respects model invariants")
+}
+
+/// The registry of named workload families, for CLIs and sweep harnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadFamily {
+    /// [`uniform`].
+    Uniform,
+    /// [`long_only`].
+    LongOnly,
+    /// [`short_only`].
+    ShortOnly,
+    /// [`unit_jobs`].
+    UnitJobs,
+    /// [`stockpile`] with period `horizon/3 + 1` and burst `jobs/3 + 1`.
+    Stockpile,
+    /// [`heavy_tail`] with a 30% heavy fraction.
+    HeavyTail,
+    /// [`deadline_cliff`].
+    DeadlineCliff,
+    /// [`periodic_maintenance`] with period `4T` and waves of 5.
+    PeriodicMaintenance,
+    /// [`boundary_adversarial`].
+    BoundaryAdversarial,
+}
+
+impl WorkloadFamily {
+    /// All families, for sweeps.
+    pub const ALL: [WorkloadFamily; 9] = [
+        WorkloadFamily::Uniform,
+        WorkloadFamily::LongOnly,
+        WorkloadFamily::ShortOnly,
+        WorkloadFamily::UnitJobs,
+        WorkloadFamily::Stockpile,
+        WorkloadFamily::HeavyTail,
+        WorkloadFamily::DeadlineCliff,
+        WorkloadFamily::PeriodicMaintenance,
+        WorkloadFamily::BoundaryAdversarial,
+    ];
+
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadFamily::Uniform => "uniform",
+            WorkloadFamily::LongOnly => "long",
+            WorkloadFamily::ShortOnly => "short",
+            WorkloadFamily::UnitJobs => "unit",
+            WorkloadFamily::Stockpile => "stockpile",
+            WorkloadFamily::HeavyTail => "heavy",
+            WorkloadFamily::DeadlineCliff => "cliff",
+            WorkloadFamily::PeriodicMaintenance => "periodic",
+            WorkloadFamily::BoundaryAdversarial => "adversarial",
+        }
+    }
+
+    /// Generate an instance of this family.
+    pub fn generate(self, params: &WorkloadParams, seed: u64) -> Instance {
+        match self {
+            WorkloadFamily::Uniform => uniform(params, seed),
+            WorkloadFamily::LongOnly => long_only(params, seed),
+            WorkloadFamily::ShortOnly => short_only(params, seed),
+            WorkloadFamily::UnitJobs => unit_jobs(params, seed),
+            WorkloadFamily::Stockpile => {
+                stockpile(params, params.horizon / 3 + 1, params.jobs / 3 + 1, seed)
+            }
+            WorkloadFamily::HeavyTail => heavy_tail(params, 0.3, seed),
+            WorkloadFamily::DeadlineCliff => deadline_cliff(params, seed),
+            WorkloadFamily::PeriodicMaintenance => {
+                periodic_maintenance(params, 4 * params.calib_len, 5, seed)
+            }
+            WorkloadFamily::BoundaryAdversarial => boundary_adversarial(params, seed),
+        }
+    }
+}
+
+impl std::str::FromStr for WorkloadFamily {
+    type Err = String;
+    fn from_str(s: &str) -> Result<WorkloadFamily, String> {
+        WorkloadFamily::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| format!("unknown workload family `{s}`"))
+    }
+}
+
+/// Partition-style hard instances (the paper's NP-hardness construction):
+/// all jobs share the window `[0, T)` (zero aggregate slack) with
+/// `Σ p_j = machines · T`, so feasibility on `machines` machines encodes a
+/// perfect packing.
+pub fn partition_hard(num_jobs: usize, machines: usize, calib_len: i64, seed: u64) -> Instance {
+    assert!(num_jobs >= machines, "need at least one job per machine");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Split machines·T into num_jobs positive parts.
+    let total = machines as i64 * calib_len;
+    let mut parts = vec![1i64; num_jobs];
+    let mut remaining = total - num_jobs as i64;
+    // Dole out the remainder randomly, capping each job at T.
+    while remaining > 0 {
+        let i = rng.gen_range(0..num_jobs);
+        if parts[i] < calib_len {
+            parts[i] += 1;
+            remaining -= 1;
+        }
+    }
+    let mut b = InstanceBuilder::new(machines, calib_len);
+    for &p in &parts {
+        b.push(0, calib_len, p);
+    }
+    b.build().expect("partition instance is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams::default()
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for f in [
+            uniform,
+            long_only,
+            short_only,
+            unit_jobs,
+            boundary_adversarial,
+        ] {
+            let a = f(&params(), 42);
+            let b = f(&params(), 42);
+            assert_eq!(a, b);
+            let c = f(&params(), 43);
+            assert_ne!(a, c, "different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn long_only_is_all_long() {
+        let inst = long_only(&params(), 7);
+        assert!(inst.all_long());
+        assert_eq!(inst.len(), params().jobs);
+    }
+
+    #[test]
+    fn short_only_is_all_short() {
+        let inst = short_only(&params(), 7);
+        assert!(inst.all_short());
+    }
+
+    #[test]
+    fn unit_jobs_are_unit() {
+        let inst = unit_jobs(&params(), 7);
+        assert!(inst.all_unit());
+    }
+
+    #[test]
+    fn stockpile_mixes_long_and_short() {
+        let p = WorkloadParams {
+            jobs: 60,
+            ..params()
+        };
+        let inst = stockpile(&p, 100, 10, 11);
+        let (long, short) = inst.partition_long_short();
+        assert!(!long.is_empty(), "expected some routine jobs");
+        assert!(!short.is_empty(), "expected some urgent jobs");
+        assert_eq!(long.len() + short.len(), 60);
+    }
+
+    #[test]
+    fn boundary_adversarial_straddles_boundaries() {
+        let p = WorkloadParams {
+            jobs: 16,
+            ..params()
+        };
+        let inst = boundary_adversarial(&p, 3);
+        let interval = 4 * p.calib_len;
+        let straddlers = inst
+            .jobs()
+            .iter()
+            .filter(|j| {
+                let k = j.release.ticks().div_euclid(interval);
+                j.deadline.ticks() > (k + 1) * interval
+            })
+            .count();
+        assert!(straddlers > inst.len() / 2, "only {straddlers} straddle");
+        assert!(inst.all_short());
+    }
+
+    #[test]
+    fn heavy_tail_has_both_sizes() {
+        let p = WorkloadParams {
+            jobs: 50,
+            ..params()
+        };
+        let inst = heavy_tail(&p, 0.3, 5);
+        let t = p.calib_len;
+        let heavy = inst
+            .jobs()
+            .iter()
+            .filter(|j| j.proc.ticks() >= 3 * t / 4)
+            .count();
+        let light = inst
+            .jobs()
+            .iter()
+            .filter(|j| j.proc.ticks() <= t / 4)
+            .count();
+        assert!(heavy >= 5, "expected heavy jobs, got {heavy}");
+        assert!(light >= 20, "expected light jobs, got {light}");
+    }
+
+    #[test]
+    fn deadline_cliff_shares_one_deadline() {
+        let inst = deadline_cliff(&params(), 4);
+        let d = inst.jobs()[0].deadline;
+        assert!(inst.jobs().iter().all(|j| j.deadline == d));
+        assert!(inst.jobs().iter().all(|j| j.release + j.proc <= d));
+    }
+
+    #[test]
+    fn periodic_maintenance_is_short_and_periodic() {
+        let p = WorkloadParams {
+            jobs: 20,
+            ..params()
+        };
+        let inst = periodic_maintenance(&p, 100, 5, 6);
+        assert!(inst.all_short());
+        let mut releases: Vec<i64> = inst.jobs().iter().map(|j| j.release.ticks()).collect();
+        releases.sort_unstable();
+        releases.dedup();
+        assert_eq!(releases, vec![0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn family_registry_round_trips_names() {
+        for family in WorkloadFamily::ALL {
+            let parsed: WorkloadFamily = family.name().parse().unwrap();
+            assert_eq!(parsed, family);
+            let inst = family.generate(&params(), 3);
+            assert_eq!(inst.len(), params().jobs);
+        }
+        assert!("nope".parse::<WorkloadFamily>().is_err());
+    }
+
+    #[test]
+    fn partition_hard_sums_to_capacity() {
+        let inst = partition_hard(7, 2, 10, 5);
+        assert_eq!(inst.total_work().ticks(), 20);
+        assert!(inst
+            .jobs()
+            .iter()
+            .all(|j| j.proc.ticks() <= 10 && j.proc.ticks() >= 1));
+        assert_eq!(inst.machines(), 2);
+    }
+
+    #[test]
+    fn uniform_respects_params() {
+        let p = WorkloadParams {
+            jobs: 33,
+            machines: 4,
+            calib_len: 12,
+            horizon: 500,
+        };
+        let inst = uniform(&p, 9);
+        assert_eq!(inst.len(), 33);
+        assert_eq!(inst.machines(), 4);
+        assert_eq!(inst.calib_len().ticks(), 12);
+        assert!(inst.jobs().iter().all(|j| j.release.ticks() < 500));
+    }
+}

@@ -1,0 +1,42 @@
+//! Visualize a solved schedule as an ASCII Gantt chart.
+//!
+//! `[` marks a calibration start, `=`/`-` bars are job executions (labelled
+//! when space permits), `.` is calibrated-but-idle time.
+//!
+//! ```sh
+//! cargo run --example gantt [-- jobs machines seed]
+//! ```
+
+use ise::model::{render_gantt, validate, RenderOptions};
+use ise::sched::{solve, SolveReport, SolverOptions};
+use ise::workloads::{stockpile, WorkloadParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let machines: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let params = WorkloadParams {
+        jobs,
+        machines,
+        calib_len: 10,
+        horizon: 120,
+    };
+    let instance = stockpile(&params, 60, 4, seed);
+
+    let options = SolverOptions {
+        trim_empty_calibrations: true,
+        ..SolverOptions::default()
+    };
+    let outcome = solve(&instance, &options).expect("feasible instance");
+    validate(&instance, &outcome.schedule).expect("valid schedule");
+
+    println!("{}", SolveReport::new(&instance, &outcome));
+    println!();
+    println!(
+        "{}",
+        render_gantt(&instance, &outcome.schedule, &RenderOptions::default())
+    );
+    println!("legend: [ calibration start   =/- job execution   . calibrated idle");
+}

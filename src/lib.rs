@@ -1,0 +1,44 @@
+//! # ise — calibration scheduling for non-unit jobs
+//!
+//! Umbrella crate re-exporting the full public API of this workspace, a
+//! production-quality implementation of
+//!
+//! > Jeremy T. Fineman and Brendan Sheridan,
+//! > *Scheduling Non-Unit Jobs to Minimize Calibrations*, SPAA 2015.
+//!
+//! The *Integrated Stockpile Evaluation* (ISE) problem schedules `n` jobs
+//! with release times, deadlines, and processing times nonpreemptively on
+//! `m` machines, where a job may only run inside a *calibrated interval*
+//! `[t, t+T)` of its machine, minimizing the number of calibrations.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ise::model::Instance;
+//! use ise::sched::{solve, SolverOptions};
+//!
+//! // T = 10, 1 machine, three jobs (release, deadline, processing time).
+//! let instance = Instance::new(
+//!     [(0, 30, 4), (2, 25, 6), (40, 80, 9)],
+//!     1,
+//!     10,
+//! ).unwrap();
+//!
+//! let outcome = solve(&instance, &SolverOptions::default()).unwrap();
+//! ise::model::validate(&instance, &outcome.schedule).unwrap();
+//! assert!(outcome.schedule.num_calibrations() >= 2); // two separated bursts
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`model`] — jobs, instances, schedules, exact validation.
+//! * [`simplex`] — the LP solver used by the long-window relaxation.
+//! * [`mm`] — machine-minimization algorithms (the short-window black box).
+//! * [`sched`] — the paper's algorithms and baselines.
+//! * [`workloads`] — deterministic instance generators for experiments.
+
+pub use ise_mm as mm;
+pub use ise_model as model;
+pub use ise_sched as sched;
+pub use ise_simplex as simplex;
+pub use ise_workloads as workloads;

@@ -1,0 +1,296 @@
+//! `ise` — command-line front end for the calibration scheduler.
+//!
+//! ```text
+//! ise generate --family <name> [--jobs N] [--machines M] [--calib-len T]
+//!              [--horizon H] [--seed S] [--out FILE]
+//! ise solve    <instance.json> [--trim] [--mm BACKEND] [--speed S]
+//!              [--decompose] [--out FILE]
+//! ise validate <instance.json> <schedule.json> [--tise|--relaxed]
+//! ise bounds   <instance.json>
+//! ise gantt    <instance.json> <schedule.json> [--width W]
+//! ise exact    <instance.json> [--max-calibrations K]
+//! ```
+//!
+//! Instances and schedules are the serde JSON forms of
+//! [`ise::model::Instance`] and [`ise::model::Schedule`]; `generate` and
+//! `solve` write them, so the commands compose through files.
+
+use ise::model::{
+    render_gantt, validate, validate_relaxed, validate_tise, Instance, RenderOptions, Schedule,
+};
+use ise::sched::decompose::solve_decomposed;
+use ise::sched::exact::{optimal, ExactOptions};
+use ise::sched::improve::{improve, ImproveOptions};
+use ise::sched::lower_bound::lower_bound;
+use ise::sched::{solve_with_speed, MmBackend, SolveReport, SolverOptions};
+use ise::workloads as wl;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ise generate --family <uniform|long|short|unit|stockpile|heavy|cliff|periodic|adversarial>
+               [--jobs N] [--machines M] [--calib-len T] [--horizon H]
+               [--seed S] [--out FILE]
+  ise solve    <instance.json> [--trim] [--improve] [--audit]
+               [--mm auto|exact|greedy|unit|lp-round|portfolio]
+               [--speed S] [--decompose] [--out FILE]
+  ise validate <instance.json> <schedule.json> [--tise|--relaxed]
+  ise bounds   <instance.json>
+  ise gantt    <instance.json> <schedule.json> [--width W]
+  ise exact    <instance.json> [--max-calibrations K]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing command")?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "generate" => generate(&rest),
+        "solve" => cmd_solve(&rest),
+        "validate" => cmd_validate(&rest),
+        "bounds" => cmd_bounds(&rest),
+        "gantt" => cmd_gantt(&rest),
+        "exact" => cmd_exact(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Pull `--flag value` out of an argument list; returns (value, consumed?).
+fn flag_value<'a>(args: &[&'a String], name: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a.as_str() == name)
+        .and_then(|i| args.get(i + 1).copied())
+}
+
+fn flag_present(args: &[&String], name: &str) -> bool {
+    args.iter().any(|a| a.as_str() == name)
+}
+
+fn parse<T: std::str::FromStr>(args: &[&String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+/// Positional args, with flag values removed.
+fn positionals<'a>(args: &[&'a String]) -> Vec<&'a String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Boolean flags take no value; the known ones are listed here.
+            let boolean = matches!(
+                a.as_str(),
+                "--trim" | "--tise" | "--relaxed" | "--decompose" | "--improve" | "--audit"
+            );
+            skip = !boolean && i + 1 < args.len();
+            continue;
+        }
+        out.push(*a);
+    }
+    out
+}
+
+fn read_instance(path: &str) -> Result<Instance, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn read_schedule(path: &str) -> Result<Schedule, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(value: &T, out: Option<&String>) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    match out {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn generate(args: &[&String]) -> Result<(), String> {
+    let family: wl::WorkloadFamily = flag_value(args, "--family")
+        .ok_or("generate requires --family")?
+        .parse()?;
+    let params = wl::WorkloadParams {
+        jobs: parse(args, "--jobs", 20usize)?,
+        machines: parse(args, "--machines", 2usize)?,
+        calib_len: parse(args, "--calib-len", 10i64)?,
+        horizon: parse(args, "--horizon", 200i64)?,
+    };
+    let seed: u64 = parse(args, "--seed", 0u64)?;
+    let instance = family.generate(&params, seed);
+    write_json(&instance, flag_value(args, "--out"))
+}
+
+fn cmd_solve(args: &[&String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let path = pos.first().ok_or("solve requires an instance file")?;
+    let instance = read_instance(path)?;
+    let mm = match flag_value(args, "--mm")
+        .map(|s| s.as_str())
+        .unwrap_or("auto")
+    {
+        "auto" => MmBackend::Auto,
+        "exact" => MmBackend::Exact,
+        "greedy" => MmBackend::Greedy,
+        "unit" => MmBackend::Unit,
+        "lp-round" => MmBackend::LpRound,
+        "portfolio" => MmBackend::Portfolio,
+        other => return Err(format!("unknown MM backend `{other}`")),
+    };
+    let opts = SolverOptions {
+        mm,
+        trim_empty_calibrations: flag_present(args, "--trim"),
+        ..SolverOptions::default()
+    };
+    let speed: i64 = parse(args, "--speed", 1i64)?;
+    let outcome = if flag_present(args, "--decompose") {
+        if speed != 1 {
+            return Err("--decompose and --speed cannot be combined".into());
+        }
+        solve_decomposed(&instance, &opts)
+    } else {
+        solve_with_speed(&instance, &opts, speed)
+    }
+    .map_err(|e| e.to_string())?;
+    let mut outcome = outcome;
+    if flag_present(args, "--improve") {
+        if outcome.schedule.speed != 1 {
+            return Err("--improve does not support speed-augmented schedules".into());
+        }
+        let improved = improve(&instance, &outcome.schedule, &ImproveOptions::default())
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "consolidation removed {} calibrations in {} rounds",
+            improved.removed, improved.rounds
+        );
+        outcome.schedule = improved.schedule;
+    }
+    if flag_present(args, "--audit") {
+        eprintln!("{}", ise::sched::audit(&instance, &outcome));
+    }
+    // Belt and braces before writing anything.
+    validate(&instance, &outcome.schedule)
+        .map_err(|e| format!("produced invalid schedule: {e}"))?;
+    eprintln!("{}", SolveReport::new(&instance, &outcome));
+    write_json(&outcome.schedule, flag_value(args, "--out"))
+}
+
+fn cmd_validate(args: &[&String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let [inst_path, sched_path] = pos.as_slice() else {
+        return Err("validate requires <instance.json> <schedule.json>".into());
+    };
+    let instance = read_instance(inst_path)?;
+    let schedule = read_schedule(sched_path)?;
+    let result = if flag_present(args, "--tise") {
+        validate_tise(&instance, &schedule)
+    } else if flag_present(args, "--relaxed") {
+        validate_relaxed(&instance, &schedule)
+    } else {
+        validate(&instance, &schedule)
+    };
+    match result {
+        Ok(()) => {
+            println!(
+                "feasible: {} calibrations on {} machines",
+                schedule.num_calibrations(),
+                schedule.machines_used()
+            );
+            Ok(())
+        }
+        Err(e) => Err(format!("infeasible: {e}")),
+    }
+}
+
+fn cmd_bounds(args: &[&String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let path = pos.first().ok_or("bounds requires an instance file")?;
+    let instance = read_instance(path)?;
+    let report = lower_bound(&instance, &Default::default());
+    println!("work bound     : {}", report.work);
+    println!("interval bound : {}", report.interval);
+    println!(
+        "LP bound       : {}",
+        report.lp_long.map_or("-".to_string(), |v| v.to_string())
+    );
+    println!("best           : {}", report.best);
+    Ok(())
+}
+
+fn cmd_gantt(args: &[&String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let [inst_path, sched_path] = pos.as_slice() else {
+        return Err("gantt requires <instance.json> <schedule.json>".into());
+    };
+    let instance = read_instance(inst_path)?;
+    let schedule = read_schedule(sched_path)?;
+    let width: usize = parse(args, "--width", 96usize)?;
+    let opts = RenderOptions {
+        max_width: width,
+        label_jobs: true,
+    };
+    print!("{}", render_gantt(&instance, &schedule, &opts));
+    Ok(())
+}
+
+fn cmd_exact(args: &[&String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let path = pos.first().ok_or("exact requires an instance file")?;
+    let instance = read_instance(path)?;
+    if instance.len() > 10 {
+        return Err(format!(
+            "exact search is for tiny instances; this one has {} jobs (max 10 via CLI)",
+            instance.len()
+        ));
+    }
+    let opts = ExactOptions {
+        max_calibrations: parse(args, "--max-calibrations", 8usize)?,
+        ..ExactOptions::default()
+    };
+    match optimal(&instance, &opts).map_err(|e| e.to_string())? {
+        Some(out) => {
+            println!(
+                "optimum: {} calibrations ({} search nodes)",
+                out.calibrations, out.nodes
+            );
+            write_json(&out.schedule, flag_value(args, "--out"))
+        }
+        None => {
+            println!(
+                "infeasible with at most {} calibrations on {} machines",
+                opts.max_calibrations,
+                instance.machines()
+            );
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end tests of the `ise` command-line binary: generate → bounds →
+//! solve → validate → gantt → exact compose through JSON files.
+
+use std::process::Command;
+
+fn ise(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ise"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ise-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn generate_solve_validate_roundtrip() {
+    let dir = tempdir();
+    let inst = dir.join("inst.json");
+    let sched = dir.join("sched.json");
+    let inst_s = inst.to_str().unwrap();
+    let sched_s = sched.to_str().unwrap();
+
+    let (ok, _, err) = ise(&[
+        "generate",
+        "--family",
+        "uniform",
+        "--jobs",
+        "10",
+        "--machines",
+        "2",
+        "--seed",
+        "1",
+        "--out",
+        inst_s,
+    ]);
+    assert!(ok, "generate failed: {err}");
+
+    let (ok, _, err) = ise(&["solve", inst_s, "--trim", "--out", sched_s]);
+    assert!(ok, "solve failed: {err}");
+    assert!(err.contains("calibrations"), "report missing: {err}");
+
+    let (ok, out, err) = ise(&["validate", inst_s, sched_s]);
+    assert!(ok, "validate failed: {err}");
+    assert!(out.contains("feasible"));
+
+    let (ok, out, _) = ise(&["gantt", inst_s, sched_s, "--width", "60"]);
+    assert!(ok);
+    assert!(out.contains("machine 0 |"));
+
+    let (ok, out, _) = ise(&["bounds", inst_s]);
+    assert!(ok);
+    assert!(out.contains("best"));
+}
+
+#[test]
+fn exact_command_on_tiny_instance() {
+    let dir = tempdir();
+    let inst = dir.join("tiny.json");
+    let inst_s = inst.to_str().unwrap();
+    let (ok, _, err) = ise(&[
+        "generate",
+        "--family",
+        "unit",
+        "--jobs",
+        "5",
+        "--machines",
+        "1",
+        "--calib-len",
+        "5",
+        "--horizon",
+        "30",
+        "--seed",
+        "2",
+        "--out",
+        inst_s,
+    ]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = ise(&["exact", inst_s, "--max-calibrations", "6"]);
+    assert!(ok, "{err}");
+    assert!(
+        out.contains("optimum") || out.contains("infeasible"),
+        "{out}"
+    );
+}
+
+#[test]
+fn tampered_schedule_fails_validation() {
+    let dir = tempdir();
+    let inst = dir.join("i2.json");
+    let sched = dir.join("s2.json");
+    let (inst_s, sched_s) = (inst.to_str().unwrap(), sched.to_str().unwrap());
+    let (ok, _, _) = ise(&[
+        "generate", "--family", "short", "--jobs", "6", "--seed", "4", "--out", inst_s,
+    ]);
+    assert!(ok);
+    let (ok, _, _) = ise(&["solve", inst_s, "--out", sched_s]);
+    assert!(ok);
+    // Tamper: shift every placement far right.
+    let text = std::fs::read_to_string(&sched).unwrap();
+    let mut v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    for p in v["placements"].as_array_mut().unwrap() {
+        let s = p["start"].as_i64().unwrap();
+        p["start"] = serde_json::Value::from(s + 100_000);
+    }
+    std::fs::write(&sched, serde_json::to_string(&v).unwrap()).unwrap();
+    let (ok, _, err) = ise(&["validate", inst_s, sched_s]);
+    assert!(!ok, "tampered schedule must fail");
+    assert!(err.contains("infeasible"), "{err}");
+}
+
+#[test]
+fn improve_flag_reduces_calibrations() {
+    let dir = tempdir();
+    let inst = dir.join("imp.json");
+    let plain = dir.join("imp_plain.json");
+    let improved = dir.join("imp_better.json");
+    let inst_s = inst.to_str().unwrap();
+    let (ok, _, _) = ise(&[
+        "generate",
+        "--family",
+        "uniform",
+        "--jobs",
+        "10",
+        "--machines",
+        "1",
+        "--seed",
+        "3",
+        "--out",
+        inst_s,
+    ]);
+    assert!(ok);
+    let (ok, _, _) = ise(&["solve", inst_s, "--out", plain.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, _, err) = ise(&[
+        "solve",
+        inst_s,
+        "--improve",
+        "--audit",
+        "--out",
+        improved.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(err.contains("consolidation removed"), "{err}");
+    assert!(err.contains("T12"), "audit output missing: {err}");
+    let count = |p: &std::path::Path| -> usize {
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
+        v["calibrations"].as_array().unwrap().len()
+    };
+    assert!(count(&improved) <= count(&plain));
+    // The improved schedule still validates.
+    let (ok, _, _) = ise(&["validate", inst_s, improved.to_str().unwrap()]);
+    assert!(ok);
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let (ok, _, err) = ise(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn speed_flag_is_accepted() {
+    let dir = tempdir();
+    let inst = dir.join("i3.json");
+    let inst_s = inst.to_str().unwrap();
+    let (ok, _, _) = ise(&[
+        "generate",
+        "--family",
+        "long",
+        "--jobs",
+        "6",
+        "--machines",
+        "1",
+        "--seed",
+        "5",
+        "--out",
+        inst_s,
+    ]);
+    assert!(ok);
+    let (ok, out, err) = ise(&["solve", inst_s, "--speed", "2"]);
+    assert!(ok, "{err}");
+    assert!(
+        out.contains("\"speed\": 2"),
+        "schedule JSON should carry the speed: {out}"
+    );
+}

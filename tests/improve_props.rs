@@ -1,0 +1,42 @@
+//! Property tests for the local-search consolidation: monotone, valid,
+//! idempotent at the fixed point, and better than plain trimming.
+
+use ise::model::validate;
+use ise::sched::improve::{improve, ImproveOptions};
+use ise::sched::{solve, SolverOptions};
+use ise::workloads::{WorkloadFamily, WorkloadParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn improve_is_monotone_valid_and_beats_trimming(
+        seed in 0u64..1000,
+        family_idx in 0usize..WorkloadFamily::ALL.len(),
+    ) {
+        let family = WorkloadFamily::ALL[family_idx];
+        let params = WorkloadParams { jobs: 10, machines: 1, calib_len: 10, horizon: 120 };
+        let inst = family.generate(&params, seed);
+        let Ok(solved) = solve(&inst, &SolverOptions::default()) else { return Ok(()) };
+        let before = solved.schedule.num_calibrations();
+        let mut trimmed = solved.schedule.clone();
+        trimmed.trim_empty_calibrations(inst.calib_len());
+
+        let out = improve(&inst, &solved.schedule, &ImproveOptions::default())
+            .map_err(|e| TestCaseError::fail(format!("{family:?} seed {seed}: {e}")))?;
+        validate(&inst, &out.schedule).expect("improved schedule valid");
+        prop_assert!(out.schedule.num_calibrations() <= before);
+        prop_assert!(out.schedule.num_calibrations() <= trimmed.num_calibrations());
+        prop_assert_eq!(out.removed, before - out.schedule.num_calibrations());
+        prop_assert!(
+            out.schedule.num_calibrations() as u64 >= inst.work_lower_bound(),
+            "consolidation can never beat the work bound"
+        );
+
+        // Fixed point: a second pass removes nothing.
+        let again = improve(&inst, &out.schedule, &ImproveOptions::default())
+            .map_err(|e| TestCaseError::fail(format!("second pass: {e}")))?;
+        prop_assert_eq!(again.removed, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) over the whole pipeline: random
+//! instances solve to valid schedules, the paper's transformations preserve
+//! their invariants, and the validator rejects mutated schedules.
+
+use ise::model::{validate, validate_tise, Instance, InstanceBuilder, Time};
+use ise::sched::long_window::{schedule_long_windows, LongWindowOptions};
+use ise::sched::rounding::{assign_machines, round_calibrations};
+use ise::sched::speed_transform::trade_machines_for_speed;
+use ise::sched::tise::to_tise;
+use ise::sched::{solve, SolverOptions};
+use proptest::prelude::*;
+
+/// Strategy: a well-formed instance with `n` jobs, T = 10, bounded horizon.
+fn arb_instance(
+    max_jobs: usize,
+    machines: usize,
+    long_only: bool,
+) -> impl Strategy<Value = Instance> {
+    let t = 10i64;
+    let job = (0i64..80, 1i64..=t, 0i64..=4 * t).prop_map(move |(r, p, slack)| {
+        let min_window = if long_only { 2 * t } else { p };
+        let d = r + p.max(min_window) + slack;
+        (r, d, p)
+    });
+    proptest::collection::vec(job, 1..=max_jobs).prop_map(move |jobs| {
+        let mut b = InstanceBuilder::new(machines, t);
+        for (r, d, p) in jobs {
+            b.push(r, d, p);
+        }
+        b.build().expect("strategy respects invariants")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The combined solver produces schedules the exact validator accepts,
+    /// and never beats the work lower bound.
+    #[test]
+    fn solve_always_validates(instance in arb_instance(10, 2, false)) {
+        match solve(&instance, &SolverOptions::default()) {
+            Ok(out) => {
+                validate(&instance, &out.schedule).expect("valid schedule");
+                prop_assert!(out.schedule.num_calibrations() as u64 >= instance.work_lower_bound());
+            }
+            Err(ise::sched::SchedError::Infeasible { .. }) => {
+                // Acceptable: certified infeasibility on this machine count.
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    /// Long-window pipeline output is TISE-valid and fits Theorem 12's
+    /// machine budget; the Lemma 2 transform of that schedule is again
+    /// valid with exactly 3x the calibrations.
+    #[test]
+    fn long_pipeline_and_lemma2(instance in arb_instance(8, 1, true)) {
+        let out = match schedule_long_windows(&instance, &LongWindowOptions::default()) {
+            Ok(out) => out,
+            Err(ise::sched::SchedError::Infeasible { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        };
+        validate_tise(&instance, &out.schedule).expect("TISE-valid");
+        prop_assert!(out.schedule.machines_used() <= 18 * instance.machines());
+
+        let transformed = to_tise(&instance, &out.schedule).expect("lemma 2");
+        validate_tise(&instance, &transformed).expect("transform valid");
+        prop_assert_eq!(transformed.num_calibrations(), 3 * out.schedule.num_calibrations());
+    }
+
+    /// Speed transformation: valid at speed 2c, never more calibrations,
+    /// exactly ceil(machines / c) target machines are used at most.
+    #[test]
+    fn speed_transform_preserves_feasibility(
+        instance in arb_instance(8, 1, true),
+        c in 1usize..5,
+    ) {
+        let out = match schedule_long_windows(&instance, &LongWindowOptions::default()) {
+            Ok(out) => out,
+            Err(_) => return Ok(()),
+        };
+        let fast = trade_machines_for_speed(&instance, &out.schedule, c).expect("lemma 13");
+        validate(&instance, &fast.schedule).expect("valid at speed 2c");
+        prop_assert!(fast.schedule.num_calibrations() <= out.schedule.num_calibrations());
+        let groups = out.schedule.machines_used().div_ceil(c);
+        prop_assert!(fast.schedule.machines_used() <= groups.max(1));
+        prop_assert_eq!(fast.schedule.speed, 2 * c as i64);
+    }
+
+    /// The validator rejects schedules with a placement nudged outside its
+    /// calibration or past its deadline.
+    #[test]
+    fn validator_rejects_mutations(
+        instance in arb_instance(8, 2, false),
+        victim in 0usize..8,
+        nudge in prop::sample::select(vec![-1000i64, -7, 9, 1000]),
+    ) {
+        let Ok(out) = solve(&instance, &SolverOptions::default()) else { return Ok(()) };
+        let mut mutated = out.schedule.clone();
+        if mutated.placements.is_empty() { return Ok(()); }
+        let idx = victim % mutated.placements.len();
+        let old = mutated.placements[idx].start;
+        mutated.placements[idx].start = Time(old.ticks() + nudge);
+        // Either the nudge lands in another legal spot (rare) or the
+        // validator must flag it; it must never panic.
+        let _ = validate(&instance, &mutated);
+        // Removing a placement is always invalid.
+        let mut missing = out.schedule.clone();
+        missing.placements.remove(idx % missing.placements.len());
+        prop_assert!(validate(&instance, &missing).is_err());
+        // Duplicating a placement is always invalid (nonpreemptive).
+        let mut dup = out.schedule;
+        dup.placements.push(dup.placements[idx]);
+        prop_assert!(validate(&instance, &dup).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Algorithm 1 rounding: emits exactly floor(2·mass) calibrations
+    /// overall (threshold 1/2), and in any length-T window at most
+    /// 2·(window mass) + 1 calibrations start.
+    #[test]
+    fn rounding_mass_and_window_bounds(
+        raw in proptest::collection::vec((0i64..200, 0u32..300), 1..40),
+    ) {
+        let mut pts: Vec<i64> = raw.iter().map(|&(t, _)| t).collect();
+        pts.sort_unstable();
+        pts.dedup();
+        let points: Vec<Time> = pts.iter().map(|&t| Time(t)).collect();
+        // Re-associate masses with the deduped points.
+        let mut c = vec![0.0f64; points.len()];
+        for &(t, mass) in &raw {
+            let i = pts.binary_search(&t).unwrap();
+            c[i] += mass as f64 / 100.0;
+        }
+        let total: f64 = c.iter().sum();
+        let out = round_calibrations(&points, &c, 0.5);
+        let expected = (2.0 * total + 1e-6).floor() as usize;
+        prop_assert_eq!(out.len(), expected);
+
+        // Window bound (Lemma 4 shape): calibrations starting in [t, t+T)
+        // are at most 2·(fractional mass in that window) + 1.
+        let t_len = 10i64;
+        for &w_start in &pts {
+            let mass: f64 = points
+                .iter()
+                .zip(&c)
+                .filter(|(p, _)| p.ticks() >= w_start && p.ticks() < w_start + t_len)
+                .map(|(_, &v)| v)
+                .sum();
+            let count = out
+                .iter()
+                .filter(|p| p.ticks() >= w_start && p.ticks() < w_start + t_len)
+                .count();
+            prop_assert!(
+                count as f64 <= 2.0 * mass + 1.0 + 1e-6,
+                "window at {}: {} emitted from mass {}", w_start, count, mass
+            );
+        }
+
+        // First-fit machine assignment never overlaps a machine.
+        let cals = assign_machines(&out, ise::model::Dur(t_len));
+        for a in &cals {
+            for b in &cals {
+                if a.machine == b.machine && a.start < b.start {
+                    prop_assert!(b.start.ticks() - a.start.ticks() >= t_len);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Approximation-ratio certification on tiny instances where the true
+//! optimum is computable by brute force. The paper's worst-case constants
+//! are 12 (long windows) and 32 (short windows, α = 1); these tests pin
+//! down the *measured* behaviour well inside those budgets and fail if a
+//! regression pushes the pipelines toward their worst case.
+
+use ise::model::validate;
+use ise::sched::exact::{optimal, ExactOptions};
+use ise::sched::{solve, SolverOptions};
+use ise::workloads::{short_only, uniform, unit_jobs, WorkloadParams};
+
+struct RatioStats {
+    total_algo: usize,
+    total_opt: usize,
+    worst: f64,
+    samples: usize,
+}
+
+fn sweep(
+    family: impl Fn(&WorkloadParams, u64) -> ise::model::Instance,
+    params: &WorkloadParams,
+    seeds: std::ops::Range<u64>,
+) -> RatioStats {
+    let mut stats = RatioStats {
+        total_algo: 0,
+        total_opt: 0,
+        worst: 0.0,
+        samples: 0,
+    };
+    let opts = SolverOptions {
+        trim_empty_calibrations: true,
+        ..SolverOptions::default()
+    };
+    for seed in seeds {
+        let inst = family(params, seed);
+        let Ok(Some(exact)) = optimal(&inst, &ExactOptions::default()) else {
+            continue; // infeasible on the stated machines or over budget
+        };
+        validate(&inst, &exact.schedule).expect("exact schedule valid");
+        let Ok(out) = solve(&inst, &opts) else {
+            continue;
+        };
+        validate(&inst, &out.schedule).expect("algo schedule valid");
+        let algo = out.schedule.num_calibrations();
+        assert!(
+            algo >= exact.calibrations,
+            "seed {seed}: algorithm ({algo}) beat the exact optimum ({})",
+            exact.calibrations
+        );
+        stats.total_algo += algo;
+        stats.total_opt += exact.calibrations;
+        stats.worst = stats.worst.max(algo as f64 / exact.calibrations as f64);
+        stats.samples += 1;
+    }
+    stats
+}
+
+#[test]
+fn uniform_tiny_ratio_certification() {
+    let params = WorkloadParams {
+        jobs: 5,
+        machines: 1,
+        calib_len: 6,
+        horizon: 30,
+    };
+    let stats = sweep(uniform, &params, 0..12);
+    assert!(
+        stats.samples >= 6,
+        "too few feasible samples: {}",
+        stats.samples
+    );
+    let aggregate = stats.total_algo as f64 / stats.total_opt as f64;
+    // Paper worst case is 12x/32x; measured stays well under 4x aggregate.
+    assert!(aggregate <= 4.0, "aggregate ratio {aggregate} too large");
+    assert!(
+        stats.worst <= 6.0,
+        "worst single ratio {} too large",
+        stats.worst
+    );
+}
+
+#[test]
+fn short_only_tiny_ratio_certification() {
+    let params = WorkloadParams {
+        jobs: 5,
+        machines: 1,
+        calib_len: 6,
+        horizon: 40,
+    };
+    let stats = sweep(short_only, &params, 0..20);
+    assert!(
+        stats.samples >= 6,
+        "too few feasible samples: {}",
+        stats.samples
+    );
+    let aggregate = stats.total_algo as f64 / stats.total_opt as f64;
+    assert!(
+        aggregate <= 4.0,
+        "aggregate ratio {aggregate} too large (Theorem 20 budget is 32)"
+    );
+}
+
+#[test]
+fn unit_tiny_ratio_certification() {
+    let params = WorkloadParams {
+        jobs: 6,
+        machines: 1,
+        calib_len: 5,
+        horizon: 30,
+    };
+    let stats = sweep(unit_jobs, &params, 0..12);
+    assert!(stats.samples >= 6);
+    let aggregate = stats.total_algo as f64 / stats.total_opt as f64;
+    assert!(aggregate <= 4.0, "aggregate ratio {aggregate} too large");
+}
+
+/// The exact solver is itself sanity-checked: its optimum can never beat
+/// the certified lower bounds, and a hand-computable family pins its
+/// absolute values.
+#[test]
+fn exact_solver_agrees_with_hand_computation() {
+    // k separated singleton bursts need exactly k calibrations.
+    for k in 1..=4usize {
+        let jobs: Vec<(i64, i64, i64)> = (0..k)
+            .map(|i| (200 * i as i64, 200 * i as i64 + 20, 4))
+            .collect();
+        let inst = ise::model::Instance::new(jobs, 1, 10).unwrap();
+        let exact = optimal(&inst, &ExactOptions::default())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(exact.calibrations, k);
+    }
+    // k co-windowed unit jobs share 1 calibration while they fit in T.
+    for k in 1..=5usize {
+        let jobs: Vec<(i64, i64, i64)> = (0..k).map(|_| (0, 30, 1)).collect();
+        let inst = ise::model::Instance::new(jobs, 1, 6).unwrap();
+        let exact = optimal(&inst, &ExactOptions::default())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(exact.calibrations, if k <= 6 { 1 } else { 2 });
+    }
+}
+
+/// Delaying calibrations is sometimes strictly optimal (the phenomenon
+/// that distinguishes the ISE objective, §5 of the paper): an eager
+/// calibrate-at-release strategy pays 2 where the optimum pays 1.
+#[test]
+fn delay_sensitivity_family() {
+    for gap in 1..8i64 {
+        // Job 0 at [0, 20); job 1 released at `gap` with a tight deadline.
+        let inst = ise::model::Instance::new([(0, 20, 2), (gap, gap + 3, 2)], 1, 10).unwrap();
+        let exact = optimal(&inst, &ExactOptions::default())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(
+            exact.calibrations, 1,
+            "gap {gap}: one well-placed calibration covers both jobs"
+        );
+    }
+}
