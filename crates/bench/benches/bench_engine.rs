@@ -1,0 +1,60 @@
+//! Criterion bench: batch-engine throughput across worker-pool sizes, cold
+//! cache vs warm. Each iteration pushes a fixed request batch through a
+//! fresh [`Engine`]; the warm variant pre-solves every distinct instance so
+//! the timed pass is pure cache traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_engine::{Engine, EngineConfig, EngineRequest};
+use ise_workloads::{uniform, WorkloadParams};
+
+const DISTINCT: usize = 16;
+const BATCH: usize = 64;
+
+fn requests() -> Vec<EngineRequest> {
+    let params = WorkloadParams {
+        jobs: 12,
+        machines: 2,
+        calib_len: 10,
+        horizon: 100,
+    };
+    let pool: Vec<_> = (0..DISTINCT as u64).map(|s| uniform(&params, s)).collect();
+    (0..BATCH)
+        .map(|i| EngineRequest::new(pool[i % DISTINCT].clone()))
+        .collect()
+}
+
+fn drain(engine: &Engine, batch: &[EngineRequest]) {
+    let slots: Vec<_> = batch
+        .iter()
+        .map(|r| engine.submit(r.clone()).expect("submit"))
+        .collect();
+    for slot in slots {
+        let response = slot.wait();
+        assert_ne!(response.status, "error", "{:?}", response.error);
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let batch = requests();
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        let config = EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("cold", workers), &workers, |b, _| {
+            // Fresh engine per iteration: every distinct instance is a miss.
+            b.iter(|| drain(&Engine::new(config.clone()), &batch));
+        });
+        group.bench_with_input(BenchmarkId::new("warm", workers), &workers, |b, _| {
+            let engine = Engine::new(config.clone());
+            drain(&engine, &batch); // populate the cache
+            b.iter(|| drain(&engine, &batch));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

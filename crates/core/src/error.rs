@@ -36,6 +36,9 @@ pub enum SchedError {
     },
     /// The exact solver exceeded its search budget.
     BudgetExceeded,
+    /// The solve was cancelled before completion (explicit request or
+    /// deadline expiry on the [`CancelToken`](crate::cancel::CancelToken)).
+    Cancelled,
 }
 
 impl fmt::Display for SchedError {
@@ -54,6 +57,7 @@ impl fmt::Display for SchedError {
                 write!(f, "precondition violated: {requirement}")
             }
             SchedError::BudgetExceeded => write!(f, "exact search budget exceeded"),
+            SchedError::Cancelled => write!(f, "solve cancelled"),
         }
     }
 }

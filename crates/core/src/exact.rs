@@ -15,12 +15,13 @@
 //! feasibility (windows clipped to the calibration) with the exact MM
 //! searcher.
 
+use crate::cancel::CancelToken;
 use crate::error::SchedError;
 use ise_mm::exact::feasible_on;
 use ise_model::{Dur, Instance, Job, Schedule, Time};
 
 /// Options for the exact search.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExactOptions {
     /// Upper bound on calibrations to try before giving up (returning
     /// `Ok(None)` means "no feasible schedule with at most this many").
@@ -34,6 +35,9 @@ pub struct ExactOptions {
     /// `𝒯` instead of all integer ticks (TISE only; used by the L3
     /// experiment).
     pub lemma3_points_only: bool,
+    /// Cooperative cancellation hook; polled every few thousand search
+    /// nodes. The default token never fires.
+    pub cancel: CancelToken,
 }
 
 impl Default for ExactOptions {
@@ -43,6 +47,7 @@ impl Default for ExactOptions {
             node_budget: 20_000_000,
             tise: false,
             lemma3_points_only: false,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -64,6 +69,7 @@ pub fn optimal(
     instance: &Instance,
     opts: &ExactOptions,
 ) -> Result<Option<ExactOutcome>, SchedError> {
+    opts.cancel.check()?;
     if instance.is_empty() {
         return Ok(Some(ExactOutcome {
             calibrations: 0,
@@ -79,7 +85,7 @@ pub fn optimal(
     let lb = instance.work_lower_bound() as usize;
     let mut search = Search {
         instance,
-        opts: *opts,
+        opts: opts.clone(),
         candidates,
         nodes: 0,
         chosen: Vec::new(),
@@ -137,13 +143,24 @@ impl<'a> Search<'a> {
         self.choose(k, 0)
     }
 
-    /// Choose `k` more calibration times from `candidates[from..]`
-    /// (nondecreasing; depth capped at `m`), then test packability.
-    fn choose(&mut self, k: usize, from: usize) -> Result<Option<Schedule>, SchedError> {
+    /// Shared budget/cancellation gate for every expanded node. The token
+    /// is only polled every 4096 nodes to keep the atomic load (and the
+    /// `Instant::now()` call for deadline tokens) off the hot path.
+    fn charge_node(&mut self) -> Result<(), SchedError> {
         self.nodes += 1;
         if self.nodes > self.opts.node_budget {
             return Err(SchedError::BudgetExceeded);
         }
+        if self.nodes.is_multiple_of(4096) {
+            self.opts.cancel.check()?;
+        }
+        Ok(())
+    }
+
+    /// Choose `k` more calibration times from `candidates[from..]`
+    /// (nondecreasing; depth capped at `m`), then test packability.
+    fn choose(&mut self, k: usize, from: usize) -> Result<Option<Schedule>, SchedError> {
+        self.charge_node()?;
         if k == 0 {
             return self.pack();
         }
@@ -245,10 +262,7 @@ impl<'a> Search<'a> {
         options: &mut Vec<Vec<usize>>,
         assignment: &mut Vec<Vec<usize>>,
     ) -> Result<bool, SchedError> {
-        self.nodes += 1;
-        if self.nodes > self.opts.node_budget {
-            return Err(SchedError::BudgetExceeded);
-        }
+        self.charge_node()?;
         let Some(&j) = order.get(idx) else {
             return Ok(true);
         };

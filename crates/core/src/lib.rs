@@ -39,6 +39,7 @@
 
 pub mod audit;
 pub mod baseline;
+pub mod cancel;
 pub mod decompose;
 pub mod edf;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod speed_transform;
 pub mod tise;
 
 pub use audit::{audit, AuditReport, BudgetCheck};
+pub use cancel::CancelToken;
 pub use decompose::{components, solve_decomposed};
 pub use error::SchedError;
 pub use improve::{improve, ImproveOptions, ImproveOutcome};

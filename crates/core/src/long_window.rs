@@ -13,9 +13,10 @@
 //! `18m` machines with at most `12·C*` calibrations, where `C*` is the
 //! optimal number of calibrations for the ISE instance on `m` machines.
 
+use crate::cancel::CancelToken;
 use crate::edf::{assign_jobs, mirror};
 use crate::error::SchedError;
-use crate::lp::{relax_and_solve, FractionalSolution};
+use crate::lp::{relax_and_solve_cancellable, FractionalSolution};
 use crate::rounding::{assign_machines, round_calibrations};
 use ise_model::{Instance, Schedule};
 use ise_simplex::SolveOptions;
@@ -31,6 +32,10 @@ pub struct LongWindowOptions {
     pub mirror: bool,
     /// LP solver options.
     pub lp: SolveOptions,
+    /// Cooperative cancellation hook; polled around the LP and EDF phases.
+    /// The default token never fires. [`crate::solve`] overrides this with
+    /// its own [`crate::SolverOptions::cancel`].
+    pub cancel: CancelToken,
 }
 
 impl Default for LongWindowOptions {
@@ -39,6 +44,7 @@ impl Default for LongWindowOptions {
             threshold: 0.5,
             mirror: true,
             lp: SolveOptions::default(),
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -70,7 +76,9 @@ pub fn schedule_long_windows(
     let calib_len = instance.calib_len();
     let m_prime = 3 * instance.machines();
 
-    let fractional = relax_and_solve(instance.jobs(), calib_len, m_prime, &opts.lp)?;
+    let fractional =
+        relax_and_solve_cancellable(instance.jobs(), calib_len, m_prime, &opts.lp, &opts.cancel)?;
+    opts.cancel.check()?;
     let times = round_calibrations(&fractional.points, &fractional.c, opts.threshold);
     let bank = assign_machines(&times, calib_len);
     let bank_machines = bank.iter().map(|c| c.machine + 1).max().unwrap_or(0);

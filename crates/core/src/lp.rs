@@ -24,6 +24,7 @@
 //! turn a fractional solution into an integer schedule with constant-factor
 //! loss.
 
+use crate::cancel::CancelToken;
 use crate::error::SchedError;
 use crate::points::{calibration_points, feasible_range};
 use ise_model::{Dur, Job, Time};
@@ -193,6 +194,21 @@ pub fn relax_and_solve(
     machine_budget: usize,
     opts: &SolveOptions,
 ) -> Result<FractionalSolution, SchedError> {
+    relax_and_solve_cancellable(jobs, calib_len, machine_budget, opts, &CancelToken::new())
+}
+
+/// [`relax_and_solve`] with a cooperative cancellation hook: the token is
+/// polled before the (potentially large) LP is built and again before the
+/// simplex run. An individual simplex solve is not interruptible; callers
+/// needing a hard bound combine the token with the solver's iteration
+/// limit.
+pub fn relax_and_solve_cancellable(
+    jobs: &[Job],
+    calib_len: Dur,
+    machine_budget: usize,
+    opts: &SolveOptions,
+    cancel: &CancelToken,
+) -> Result<FractionalSolution, SchedError> {
     // A job whose window cannot contain any calibration makes constraint
     // (4) unsatisfiable; report that crisply instead of via the LP.
     if let Some(job) = jobs.iter().find(|j| j.window() < calib_len) {
@@ -205,7 +221,9 @@ pub fn relax_and_solve(
             ),
         });
     }
+    cancel.check()?;
     let tise = build(jobs, calib_len, machine_budget);
+    cancel.check()?;
     solve_lp(&tise, opts)
 }
 

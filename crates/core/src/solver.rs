@@ -6,6 +6,7 @@
 //! `O(α)`-approximation for the ISE problem; the partitioning itself at
 //! most doubles machines and calibrations beyond the two sub-algorithms.
 
+use crate::cancel::CancelToken;
 use crate::error::SchedError;
 use crate::long_window::{schedule_long_windows, LongWindowOptions, LongWindowOutcome};
 use crate::short_window::{schedule_short_windows, ShortWindowOutcome};
@@ -15,7 +16,7 @@ use ise_mm::{
 use ise_model::{Instance, Schedule};
 
 /// Choice of machine-minimization black box for the short-window pipeline.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum MmBackend {
     /// Exact branch and bound with the given node budget, falling back to
     /// the greedy heuristic when the budget runs out. The default: the
@@ -37,6 +38,36 @@ pub enum MmBackend {
     Portfolio,
 }
 
+impl MmBackend {
+    /// Canonical CLI/wire name of the backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MmBackend::Auto => "auto",
+            MmBackend::Exact => "exact",
+            MmBackend::Greedy => "greedy",
+            MmBackend::Unit => "unit",
+            MmBackend::LpRound => "lp-round",
+            MmBackend::Portfolio => "portfolio",
+        }
+    }
+}
+
+impl std::str::FromStr for MmBackend {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<MmBackend, ()> {
+        Ok(match s {
+            "auto" => MmBackend::Auto,
+            "exact" => MmBackend::Exact,
+            "greedy" => MmBackend::Greedy,
+            "unit" => MmBackend::Unit,
+            "lp-round" => MmBackend::LpRound,
+            "portfolio" => MmBackend::Portfolio,
+            _ => return Err(()),
+        })
+    }
+}
+
 /// Options for [`solve`].
 #[derive(Clone, Debug, Default)]
 pub struct SolverOptions {
@@ -48,6 +79,11 @@ pub struct SolverOptions {
     /// feasibility; the paper's bounds are proved *without* trimming (its
     /// Algorithm 5 calibrates unconditionally), so experiments report both.
     pub trim_empty_calibrations: bool,
+    /// Cooperative cancellation hook. The default token never fires.
+    /// [`solve`] propagates this token into the long-window pipeline
+    /// (overriding `long.cancel`) and polls it between phases, so callers
+    /// set it in one place.
+    pub cancel: CancelToken,
 }
 
 /// The combined result.
@@ -91,6 +127,7 @@ impl MachineMinimizer for AutoMm {
 /// black box) or an error: [`SchedError::Infeasible`] carries a certificate
 /// that no schedule exists on the instance's stated machine count.
 pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, SchedError> {
+    opts.cancel.check()?;
     let (long_jobs, short_jobs) = instance.partition_long_short();
     let n_long = long_jobs.len();
     let n_short = short_jobs.len();
@@ -99,9 +136,12 @@ pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, 
         None
     } else {
         let sub = instance.restrict(long_jobs, instance.machines());
-        Some(schedule_long_windows(&sub, &opts.long)?)
+        let mut lopts = opts.long.clone();
+        lopts.cancel = opts.cancel.clone();
+        Some(schedule_long_windows(&sub, &lopts)?)
     };
 
+    opts.cancel.check()?;
     let short = if short_jobs.is_empty() {
         None
     } else {
@@ -123,6 +163,7 @@ pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, 
     };
 
     // Union on disjoint machines.
+    opts.cancel.check()?;
     let mut schedule = Schedule::new();
     let mut offset = 0usize;
     if let Some(ref l) = long {
@@ -350,6 +391,29 @@ mod tests {
         let (l1, s1) = refined.partition_long_short();
         assert_eq!(l0.len(), l1.len());
         assert_eq!(s0.len(), s1.len());
+    }
+
+    #[test]
+    fn pre_cancelled_solve_returns_cancelled() {
+        let inst = Instance::new([(0, 40, 7), (0, 12, 6)], 1, 10).unwrap();
+        let opts = SolverOptions::default();
+        opts.cancel.cancel();
+        assert!(matches!(solve(&inst, &opts), Err(SchedError::Cancelled)));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_exact_search() {
+        use crate::cancel::CancelToken;
+        use crate::exact::{optimal, ExactOptions};
+        let inst = Instance::new([(0, 10, 3), (0, 10, 3)], 1, 5).unwrap();
+        let out = optimal(
+            &inst,
+            &ExactOptions {
+                cancel: CancelToken::with_timeout(std::time::Duration::ZERO),
+                ..ExactOptions::default()
+            },
+        );
+        assert!(matches!(out, Err(SchedError::Cancelled)));
     }
 
     #[test]

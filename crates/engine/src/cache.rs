@@ -1,0 +1,173 @@
+//! Sharded LRU result cache.
+//!
+//! Keys are canonical 64-bit hashes of `(Instance, solve options)` computed
+//! by [`cache_key`]; values are `Arc`s of the cached solve so hits are
+//! returned without cloning schedules. The cache is split into shards, each
+//! behind its own mutex, so workers contend only when they land on the same
+//! shard.
+//!
+//! LRU bookkeeping is a monotone per-shard tick: each entry remembers the
+//! tick of its last touch, a `BTreeMap<tick, key>` indexes entries by
+//! recency, and eviction removes the smallest tick. All operations are
+//! `O(log n)` in the shard size.
+
+use ise_model::Instance;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Canonical cache key for an instance + the solve options that affect the
+/// result. Uses `DefaultHasher`, which is deterministic within a process
+/// (fixed SipHash keys), so identical requests always collide — exactly
+/// what a result cache wants.
+pub fn cache_key(instance: &Instance, opts_fingerprint: &impl Hash) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    instance.machines().hash(&mut h);
+    instance.calib_len().ticks().hash(&mut h);
+    for job in instance.jobs() {
+        job.release.ticks().hash(&mut h);
+        job.deadline.ticks().hash(&mut h);
+        job.proc.ticks().hash(&mut h);
+    }
+    opts_fingerprint.hash(&mut h);
+    h.finish()
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    tick: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<u64, Entry<V>>,
+    by_tick: BTreeMap<u64, u64>,
+    tick: u64,
+}
+
+impl<V> Shard<V> {
+    fn touch(&mut self, key: u64) -> Option<Arc<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(&key)?;
+        self.by_tick.remove(&entry.tick);
+        entry.tick = tick;
+        self.by_tick.insert(tick, key);
+        Some(Arc::clone(&entry.value))
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<V>, capacity: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.map.insert(key, Entry { value, tick }) {
+            self.by_tick.remove(&old.tick);
+        }
+        self.by_tick.insert(tick, key);
+        while self.map.len() > capacity {
+            let (&oldest, &victim) = self.by_tick.iter().next().expect("nonempty over capacity");
+            self.by_tick.remove(&oldest);
+            self.map.remove(&victim);
+        }
+    }
+}
+
+/// A sharded LRU map from 64-bit keys to shared values.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_capacity: usize,
+}
+
+impl<V> ShardedLru<V> {
+    /// A cache holding roughly `capacity` entries across `shards` shards
+    /// (each shard gets `ceil(capacity / shards)`).
+    pub fn new(capacity: usize, shards: usize) -> ShardedLru<V> {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        by_tick: BTreeMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        self.shard(key).lock().unwrap().touch(key)
+    }
+
+    /// Insert (or refresh) a value, evicting least-recently-used entries
+    /// from the shard if it overflows.
+    pub fn insert(&self, key: u64, value: Arc<V>) {
+        self.shard(key)
+            .lock()
+            .unwrap()
+            .insert(key, value, self.per_shard_capacity);
+    }
+
+    /// Total entries across shards (racy; for metrics only).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries (racy; for metrics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let c: ShardedLru<u32> = ShardedLru::new(8, 2);
+        assert!(c.get(1).is_none());
+        c.insert(1, Arc::new(10));
+        assert_eq!(*c.get(1).unwrap(), 10);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Single shard, capacity 2.
+        let c: ShardedLru<u32> = ShardedLru::new(2, 1);
+        c.insert(1, Arc::new(1));
+        c.insert(2, Arc::new(2));
+        c.get(1); // refresh 1: now 2 is least-recent
+        c.insert(3, Arc::new(3));
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let c: ShardedLru<u32> = ShardedLru::new(4, 1);
+        c.insert(1, Arc::new(1));
+        c.insert(1, Arc::new(9));
+        assert_eq!(*c.get(1).unwrap(), 9);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_options_and_instances() {
+        let a = Instance::new([(0, 30, 4)], 1, 10).unwrap();
+        let b = Instance::new([(0, 30, 5)], 1, 10).unwrap();
+        assert_eq!(cache_key(&a, &"x"), cache_key(&a, &"x"));
+        assert_ne!(cache_key(&a, &"x"), cache_key(&b, &"x"));
+        assert_ne!(cache_key(&a, &"x"), cache_key(&a, &"y"));
+    }
+}

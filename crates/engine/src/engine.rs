@@ -1,0 +1,547 @@
+//! The worker pool: accepts [`EngineRequest`]s, runs them on a fixed set
+//! of threads, caches results, enforces per-request deadlines, and
+//! degrades to the greedy fallback when a deadline expires.
+//!
+//! Lifecycle: [`Engine::new`] spawns the workers; [`Engine::submit`]
+//! enqueues a request and returns a [`ResponseSlot`] the caller waits on;
+//! [`Engine::shutdown`] (also run on drop) closes the queue, lets workers
+//! drain it, and joins them.
+
+use crate::cache::{cache_key, ShardedLru};
+use crate::fallback::greedy_fallback_trimmed;
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+use ise_model::{Instance, Schedule};
+use ise_sched::cancel::CancelToken;
+use ise_sched::{solve_with_speed, MmBackend, SchedError, SolverOptions};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a producer does when the request queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Wait for a free slot (default).
+    #[default]
+    Block,
+    /// Fail the submit with [`SubmitError::QueueFull`].
+    Reject,
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded request-queue capacity.
+    pub queue_capacity: usize,
+    /// Result-cache capacity (entries, across all shards).
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Behavior when the queue is full.
+    pub backpressure: Backpressure,
+    /// Deadline applied to requests that do not carry their own
+    /// `timeout_ms`. `None` means no deadline.
+    pub default_timeout: Option<Duration>,
+    /// Rescue timed-out solves with the greedy fallback instead of
+    /// returning a timeout error.
+    pub fallback_on_timeout: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            backpressure: Backpressure::Block,
+            default_timeout: None,
+            fallback_on_timeout: true,
+        }
+    }
+}
+
+/// One solve request, as carried on the wire (JSONL) and in the queue.
+#[derive(Clone, Debug, Deserialize)]
+pub struct EngineRequest {
+    /// Caller-chosen correlation id, echoed in the response. Defaults to
+    /// the request's position when omitted in a JSONL stream.
+    pub id: Option<u64>,
+    /// The instance to solve.
+    pub instance: Instance,
+    /// Per-request deadline in milliseconds; overrides the engine default.
+    pub timeout_ms: Option<u64>,
+    /// MM backend name (`auto`, `exact`, `greedy`, `unit`, `lp-round`,
+    /// `portfolio`); engine default is `auto`.
+    pub mm: Option<String>,
+    /// Trim empty calibrations from the result.
+    pub trim: Option<bool>,
+    /// Speed augmentation factor (`>= 1`); default 1.
+    pub speed: Option<i64>,
+}
+
+impl EngineRequest {
+    /// A plain request for `instance` with engine defaults.
+    pub fn new(instance: Instance) -> EngineRequest {
+        EngineRequest {
+            id: None,
+            instance,
+            timeout_ms: None,
+            mm: None,
+            trim: None,
+            speed: None,
+        }
+    }
+}
+
+/// Response status values (`status` field of [`EngineResponse`]).
+pub mod status {
+    /// Solved by the full pipeline (possibly from cache).
+    pub const OK: &str = "ok";
+    /// Deadline expired; the greedy fallback produced the schedule.
+    pub const FALLBACK: &str = "fallback";
+    /// No schedule: solver error, timeout with fallback disabled, or
+    /// rejected submit.
+    pub const ERROR: &str = "error";
+}
+
+/// One solve response, as written to the JSONL output.
+#[derive(Clone, Debug, Serialize)]
+pub struct EngineResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// `"ok"`, `"fallback"`, or `"error"` (see [`status`]).
+    pub status: String,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Whether the solve hit its deadline (true for fallback and
+    /// timeout-error responses).
+    pub timed_out: bool,
+    /// Calibration count of the schedule, when one exists.
+    pub calibrations: Option<u64>,
+    /// The schedule, when one exists.
+    pub schedule: Option<Schedule>,
+    /// Error message for `"error"` responses.
+    pub error: Option<String>,
+    /// Wall-clock microseconds spent producing this response (0 for cache
+    /// hits).
+    pub solve_us: u64,
+}
+
+/// Why [`Engine::submit`] refused a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `Reject` backpressure and the queue is at capacity.
+    QueueFull,
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "request queue full"),
+            SubmitError::ShuttingDown => write!(f, "engine shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One-shot slot the engine fills with the response.
+#[derive(Clone)]
+pub struct ResponseSlot {
+    inner: Arc<(Mutex<Option<EngineResponse>>, Condvar)>,
+}
+
+impl ResponseSlot {
+    fn new() -> ResponseSlot {
+        ResponseSlot {
+            inner: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    fn fill(&self, response: EngineResponse) {
+        let (lock, cv) = &*self.inner;
+        *lock.lock().unwrap() = Some(response);
+        cv.notify_all();
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(&self) -> EngineResponse {
+        let (lock, cv) = &*self.inner;
+        let mut guard = lock.lock().unwrap();
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = cv.wait(guard).unwrap();
+        }
+    }
+
+    /// Non-blocking poll; consumes the response if present.
+    pub fn try_take(&self) -> Option<EngineResponse> {
+        self.inner.0.lock().unwrap().take()
+    }
+}
+
+struct QueuedJob {
+    request: EngineRequest,
+    id: u64,
+    slot: ResponseSlot,
+    enqueued: Instant,
+}
+
+struct Shared {
+    queue: BoundedQueue<QueuedJob>,
+    cache: ShardedLru<CachedSolve>,
+    metrics: EngineMetrics,
+    config: EngineConfig,
+}
+
+struct CachedSolve {
+    schedule: Schedule,
+    calibrations: usize,
+}
+
+/// The batch-solving engine. See the module docs for the lifecycle.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl Engine {
+    /// Spawn `config.workers` worker threads and return the handle.
+    pub fn new(config: EngineConfig) -> Engine {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity.max(1)),
+            cache: ShardedLru::new(config.cache_capacity.max(1), config.cache_shards),
+            metrics: EngineMetrics::default(),
+            config: config.clone(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ise-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers,
+            next_id: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Submit a request. Returns a slot that will receive the response;
+    /// blocks or rejects on a full queue per the configured backpressure.
+    pub fn submit(&self, request: EngineRequest) -> Result<ResponseSlot, SubmitError> {
+        let id = request.id.unwrap_or_else(|| {
+            self.next_id
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        });
+        let slot = ResponseSlot::new();
+        let job = QueuedJob {
+            id,
+            request,
+            slot: slot.clone(),
+            enqueued: Instant::now(),
+        };
+        let pushed = match self.shared.config.backpressure {
+            Backpressure::Block => self.shared.queue.push_blocking(job),
+            Backpressure::Reject => self.shared.queue.try_push(job),
+        };
+        match pushed {
+            Ok(()) => {
+                EngineMetrics::inc(&self.shared.metrics.requests);
+                Ok(slot)
+            }
+            Err((_, PushError::Full)) => {
+                EngineMetrics::inc(&self.shared.metrics.rejected);
+                Err(SubmitError::QueueFull)
+            }
+            Err((_, PushError::Closed)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Live metrics counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Close the queue, drain outstanding requests, and join the workers.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_wait.record(job.enqueued.elapsed());
+        let response = handle_request(shared, job.id, &job.request);
+        EngineMetrics::inc(&shared.metrics.completed);
+        job.slot.fill(response);
+    }
+}
+
+fn parse_backend(name: &str) -> Result<MmBackend, String> {
+    name.parse::<MmBackend>()
+        .map_err(|()| format!("unknown mm backend {name:?}"))
+}
+
+fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineResponse {
+    let error = |message: String, timed_out: bool| {
+        EngineMetrics::inc(&shared.metrics.errors);
+        EngineResponse {
+            id,
+            status: status::ERROR.to_string(),
+            cached: false,
+            timed_out,
+            calibrations: None,
+            schedule: None,
+            error: Some(message),
+            solve_us: 0,
+        }
+    };
+
+    let mm = match parse_backend(request.mm.as_deref().unwrap_or("auto")) {
+        Ok(mm) => mm,
+        Err(message) => return error(message, false),
+    };
+    let trim = request.trim.unwrap_or(false);
+    let speed = request.speed.unwrap_or(1);
+    if speed < 1 {
+        return error(format!("speed must be >= 1, got {speed}"), false);
+    }
+
+    // Cache lookup under the canonical key. Only deterministic inputs go
+    // into the key — the timeout does not, so a request that previously
+    // completed without a deadline can satisfy a tightly-budgeted
+    // duplicate.
+    let key = cache_key(&request.instance, &(mm, trim, speed));
+    if let Some(hit) = shared.cache.get(key) {
+        EngineMetrics::inc(&shared.metrics.cache_hits);
+        return EngineResponse {
+            id,
+            status: status::OK.to_string(),
+            cached: true,
+            timed_out: false,
+            calibrations: Some(hit.calibrations as u64),
+            schedule: Some(hit.schedule.clone()),
+            error: None,
+            solve_us: 0,
+        };
+    }
+    EngineMetrics::inc(&shared.metrics.cache_misses);
+
+    let budget = request
+        .timeout_ms
+        .map(Duration::from_millis)
+        .or(shared.config.default_timeout);
+    let cancel = match budget {
+        Some(b) => CancelToken::with_timeout(b),
+        None => CancelToken::new(),
+    };
+    let opts = SolverOptions {
+        mm,
+        trim_empty_calibrations: trim,
+        cancel: cancel.clone(),
+        ..SolverOptions::default()
+    };
+
+    let started = Instant::now();
+    let result = solve_with_speed(&request.instance, &opts, speed);
+    // The token is polled at phase boundaries, so a solve can also finish
+    // *after* its deadline; treat that as a timeout too for predictable
+    // `0 ms => fallback` semantics.
+    let overran = budget.is_some() && cancel.is_cancelled();
+    let elapsed = started.elapsed();
+    shared.metrics.solve_time.record(elapsed);
+    let solve_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+
+    match result {
+        Ok(outcome) if !overran => {
+            let calibrations = outcome.schedule.num_calibrations();
+            shared.cache.insert(
+                key,
+                Arc::new(CachedSolve {
+                    schedule: outcome.schedule.clone(),
+                    calibrations,
+                }),
+            );
+            EngineResponse {
+                id,
+                status: status::OK.to_string(),
+                cached: false,
+                timed_out: false,
+                calibrations: Some(calibrations as u64),
+                schedule: Some(outcome.schedule),
+                error: None,
+                solve_us,
+            }
+        }
+        Ok(_) | Err(SchedError::Cancelled) => {
+            EngineMetrics::inc(&shared.metrics.timeouts);
+            if shared.config.fallback_on_timeout {
+                EngineMetrics::inc(&shared.metrics.fallbacks);
+                let schedule = greedy_fallback_trimmed(&request.instance, trim);
+                EngineResponse {
+                    id,
+                    status: status::FALLBACK.to_string(),
+                    cached: false,
+                    timed_out: true,
+                    calibrations: Some(schedule.num_calibrations() as u64),
+                    schedule: Some(schedule),
+                    error: None,
+                    solve_us,
+                }
+            } else {
+                let mut r = error("solve timed out".to_string(), true);
+                r.solve_us = solve_us;
+                r
+            }
+        }
+        Err(e) => {
+            let mut r = error(e.to_string(), false);
+            r.solve_us = solve_us;
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_instance(p: i64) -> Instance {
+        Instance::new([(0, 30, p), (0, 40, p)], 1, 10).unwrap()
+    }
+
+    #[test]
+    fn solves_and_caches() {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let a = engine
+            .submit(EngineRequest::new(tiny_instance(4)))
+            .unwrap()
+            .wait();
+        assert_eq!(a.status, status::OK);
+        assert!(!a.cached);
+        ise_model::validate(&tiny_instance(4), &a.schedule.unwrap()).unwrap();
+        let b = engine
+            .submit(EngineRequest::new(tiny_instance(4)))
+            .unwrap()
+            .wait();
+        assert_eq!(b.status, status::OK);
+        assert!(b.cached);
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+    }
+
+    #[test]
+    fn zero_timeout_falls_back() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut req = EngineRequest::new(tiny_instance(5));
+        req.timeout_ms = Some(0);
+        let resp = engine.submit(req).unwrap().wait();
+        assert_eq!(resp.status, status::FALLBACK);
+        assert!(resp.timed_out);
+        ise_model::validate(&tiny_instance(5), &resp.schedule.unwrap()).unwrap();
+        assert_eq!(engine.metrics().timeouts, 1);
+        assert_eq!(engine.metrics().fallbacks, 1);
+    }
+
+    #[test]
+    fn zero_timeout_without_fallback_is_error() {
+        let engine = Engine::new(EngineConfig {
+            fallback_on_timeout: false,
+            ..EngineConfig::default()
+        });
+        let mut req = EngineRequest::new(tiny_instance(5));
+        req.timeout_ms = Some(0);
+        let resp = engine.submit(req).unwrap().wait();
+        assert_eq!(resp.status, status::ERROR);
+        assert!(resp.timed_out);
+        assert!(resp.schedule.is_none());
+    }
+
+    #[test]
+    fn bad_backend_is_an_error_response() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut req = EngineRequest::new(tiny_instance(3));
+        req.mm = Some("bogus".to_string());
+        let resp = engine.submit(req).unwrap().wait();
+        assert_eq!(resp.status, status::ERROR);
+        assert!(resp.error.unwrap().contains("bogus"));
+    }
+
+    #[test]
+    fn reject_backpressure_reports_queue_full() {
+        // 1 worker, queue of 1: stuff enough requests in that at least one
+        // submit observes a full queue.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            backpressure: Backpressure::Reject,
+            ..EngineConfig::default()
+        });
+        let mut slots = Vec::new();
+        let mut saw_full = false;
+        for i in 0..200 {
+            let mut req = EngineRequest::new(tiny_instance(2 + (i % 7)));
+            req.id = Some(i as u64);
+            match engine.submit(req) {
+                Ok(slot) => slots.push(slot),
+                Err(SubmitError::QueueFull) => saw_full = true,
+                Err(SubmitError::ShuttingDown) => unreachable!("engine is live"),
+            }
+        }
+        for slot in slots {
+            let _ = slot.wait();
+        }
+        assert!(saw_full, "queue of capacity 1 never filled");
+        assert!(engine.metrics().rejected > 0);
+    }
+
+    #[test]
+    fn shutdown_drains_outstanding_work() {
+        let mut engine = Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let slots: Vec<ResponseSlot> = (0..10)
+            .map(|i| {
+                engine
+                    .submit(EngineRequest::new(tiny_instance(2 + (i % 5))))
+                    .unwrap()
+            })
+            .collect();
+        engine.shutdown();
+        for slot in slots {
+            assert!(slot.try_take().is_some(), "response missing after drain");
+        }
+        assert!(matches!(
+            engine.submit(EngineRequest::new(tiny_instance(2))),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+}

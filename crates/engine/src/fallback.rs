@@ -1,0 +1,140 @@
+//! Greedy degradation path for timed-out solves.
+//!
+//! EDF with on-demand calibration and an open machine pool: jobs are taken
+//! in deadline order and placed at the earliest feasible time across the
+//! machines used so far, calibrating on demand; a fresh machine is opened
+//! when no existing machine can meet the deadline. Because `p_j <= T` and
+//! `r_j + p_j <= d_j` are instance invariants, a fresh machine calibrated
+//! at `r_j` always works — so this never fails and runs in `O(n·m)` with no
+//! LP and no search, which is what makes it a safe deadline fallback. No
+//! approximation guarantee is claimed; the trade is explicit: a valid
+//! schedule now instead of a near-optimal one late.
+
+use ise_model::{Instance, Schedule, Time};
+
+struct MachineState {
+    /// End of the last placed job on this machine.
+    busy_until: Time,
+    /// Start of the machine's most recent calibration (covers `cal_start +
+    /// T`); `None` before the first.
+    cal_start: Option<Time>,
+}
+
+/// Produce a feasible schedule greedily. Infallible on any well-formed
+/// [`Instance`]; pass the result through `ise_model::validate` in tests,
+/// not in production paths.
+pub fn greedy_fallback(instance: &Instance) -> Schedule {
+    let t_len = instance.calib_len();
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    let jobs = instance.jobs();
+    order.sort_by_key(|&i| (jobs[i].deadline, jobs[i].release, i));
+
+    let mut machines: Vec<MachineState> = Vec::new();
+    let mut schedule = Schedule::new();
+    for &i in &order {
+        let job = &jobs[i];
+        // Earliest finish across existing machines; `None` while no
+        // machine can meet the deadline.
+        let mut best: Option<(Time, usize, Time, Option<Time>)> = None;
+        for (mi, m) in machines.iter().enumerate() {
+            let earliest = job.release.max(m.busy_until);
+            let (start, new_cal) = match m.cal_start {
+                // Reuse the current calibration when the whole execution
+                // fits inside it.
+                Some(cs) if earliest >= cs && earliest + job.proc <= cs + t_len => (earliest, None),
+                // Otherwise calibrate afresh, after the previous
+                // calibration (same-machine calibrations must not overlap).
+                Some(cs) => {
+                    let s = earliest.max(cs + t_len);
+                    (s, Some(s))
+                }
+                None => (earliest, Some(earliest)),
+            };
+            let finish = start + job.proc;
+            if finish > job.deadline {
+                continue;
+            }
+            if best.is_none_or(|(bf, _, _, _)| finish < bf) {
+                best = Some((finish, mi, start, new_cal));
+            }
+        }
+        let (mi, start, new_cal) = match best {
+            Some((_, mi, start, new_cal)) => (mi, start, new_cal),
+            None => {
+                // Open a machine: start at release under a fresh
+                // calibration. Always feasible by the instance invariants.
+                machines.push(MachineState {
+                    busy_until: Time(i64::MIN / 4),
+                    cal_start: None,
+                });
+                (machines.len() - 1, job.release, Some(job.release))
+            }
+        };
+        if let Some(cs) = new_cal {
+            schedule.calibrate(mi, cs);
+            machines[mi].cal_start = Some(cs);
+        }
+        schedule.place(job.id, mi, start);
+        machines[mi].busy_until = start + job.proc;
+    }
+    schedule
+}
+
+/// Like [`greedy_fallback`], with empty calibrations trimmed (there are
+/// none by construction — every calibration is opened for a job — but the
+/// solver option is honored for response parity).
+pub fn greedy_fallback_trimmed(instance: &Instance, trim: bool) -> Schedule {
+    let mut s = greedy_fallback(instance);
+    if trim {
+        s.trim_empty_calibrations(instance.calib_len());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_model::validate;
+    use ise_workloads::{uniform, WorkloadParams};
+
+    #[test]
+    fn valid_on_random_instances() {
+        for seed in 0..20 {
+            let params = WorkloadParams {
+                jobs: 30,
+                machines: 3,
+                calib_len: 10,
+                horizon: 150,
+            };
+            let inst = uniform(&params, seed);
+            let s = greedy_fallback(&inst);
+            validate(&inst, &s).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tight_jobs_each_get_a_machine() {
+        // Two zero-slack overlapping jobs force two machines.
+        let inst = Instance::new([(0, 5, 5), (2, 7, 5)], 1, 5).unwrap();
+        let s = greedy_fallback(&inst);
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.machines_used(), 2);
+    }
+
+    #[test]
+    fn shares_calibrations_when_loose() {
+        // Two tiny jobs with roomy windows share one calibration.
+        let inst = Instance::new([(0, 30, 2), (0, 30, 2)], 1, 10).unwrap();
+        let s = greedy_fallback(&inst);
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.num_calibrations(), 1);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new([], 1, 10).unwrap();
+        let s = greedy_fallback(&inst);
+        assert_eq!(s.num_calibrations(), 0);
+        assert!(s.placements.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # ise-engine — concurrent batch solving for calibration scheduling
+//!
+//! A serving layer over [`ise_sched`]: a fixed worker pool consumes solve
+//! requests from a bounded queue, deduplicates work through a sharded LRU
+//! result cache, enforces per-request deadlines via the solver's
+//! cooperative [`CancelToken`](ise_sched::cancel::CancelToken) hook, and
+//! degrades to a greedy (valid, non-approximate) schedule when a deadline
+//! expires. The `ise serve` CLI mode wraps [`serve::serve`] around stdin /
+//! file JSONL streams.
+//!
+//! Module map:
+//!
+//! * [`queue`] — bounded MPMC request queue with blocking or rejecting
+//!   backpressure.
+//! * [`cache`] — sharded LRU keyed by a canonical hash of
+//!   `(instance, options)`.
+//! * [`metrics`] — atomic counters plus log₂ latency histograms,
+//!   serializable to JSON.
+//! * [`fallback`] — the infallible greedy schedule used on timeout.
+//! * [`engine`] — the worker pool tying the above together.
+//! * [`serve`] — JSONL request/response streaming.
+
+pub mod cache;
+pub mod engine;
+pub mod fallback;
+pub mod metrics;
+pub mod queue;
+pub mod serve;
+
+pub use cache::{cache_key, ShardedLru};
+pub use engine::{
+    status, Backpressure, Engine, EngineConfig, EngineRequest, EngineResponse, ResponseSlot,
+    SubmitError,
+};
+pub use fallback::greedy_fallback;
+pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use serve::{serve, ServeSummary};

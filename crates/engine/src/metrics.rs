@@ -1,0 +1,202 @@
+//! Engine counters and latency histograms.
+//!
+//! All counters are relaxed atomics bumped by workers and read by
+//! [`EngineMetrics::snapshot`], which produces a serializable
+//! [`MetricsSnapshot`]. Latencies go into log₂-bucketed histograms
+//! (bucket `i` counts durations in `[2^(i-1), 2^i)` microseconds), from
+//! which the snapshot derives approximate quantiles.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 40;
+
+/// Lock-free log₂ histogram of microsecond durations.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        HistogramSnapshot {
+            p50_us: quantile(&buckets, count, 0.50),
+            p90_us: quantile(&buckets, count, 0.90),
+            p99_us: quantile(&buckets, count, 0.99),
+            count,
+            buckets,
+        }
+    }
+}
+
+/// Upper bound (µs) of bucket `i`: `2^i - 1`, saturating.
+fn bucket_upper_us(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i).saturating_sub(1)
+    }
+}
+
+fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64) * q).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper_us(i);
+        }
+    }
+    bucket_upper_us(BUCKETS - 1)
+}
+
+/// Serializable view of one histogram.
+#[derive(Clone, Debug, Serialize)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Approximate (bucket upper bound) quantiles in microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, bucket upper bound.
+    pub p90_us: u64,
+    /// 99th percentile, bucket upper bound.
+    pub p99_us: u64,
+    /// Raw counts; bucket `i` covers `[2^(i-1), 2^i)` µs.
+    pub buckets: Vec<u64>,
+}
+
+/// Live counters shared by all engine workers.
+#[derive(Default)]
+pub struct EngineMetrics {
+    /// Requests accepted into the queue.
+    pub requests: AtomicU64,
+    /// Requests refused by `Reject` backpressure.
+    pub rejected: AtomicU64,
+    /// Responses produced (any status).
+    pub completed: AtomicU64,
+    /// Responses served from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that missed the cache and went to the solver.
+    pub cache_misses: AtomicU64,
+    /// Solves that hit their deadline and were cancelled.
+    pub timeouts: AtomicU64,
+    /// Timed-out solves rescued by the greedy fallback.
+    pub fallbacks: AtomicU64,
+    /// Solves that ended in an error response.
+    pub errors: AtomicU64,
+    /// Time requests spent queued before a worker picked them up.
+    pub queue_wait: LatencyHistogram,
+    /// Time spent in the solver (cache misses only).
+    pub solve_time: LatencyHistogram,
+}
+
+impl EngineMetrics {
+    /// Bump a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of all counters for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.snapshot(),
+            solve_time: self.solve_time.snapshot(),
+        }
+    }
+}
+
+/// Serializable engine metrics (see [`EngineMetrics`] for field meanings).
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Requests refused by `Reject` backpressure.
+    pub rejected: u64,
+    /// Responses produced (any status).
+    pub completed: u64,
+    /// Responses served from the result cache.
+    pub cache_hits: u64,
+    /// Requests that went to the solver.
+    pub cache_misses: u64,
+    /// Solves cancelled at their deadline.
+    pub timeouts: u64,
+    /// Timed-out solves rescued by the greedy fallback.
+    pub fallbacks: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Queue-wait latency histogram.
+    pub queue_wait: HistogramSnapshot,
+    /// Solver latency histogram.
+    pub solve_time: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(100));
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50 lands in the 100 µs bucket (upper bound 127), p99 likewise.
+        assert_eq!(s.p50_us, 127);
+        assert_eq!(s.p99_us, 127);
+        assert!(s.buckets.iter().sum::<u64>() == 100);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::default();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = EngineMetrics::default();
+        EngineMetrics::inc(&m.requests);
+        m.queue_wait.record(Duration::from_micros(5));
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        assert!(json.contains("\"requests\":1"), "{json}");
+        assert!(json.contains("\"queue_wait\""), "{json}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Bounded multi-producer/multi-consumer queue on `Mutex` + `Condvar`.
+//!
+//! The engine's request queue: producers either block for space or get a
+//! `Full` error back (configurable backpressure, decided by the caller via
+//! [`BoundedQueue::push_blocking`] vs [`BoundedQueue::try_push`]), and
+//! workers block on [`BoundedQueue::pop`] until an item or shutdown
+//! arrives. Closing wakes everyone: pending items are still drained, then
+//! `pop` returns `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (only from [`BoundedQueue::try_push`]).
+    Full,
+    /// The queue was closed; no further items are accepted.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO shared by producers and a worker pool.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    /// Signalled when an item is pushed or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when an item is popped or the queue closes.
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` in-flight items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueue without waiting; `Err(Full)` when at capacity.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err((item, PushError::Closed));
+        }
+        if s.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, waiting for space if necessary.
+    pub fn push_blocking(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.closed {
+                return Err((item, PushError::Closed));
+            }
+            if s.items.len() < self.capacity {
+                s.items.push_back(item);
+                drop(s);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            s = self.not_full.wait(s).unwrap();
+        }
+    }
+
+    /// Dequeue, blocking until an item arrives. `None` once the queue is
+    /// closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).unwrap();
+        }
+    }
+
+    /// Stop accepting new items and wake all waiters. Already-queued items
+    /// are still delivered.
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.closed = true;
+        drop(s);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current number of queued items (racy; for metrics only).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for metrics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn try_push_full() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err((2, PushError::Full))));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(2), Err((2, PushError::Closed))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push_blocking(2).is_ok());
+        // Consume to make room; the producer must then complete.
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_unblocks_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || q2.pop());
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

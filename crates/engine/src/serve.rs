@@ -1,0 +1,130 @@
+//! JSONL batch serving: one request per input line, one response per
+//! output line, in input order.
+//!
+//! Request lines are [`EngineRequest`] JSON objects; the only required
+//! field is `instance`. Malformed lines produce an `"error"` response (with
+//! the line number as the id) instead of aborting the stream, so one bad
+//! record cannot poison a batch. Blank lines are skipped.
+
+use crate::engine::{status, Engine, EngineConfig, EngineRequest, EngineResponse, ResponseSlot};
+use crate::metrics::MetricsSnapshot;
+use std::io::{BufRead, Write};
+
+enum Pending {
+    /// Submitted; the worker pool will fill the slot.
+    InFlight(ResponseSlot),
+    /// Failed before reaching the pool (parse error, rejected submit).
+    Immediate(Box<EngineResponse>),
+}
+
+/// Outcome of one [`serve`] run.
+pub struct ServeSummary {
+    /// Responses written.
+    pub responses: u64,
+    /// Engine metrics at end of stream.
+    pub metrics: MetricsSnapshot,
+}
+
+fn immediate_error(id: u64, message: String) -> Pending {
+    Pending::Immediate(Box::new(EngineResponse {
+        id,
+        status: status::ERROR.to_string(),
+        cached: false,
+        timed_out: false,
+        calibrations: None,
+        schedule: None,
+        error: Some(message),
+        solve_us: 0,
+    }))
+}
+
+/// Read JSONL requests from `input`, solve them on `config`'s worker pool,
+/// and write JSONL responses to `output` in input order.
+///
+/// I/O errors abort the run; per-request failures do not.
+pub fn serve<R: BufRead, W: Write>(
+    input: R,
+    output: &mut W,
+    config: EngineConfig,
+) -> std::io::Result<ServeSummary> {
+    let engine = Engine::new(config);
+    let mut pending: Vec<Pending> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fallback_id = lineno as u64;
+        let entry = match serde_json::from_str::<EngineRequest>(&line) {
+            Ok(mut request) => {
+                if request.id.is_none() {
+                    request.id = Some(fallback_id);
+                }
+                match engine.submit(request) {
+                    Ok(slot) => Pending::InFlight(slot),
+                    Err(e) => immediate_error(fallback_id, e.to_string()),
+                }
+            }
+            Err(e) => immediate_error(fallback_id, format!("line {}: {e}", lineno + 1)),
+        };
+        pending.push(entry);
+    }
+
+    let mut responses = 0u64;
+    for entry in pending {
+        let response = match entry {
+            Pending::InFlight(slot) => slot.wait(),
+            Pending::Immediate(r) => *r,
+        };
+        let json = serde_json::to_string(&response).expect("response serialization is infallible");
+        writeln!(output, "{json}")?;
+        responses += 1;
+    }
+    output.flush()?;
+    let metrics = engine.metrics();
+    Ok(ServeSummary { responses, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_line(id: u64, proc: i64) -> String {
+        format!(
+            "{{\"id\": {id}, \"instance\": {{\"jobs\": [{{\"id\": 0, \"release\": 0, \
+             \"deadline\": 30, \"proc\": {proc}}}], \"machines\": 1, \"calib_len\": 10}}}}"
+        )
+    }
+
+    #[test]
+    fn serves_in_order_with_errors_inline() {
+        let input = format!(
+            "{}\nnot json\n\n{}\n",
+            request_line(7, 4),
+            request_line(9, 5)
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            input.as_bytes(),
+            &mut out,
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.responses, 3);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["id"].as_u64(), Some(7));
+        assert_eq!(first["status"].as_str(), Some("ok"));
+        let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second["status"].as_str(), Some("error"));
+        let third: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(third["id"].as_u64(), Some(9));
+        // The malformed line never reached the engine: 2 solves, 0 errors.
+        assert_eq!(summary.metrics.errors, 0);
+        assert_eq!(summary.metrics.completed, 2);
+    }
+}

@@ -330,18 +330,35 @@ impl std::str::FromStr for WorkloadFamily {
 /// perfect packing.
 pub fn partition_hard(num_jobs: usize, machines: usize, calib_len: i64, seed: u64) -> Instance {
     assert!(num_jobs >= machines, "need at least one job per machine");
+    assert!(
+        num_jobs as i64 <= machines as i64 * calib_len,
+        "need room for one unit of work per job"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    // Split machines·T into num_jobs positive parts.
-    let total = machines as i64 * calib_len;
-    let mut parts = vec![1i64; num_jobs];
-    let mut remaining = total - num_jobs as i64;
-    // Dole out the remainder randomly, capping each job at T.
-    while remaining > 0 {
-        let i = rng.gen_range(0..num_jobs);
-        if parts[i] < calib_len {
-            parts[i] += 1;
+    // Build the parts bucket-by-bucket so a perfect packing exists by
+    // construction: each machine gets a set of jobs summing to exactly T.
+    // (Splitting machines·T into parts globally does NOT guarantee an exact
+    // m-way partition — that is the Partition problem itself.)
+    let mut bucket_jobs = vec![1usize; machines];
+    let mut extra = num_jobs - machines;
+    while extra > 0 {
+        let i = rng.gen_range(0..machines);
+        if (bucket_jobs[i] as i64) < calib_len {
+            bucket_jobs[i] += 1;
+            extra -= 1;
+        }
+    }
+    let mut parts = Vec::with_capacity(num_jobs);
+    for &k in &bucket_jobs {
+        // Split T into k positive parts.
+        let mut bucket = vec![1i64; k];
+        let mut remaining = calib_len - k as i64;
+        while remaining > 0 {
+            let i = rng.gen_range(0..k);
+            bucket[i] += 1;
             remaining -= 1;
         }
+        parts.extend(bucket);
     }
     let mut b = InstanceBuilder::new(machines, calib_len);
     for &p in &parts {

@@ -36,7 +36,10 @@
 //! * [`mm`] — machine-minimization algorithms (the short-window black box).
 //! * [`sched`] — the paper's algorithms and baselines.
 //! * [`workloads`] — deterministic instance generators for experiments.
+//! * [`engine`] — concurrent batch solving: worker pool, result cache,
+//!   timeouts, and the JSONL `serve` protocol.
 
+pub use ise_engine as engine;
 pub use ise_mm as mm;
 pub use ise_model as model;
 pub use ise_sched as sched;

@@ -9,12 +9,19 @@
 //! ise bounds   <instance.json>
 //! ise gantt    <instance.json> <schedule.json> [--width W]
 //! ise exact    <instance.json> [--max-calibrations K]
+//! ise serve    [requests.jsonl] [--workers N] [--timeout-ms MS] [--out FILE]
 //! ```
 //!
 //! Instances and schedules are the serde JSON forms of
 //! [`ise::model::Instance`] and [`ise::model::Schedule`]; `generate` and
-//! `solve` write them, so the commands compose through files.
+//! `solve` write them, so the commands compose through files. `serve` reads
+//! one JSON request per line (stdin when no file is given) and writes one
+//! JSON response per line in input order; see [`ise::engine::serve`].
+//!
+//! Flag parsing is strict: unknown `--flags` and value flags missing their
+//! value are errors, not silently ignored.
 
+use ise::engine::{serve, EngineConfig, ServeSummary};
 use ise::model::{
     render_gantt, validate, validate_relaxed, validate_tise, Instance, RenderOptions, Schedule,
 };
@@ -24,7 +31,9 @@ use ise::sched::improve::{improve, ImproveOptions};
 use ise::sched::lower_bound::lower_bound;
 use ise::sched::{solve_with_speed, MmBackend, SolveReport, SolverOptions};
 use ise::workloads as wl;
+use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,7 +58,10 @@ const USAGE: &str = "usage:
   ise validate <instance.json> <schedule.json> [--tise|--relaxed]
   ise bounds   <instance.json>
   ise gantt    <instance.json> <schedule.json> [--width W]
-  ise exact    <instance.json> [--max-calibrations K]";
+  ise exact    <instance.json> [--max-calibrations K]
+  ise serve    [requests.jsonl] [--workers N] [--queue-capacity N]
+               [--cache-capacity N] [--timeout-ms MS] [--no-fallback]
+               [--out FILE] [--metrics FILE]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -62,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "bounds" => cmd_bounds(&rest),
         "gantt" => cmd_gantt(&rest),
         "exact" => cmd_exact(&rest),
+        "serve" => cmd_serve(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -70,11 +83,38 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Pull `--flag value` out of an argument list; returns (value, consumed?).
-fn flag_value<'a>(args: &[&'a String], name: &str) -> Option<&'a String> {
-    args.iter()
-        .position(|a| a.as_str() == name)
-        .and_then(|i| args.get(i + 1).copied())
+/// Reject flags the subcommand does not declare, and `value` flags missing
+/// their value — before any file I/O, so a typo never half-runs a command.
+/// `value` flags consume the following argument; `switch` flags stand alone.
+fn check_flags(args: &[&String], value: &[&str], switch: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if value.contains(&a) {
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => i += 1,
+                    _ => return Err(format!("{a} requires a value")),
+                }
+            } else if !switch.contains(&a) {
+                return Err(format!("unknown flag `{a}`"));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Pull `--flag value` out of an argument list. Errors when the flag is
+/// present without a value (end of args, or followed by another flag).
+fn flag_value<'a>(args: &[&'a String], name: &str) -> Result<Option<&'a String>, String> {
+    match args.iter().position(|a| a.as_str() == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{name} requires a value")),
+        },
+    }
 }
 
 fn flag_present(args: &[&String], name: &str) -> bool {
@@ -82,7 +122,7 @@ fn flag_present(args: &[&String], name: &str) -> bool {
 }
 
 fn parse<T: std::str::FromStr>(args: &[&String], name: &str, default: T) -> Result<T, String> {
-    match flag_value(args, name) {
+    match flag_value(args, name)? {
         None => Ok(default),
         Some(v) => v
             .parse()
@@ -90,25 +130,21 @@ fn parse<T: std::str::FromStr>(args: &[&String], name: &str, default: T) -> Resu
     }
 }
 
-/// Positional args, with flag values removed.
-fn positionals<'a>(args: &[&'a String]) -> Vec<&'a String> {
+/// Positional args: everything that is neither a flag nor the value of one
+/// of the declared `value_flags`.
+fn positionals<'a>(args: &[&'a String], value_flags: &[&str]) -> Vec<&'a String> {
     let mut out = Vec::new();
-    let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
-        if skip {
-            skip = false;
-            continue;
-        }
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i];
         if a.starts_with("--") {
-            // Boolean flags take no value; the known ones are listed here.
-            let boolean = matches!(
-                a.as_str(),
-                "--trim" | "--tise" | "--relaxed" | "--decompose" | "--improve" | "--audit"
-            );
-            skip = !boolean && i + 1 < args.len();
-            continue;
+            if value_flags.contains(&a.as_str()) {
+                i += 1;
+            }
+        } else {
+            out.push(a);
         }
-        out.push(*a);
+        i += 1;
     }
     out
 }
@@ -136,7 +172,17 @@ fn write_json<T: serde::Serialize>(value: &T, out: Option<&String>) -> Result<()
 }
 
 fn generate(args: &[&String]) -> Result<(), String> {
-    let family: wl::WorkloadFamily = flag_value(args, "--family")
+    const VALUE: &[&str] = &[
+        "--family",
+        "--jobs",
+        "--machines",
+        "--calib-len",
+        "--horizon",
+        "--seed",
+        "--out",
+    ];
+    check_flags(args, VALUE, &[])?;
+    let family: wl::WorkloadFamily = flag_value(args, "--family")?
         .ok_or("generate requires --family")?
         .parse()?;
     let params = wl::WorkloadParams {
@@ -147,25 +193,17 @@ fn generate(args: &[&String]) -> Result<(), String> {
     };
     let seed: u64 = parse(args, "--seed", 0u64)?;
     let instance = family.generate(&params, seed);
-    write_json(&instance, flag_value(args, "--out"))
+    write_json(&instance, flag_value(args, "--out")?)
 }
 
 fn cmd_solve(args: &[&String]) -> Result<(), String> {
-    let pos = positionals(args);
+    const VALUE: &[&str] = &["--mm", "--speed", "--out"];
+    const SWITCH: &[&str] = &["--trim", "--improve", "--audit", "--decompose"];
+    check_flags(args, VALUE, SWITCH)?;
+    let pos = positionals(args, VALUE);
     let path = pos.first().ok_or("solve requires an instance file")?;
     let instance = read_instance(path)?;
-    let mm = match flag_value(args, "--mm")
-        .map(|s| s.as_str())
-        .unwrap_or("auto")
-    {
-        "auto" => MmBackend::Auto,
-        "exact" => MmBackend::Exact,
-        "greedy" => MmBackend::Greedy,
-        "unit" => MmBackend::Unit,
-        "lp-round" => MmBackend::LpRound,
-        "portfolio" => MmBackend::Portfolio,
-        other => return Err(format!("unknown MM backend `{other}`")),
-    };
+    let mm: MmBackend = parse(args, "--mm", MmBackend::Auto)?;
     let opts = SolverOptions {
         mm,
         trim_empty_calibrations: flag_present(args, "--trim"),
@@ -201,11 +239,12 @@ fn cmd_solve(args: &[&String]) -> Result<(), String> {
     validate(&instance, &outcome.schedule)
         .map_err(|e| format!("produced invalid schedule: {e}"))?;
     eprintln!("{}", SolveReport::new(&instance, &outcome));
-    write_json(&outcome.schedule, flag_value(args, "--out"))
+    write_json(&outcome.schedule, flag_value(args, "--out")?)
 }
 
 fn cmd_validate(args: &[&String]) -> Result<(), String> {
-    let pos = positionals(args);
+    check_flags(args, &[], &["--tise", "--relaxed"])?;
+    let pos = positionals(args, &[]);
     let [inst_path, sched_path] = pos.as_slice() else {
         return Err("validate requires <instance.json> <schedule.json>".into());
     };
@@ -232,7 +271,8 @@ fn cmd_validate(args: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_bounds(args: &[&String]) -> Result<(), String> {
-    let pos = positionals(args);
+    check_flags(args, &[], &[])?;
+    let pos = positionals(args, &[]);
     let path = pos.first().ok_or("bounds requires an instance file")?;
     let instance = read_instance(path)?;
     let report = lower_bound(&instance, &Default::default());
@@ -247,7 +287,9 @@ fn cmd_bounds(args: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_gantt(args: &[&String]) -> Result<(), String> {
-    let pos = positionals(args);
+    const VALUE: &[&str] = &["--width"];
+    check_flags(args, VALUE, &[])?;
+    let pos = positionals(args, VALUE);
     let [inst_path, sched_path] = pos.as_slice() else {
         return Err("gantt requires <instance.json> <schedule.json>".into());
     };
@@ -263,7 +305,9 @@ fn cmd_gantt(args: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_exact(args: &[&String]) -> Result<(), String> {
-    let pos = positionals(args);
+    const VALUE: &[&str] = &["--max-calibrations", "--out"];
+    check_flags(args, VALUE, &[])?;
+    let pos = positionals(args, VALUE);
     let path = pos.first().ok_or("exact requires an instance file")?;
     let instance = read_instance(path)?;
     if instance.len() > 10 {
@@ -282,7 +326,7 @@ fn cmd_exact(args: &[&String]) -> Result<(), String> {
                 "optimum: {} calibrations ({} search nodes)",
                 out.calibrations, out.nodes
             );
-            write_json(&out.schedule, flag_value(args, "--out"))
+            write_json(&out.schedule, flag_value(args, "--out")?)
         }
         None => {
             println!(
@@ -291,6 +335,80 @@ fn cmd_exact(args: &[&String]) -> Result<(), String> {
                 instance.machines()
             );
             Ok(())
+        }
+    }
+}
+
+fn cmd_serve(args: &[&String]) -> Result<(), String> {
+    const VALUE: &[&str] = &[
+        "--workers",
+        "--queue-capacity",
+        "--cache-capacity",
+        "--timeout-ms",
+        "--out",
+        "--metrics",
+    ];
+    const SWITCH: &[&str] = &["--no-fallback"];
+    check_flags(args, VALUE, SWITCH)?;
+    let pos = positionals(args, VALUE);
+    if pos.len() > 1 {
+        return Err("serve takes at most one input file".into());
+    }
+
+    let defaults = EngineConfig::default();
+    let config = EngineConfig {
+        workers: parse(args, "--workers", defaults.workers)?,
+        queue_capacity: parse(args, "--queue-capacity", defaults.queue_capacity)?,
+        cache_capacity: parse(args, "--cache-capacity", defaults.cache_capacity)?,
+        // `--timeout-ms 0` means "no default deadline", like omitting it.
+        default_timeout: parse(args, "--timeout-ms", 0u64)
+            .map(|ms| (ms > 0).then(|| Duration::from_millis(ms)))?,
+        fallback_on_timeout: !flag_present(args, "--no-fallback"),
+        ..defaults
+    };
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+
+    let out = flag_value(args, "--out")?;
+    let summary = match pos.first() {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+            run_serve(std::io::BufReader::new(file), out, config)?
+        }
+        None => run_serve(std::io::stdin().lock(), out, config)?,
+    };
+
+    // Keep stdout pure JSONL: the metrics summary goes to stderr or a file.
+    let metrics_json = serde_json::to_string_pretty(&summary.metrics).map_err(|e| e.to_string())?;
+    match flag_value(args, "--metrics")? {
+        Some(path) => {
+            std::fs::write(path, &metrics_json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => eprintln!("{metrics_json}"),
+    }
+    eprintln!("served {} responses", summary.responses);
+    Ok(())
+}
+
+fn run_serve<R: BufRead>(
+    input: R,
+    out: Option<&String>,
+    config: EngineConfig,
+) -> Result<ServeSummary, String> {
+    match out {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("writing {path}: {e}"))?;
+            let mut writer = BufWriter::new(file);
+            let summary = serve(input, &mut writer, config).map_err(|e| e.to_string())?;
+            writer.flush().map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+            Ok(summary)
+        }
+        None => {
+            let mut stdout = BufWriter::new(std::io::stdout().lock());
+            serve(input, &mut stdout, config).map_err(|e| e.to_string())
         }
     }
 }

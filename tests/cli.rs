@@ -170,6 +170,70 @@ fn unknown_command_prints_usage() {
 }
 
 #[test]
+fn unknown_flag_is_rejected() {
+    let (ok, _, err) = ise(&["solve", "inst.json", "--frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+    // Flags valid for one command are still rejected on another.
+    let (ok, _, err) = ise(&["bounds", "inst.json", "--mm", "greedy"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag `--mm`"), "{err}");
+}
+
+#[test]
+fn flag_without_value_is_rejected() {
+    // Trailing flag with no value.
+    let (ok, _, err) = ise(&["generate", "--family"]);
+    assert!(!ok);
+    assert!(err.contains("--family requires a value"), "{err}");
+    // Value position occupied by another flag — and the error fires before
+    // the (nonexistent) instance file is ever opened.
+    let (ok, _, err) = ise(&["solve", "no-such-file.json", "--mm", "--trim"]);
+    assert!(!ok);
+    assert!(err.contains("--mm requires a value"), "{err}");
+}
+
+#[test]
+fn serve_processes_jsonl_file() {
+    let dir = tempdir();
+    let reqs = dir.join("reqs.jsonl");
+    let resps = dir.join("resps.jsonl");
+    let metrics = dir.join("metrics.json");
+    let line = |id: u64, proc: i64| {
+        format!(
+            "{{\"id\": {id}, \"instance\": {{\"jobs\": [{{\"id\": 0, \"release\": 0, \
+             \"deadline\": 30, \"proc\": {proc}}}], \"machines\": 1, \"calib_len\": 10}}}}\n"
+        )
+    };
+    // Requests 0 and 1 share an instance; one worker makes the hit certain.
+    std::fs::write(&reqs, format!("{}{}{}", line(0, 4), line(1, 4), line(2, 6))).unwrap();
+    let (ok, _, err) = ise(&[
+        "serve",
+        reqs.to_str().unwrap(),
+        "--workers",
+        "1",
+        "--out",
+        resps.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(err.contains("served 3 responses"), "{err}");
+    let body = std::fs::read_to_string(&resps).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for (i, l) in lines.iter().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(l).unwrap();
+        assert_eq!(v["id"].as_u64(), Some(i as u64));
+        assert_eq!(v["status"].as_str(), Some("ok"), "{l}");
+    }
+    let m: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(m["requests"].as_u64(), Some(3));
+    assert_eq!(m["cache_hits"].as_u64(), Some(1));
+}
+
+#[test]
 fn speed_flag_is_accepted() {
     let dir = tempdir();
     let inst = dir.join("i3.json");

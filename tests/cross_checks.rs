@@ -181,7 +181,9 @@ fn instance_and_schedule_serde_round_trip() {
 /// update the expectations alongside the change.
 #[test]
 fn golden_calibration_counts() {
-    let cases: [(u64, usize); 4] = [(0, 8), (1, 10), (2, 9), (3, 9)];
+    // Re-pinned when `rand` moved to the vendored SplitMix64 stub (the
+    // instance stream changed with the generator, not the algorithm).
+    let cases: [(u64, usize); 4] = [(0, 9), (1, 9), (2, 10), (3, 10)];
     for (seed, expected) in cases {
         let params = WorkloadParams {
             jobs: 10,

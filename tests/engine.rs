@@ -1,0 +1,161 @@
+//! End-to-end tests of the batch engine over the JSONL serve protocol:
+//! a 1,000-request stream with heavy duplication on a four-worker pool,
+//! and graceful degradation when every request carries a zero budget.
+
+use ise::engine::{serve, EngineConfig};
+use ise::model::{validate, Instance, Schedule};
+use ise::workloads::{uniform, WorkloadParams};
+
+fn instances(n: usize) -> Vec<Instance> {
+    (0..n)
+        .map(|seed| {
+            uniform(
+                &WorkloadParams {
+                    jobs: 12,
+                    machines: 2,
+                    calib_len: 10,
+                    horizon: 100,
+                },
+                seed as u64,
+            )
+        })
+        .collect()
+}
+
+fn request_line(id: usize, instance: &Instance, extra: &str) -> String {
+    let inst_json = serde_json::to_string(instance).expect("instance serializes");
+    format!("{{\"id\": {id}, \"instance\": {inst_json}{extra}}}\n")
+}
+
+/// Pull the `schedule` object back out of a response line.
+fn response_schedule(v: &serde_json::Value) -> Schedule {
+    let json = serde_json::to_string(&v["schedule"]).expect("schedule reserializes");
+    serde_json::from_str(&json).expect("schedule parses")
+}
+
+#[test]
+fn thousand_request_stream_on_four_workers() {
+    const DISTINCT: usize = 250;
+    const TOTAL: usize = 1000; // 75% of the stream duplicates an earlier instance
+    let pool = instances(DISTINCT);
+    let mut input = String::new();
+    for i in 0..TOTAL {
+        input.push_str(&request_line(i, &pool[i % DISTINCT], ", \"trim\": true"));
+    }
+
+    let mut out = Vec::new();
+    let summary = serve(
+        input.as_bytes(),
+        &mut out,
+        EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("serve runs");
+
+    assert_eq!(summary.responses, TOTAL as u64);
+    assert_eq!(summary.metrics.requests, TOTAL as u64);
+    assert_eq!(summary.metrics.completed, TOTAL as u64);
+    assert_eq!(summary.metrics.errors, 0);
+    assert_eq!(summary.metrics.timeouts, 0);
+    assert_eq!(
+        summary.metrics.cache_hits + summary.metrics.cache_misses,
+        TOTAL as u64
+    );
+    // 250 distinct instances can miss at most once each per worker even
+    // under a check-then-solve race; with a sequential submitter the hits
+    // are overwhelming — but only `> 0` is part of the contract.
+    assert!(
+        summary.metrics.cache_hits > 0,
+        "duplicate instances must hit the cache (hits {}, misses {})",
+        summary.metrics.cache_hits,
+        summary.metrics.cache_misses
+    );
+
+    let text = std::str::from_utf8(&out).expect("utf8 output");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), TOTAL);
+    let mut cached = 0u64;
+    for (i, line) in lines.iter().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("response parses");
+        assert_eq!(v["id"].as_u64(), Some(i as u64), "responses in input order");
+        assert_eq!(v["status"].as_str(), Some("ok"), "request {i}: {line}");
+        if v["cached"].as_bool() == Some(true) {
+            cached += 1;
+        }
+        let schedule = response_schedule(&v);
+        assert_eq!(
+            v["calibrations"].as_u64(),
+            Some(schedule.num_calibrations() as u64)
+        );
+        validate(&pool[i % DISTINCT], &schedule)
+            .unwrap_or_else(|e| panic!("request {i} schedule invalid: {e}"));
+    }
+    assert_eq!(cached, summary.metrics.cache_hits);
+}
+
+#[test]
+fn zero_budget_stream_degrades_to_greedy_fallback() {
+    let pool = instances(5);
+    let mut input = String::new();
+    for (i, inst) in pool.iter().enumerate() {
+        input.push_str(&request_line(i, inst, ", \"timeout_ms\": 0"));
+    }
+
+    let mut out = Vec::new();
+    let summary = serve(
+        input.as_bytes(),
+        &mut out,
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("serve runs");
+
+    assert_eq!(summary.metrics.timeouts, pool.len() as u64);
+    assert_eq!(summary.metrics.fallbacks, pool.len() as u64);
+    assert_eq!(summary.metrics.errors, 0);
+    let text = std::str::from_utf8(&out).expect("utf8 output");
+    for (i, line) in text.lines().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("response parses");
+        assert_eq!(
+            v["status"].as_str(),
+            Some("fallback"),
+            "request {i}: {line}"
+        );
+        assert_eq!(v["timed_out"].as_bool(), Some(true));
+        // The degraded schedule is still a valid one.
+        validate(&pool[i], &response_schedule(&v))
+            .unwrap_or_else(|e| panic!("request {i} fallback invalid: {e}"));
+    }
+}
+
+#[test]
+fn default_timeout_from_config_applies_to_bare_requests() {
+    let pool = instances(3);
+    let mut input = String::new();
+    for (i, inst) in pool.iter().enumerate() {
+        input.push_str(&request_line(i, inst, ""));
+    }
+    let mut out = Vec::new();
+    let summary = serve(
+        input.as_bytes(),
+        &mut out,
+        EngineConfig {
+            workers: 2,
+            default_timeout: Some(std::time::Duration::ZERO),
+            fallback_on_timeout: false,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("serve runs");
+    assert_eq!(summary.metrics.timeouts, pool.len() as u64);
+    assert_eq!(summary.metrics.fallbacks, 0);
+    for line in std::str::from_utf8(&out).expect("utf8 output").lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("response parses");
+        assert_eq!(v["status"].as_str(), Some("error"), "{line}");
+        assert_eq!(v["timed_out"].as_bool(), Some(true));
+    }
+}

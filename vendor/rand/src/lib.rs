@@ -1,0 +1,159 @@
+//! Vendored offline stand-in for `rand` 0.8.
+//!
+//! The workspace only needs deterministic seeded generation —
+//! `StdRng::seed_from_u64`, `gen_range` over integer ranges, and
+//! `gen_bool` — so this stub implements exactly that over a SplitMix64
+//! core. Determinism per seed is the contract the workload generators and
+//! tests rely on; the exact stream differs from the real `rand` crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`). Panics on empty
+    /// ranges, like the real `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRangeImpl<T, Self>,
+        Self: Sized,
+    {
+        range.sample_impl(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        // 53-bit uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl<S: RngCore + ?Sized> SampleRangeImpl<$t, S> for Range<$t> {
+            fn sample_impl(self, rng: &mut S) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let draw = rng.next_u64() % span;
+                (self.start as $wide).wrapping_add(draw as $wide) as $t
+            }
+        }
+        impl<S: RngCore + ?Sized> SampleRangeImpl<$t, S> for RangeInclusive<$t> {
+            fn sample_impl(self, rng: &mut S) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let draw = rng.next_u64() % (span + 1);
+                (start as $wide).wrapping_add(draw as $wide) as $t
+            }
+        }
+    )*};
+}
+
+/// Internal dispatch trait for [`Rng::gen_range`].
+pub trait SampleRangeImpl<T, S: RngCore + ?Sized> {
+    /// Draw one value from `rng`.
+    fn sample_impl(self, rng: &mut S) -> T;
+}
+
+impl_sample_range!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+/// Generators shipped with the crate.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<i64> = (0..16).map(|_| a.gen_range(0i64..1000)).collect();
+        let ys: Vec<i64> = (0..16).map(|_| b.gen_range(0i64..1000)).collect();
+        let zs: Vec<i64> = (0..16).map(|_| c.gen_range(0i64..1000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3i64..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(1usize..=5);
+            assert!((1..=5).contains(&w));
+            let neg = rng.gen_range(-20i64..-10);
+            assert!((-20..-10).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5i64..5);
+    }
+}

@@ -1,0 +1,564 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build container has no access to crates.io, so the workspace ships a
+//! reduced serde-compatible surface sufficient for its own use:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits over a JSON-shaped [`Content`]
+//!   tree (instead of real serde's visitor-based data model);
+//! * derive macros re-exported from the vendored `serde_derive`;
+//! * impls for the primitive, collection, and option types the workspace
+//!   serializes.
+//!
+//! `vendor/serde_json` provides the text layer (`to_string`, `from_str`)
+//! and re-exports [`Content`] as its `Value`. The indexing / accessor API
+//! that `serde_json::Value` users expect lives here on [`Content`] because
+//! trait coherence requires `Index` impls in the defining crate.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the data model of this serde stub.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Content>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Content)>),
+}
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Convert `self` to the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the data model.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+
+    /// Called by derived impls when an object key is absent. Defaults to an
+    /// error; `Option<T>` overrides it to yield `None`, matching real
+    /// serde's treatment of missing optional fields.
+    fn from_missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content accessors (the serde_json::Value API surface).
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// Object field lookup used by derived `Deserialize` impls.
+    pub fn field_opt(&self, name: &str) -> Option<&Content> {
+        match self {
+            Content::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array contents with an exact-length check (derived tuple structs).
+    pub fn as_slice_checked(&self, len: usize) -> Result<&[Content], Error> {
+        match self {
+            Content::Array(items) if items.len() == len => Ok(items),
+            Content::Array(items) => Err(Error::custom(format!(
+                "expected array of length {len}, found length {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+
+    /// String contents or a type error (derived unit enums).
+    pub fn as_str_checked(&self) -> Result<&str, Error> {
+        match self {
+            Content::Str(s) => Ok(s),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    /// `Some(&str)` for strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(i64)` for integer numbers that fit.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::Int(v) => Some(v),
+            Content::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// `Some(u64)` for nonnegative integer numbers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::Int(v) => u64::try_from(v).ok(),
+            Content::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `Some(f64)` for any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::Int(v) => Some(v as f64),
+            Content::UInt(v) => Some(v as f64),
+            Content::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `Some(bool)` for booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Vec)` for arrays.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `Some(&mut Vec)` for arrays.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Content>> {
+        match self {
+            Content::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Non-panicking object/array lookup, like `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.field_opt(key)
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    /// Missing keys and non-objects index to `Null`, as in `serde_json`.
+    fn index(&self, key: &str) -> &Content {
+        self.field_opt(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Content {
+    /// Auto-vivifies missing keys on objects (and turns `Null` into an
+    /// object first), as in `serde_json`.
+    fn index_mut(&mut self, key: &str) -> &mut Content {
+        if self.is_null() {
+            *self = Content::Object(Vec::new());
+        }
+        match self {
+            Content::Object(entries) => {
+                if let Some(i) = entries.iter().position(|(k, _)| k == key) {
+                    &mut entries[i].1
+                } else {
+                    entries.push((key.to_string(), Content::Null));
+                    &mut entries.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, i: usize) -> &Content {
+        match self {
+            Content::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! content_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Content {
+            fn from(v: $t) -> Content { Content::Int(v as i64) }
+        }
+    )*};
+}
+content_from_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl From<u64> for Content {
+    fn from(v: u64) -> Content {
+        match i64::try_from(v) {
+            Ok(i) => Content::Int(i),
+            Err(_) => Content::UInt(v),
+        }
+    }
+}
+
+impl From<usize> for Content {
+    fn from(v: usize) -> Content {
+        Content::from(v as u64)
+    }
+}
+
+impl From<f64> for Content {
+    fn from(v: f64) -> Content {
+        Content::Float(v)
+    }
+}
+
+impl From<bool> for Content {
+    fn from(v: bool) -> Content {
+        Content::Bool(v)
+    }
+}
+
+impl From<&str> for Content {
+    fn from(v: &str) -> Content {
+        Content::Str(v.to_string())
+    }
+}
+
+impl From<String> for Content {
+    fn from(v: String) -> Content {
+        Content::Str(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for std types.
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Content, Error> {
+        Ok(content.clone())
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<$t, Error> {
+                let v = c.as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, found {c:?}")))?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("integer {v} out of range for {}",
+                        stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::from(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<$t, Error> {
+                let v = c.as_u64()
+                    .ok_or_else(|| Error::custom(
+                        format!("expected nonnegative integer, found {c:?}")))?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("integer {v} out of range for {}",
+                        stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<f64, Error> {
+        c.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {c:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<f32, Error> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<bool, Error> {
+        c.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected boolean, found {c:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<String, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {c:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Vec<T>, Error> {
+        match c {
+            Content::Array(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Option<T>, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Option<T>, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Box<T>, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Array(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<(A, B), Error> {
+        let items = c.as_slice_checked(2)?;
+        Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Array(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(c: &Content) -> Result<(A, B, C), Error> {
+        let items = c.as_slice_checked(3)?;
+        Ok((
+            A::from_content(&items[0])?,
+            B::from_content(&items[1])?,
+            C::from_content(&items[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sorted for deterministic output (HashMap iteration order is not).
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<HashMap<String, V>, Error> {
+        match c {
+            Content::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<BTreeMap<String, V>, Error> {
+        match c {
+            Content::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert_eq!(usize::from_content(&7usize.to_content()).unwrap(), 7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert!(f64::from_content(&Content::Int(3)).unwrap() == 3.0);
+    }
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let v: Option<i64> = Deserialize::from_missing_field("x").unwrap();
+        assert_eq!(v, None);
+        assert!(i64::from_missing_field("x").is_err());
+    }
+
+    #[test]
+    fn index_behaves_like_serde_json() {
+        let mut v = Content::Object(vec![("a".into(), Content::Int(1))]);
+        assert_eq!(v["a"].as_i64(), Some(1));
+        assert!(v["missing"].is_null());
+        v["b"] = Content::from(2i64);
+        assert_eq!(v["b"].as_i64(), Some(2));
+    }
+
+    #[test]
+    fn negative_ints_stay_signed() {
+        let c = Content::Int(-5);
+        assert_eq!(c.as_i64(), Some(-5));
+        assert_eq!(c.as_u64(), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! Vendored stand-in for `serde_derive`, written against the reduced data
+//! model of the vendored `serde` stub (see `vendor/serde`).
+//!
+//! The container network has no access to crates.io, so the workspace ships
+//! its own minimal serde implementation. This proc macro supports exactly
+//! the shapes the workspace uses:
+//!
+//! * structs with named fields — serialized as a JSON object;
+//! * tuple structs with one field (newtypes) — serialized transparently as
+//!   the inner value, matching real serde;
+//! * tuple structs with several fields — serialized as an array;
+//! * enums whose variants are all unit variants — serialized as the variant
+//!   name string (real serde's externally-tagged form for unit variants).
+//!
+//! Generics, `#[serde(...)]` attributes, and data-carrying enum variants
+//! are rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes of type definition the derive understands.
+enum Shape {
+    /// `struct Name { a: A, b: B }`
+    Named { name: String, fields: Vec<String> },
+    /// `struct Name(A, B);`
+    Tuple { name: String, arity: usize },
+    /// `enum Name { A, B, C }`
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Named { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_content(&self) -> ::serde::Content {{
+                        let mut __obj = ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::Content::Object(__obj)
+                    }}
+                }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_content(&self) -> ::serde::Content {{
+                    ::serde::Serialize::to_content(&self.0)
+                }}
+            }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_content(&self) -> ::serde::Content {{
+                        ::serde::Content::Array(::std::vec![{}])
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_content(&self) -> ::serde::Content {{
+                        ::serde::Content::Str(::std::string::String::from(match self {{ {arms} }}))
+                    }}
+                }}"
+            )
+        }
+    };
+    body.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match ::serde::Content::field_opt(__c, \"{f}\") {{
+                            ::std::option::Option::Some(__v) =>
+                                ::serde::Deserialize::from_content(__v)?,
+                            ::std::option::Option::None =>
+                                ::serde::Deserialize::from_missing_field(\"{f}\")?,
+                        }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_content(__c: &::serde::Content)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        ::std::result::Result::Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_content(__c: &::serde::Content)
+                    -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))
+                }}
+            }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_content(__c: &::serde::Content)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        let __items = ::serde::Content::as_slice_checked(__c, {arity})?;
+                        ::std::result::Result::Ok({name}({}))
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_content(__c: &::serde::Content)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        match ::serde::Content::as_str_checked(__c)? {{
+                            {arms}
+                            __other => ::std::result::Result::Err(::serde::Error::custom(
+                                ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    body.parse().expect("derived Deserialize impl parses")
+}
+
+/// Parse the item definition into one of the supported [`Shape`]s.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group (and a possible `!`).
+                match iter.peek() {
+                    Some(TokenTree::Punct(b)) if b.as_char() == '!' => {
+                        iter.next();
+                        iter.next();
+                    }
+                    _ => {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut iter);
+            }
+            Some(_) => {}
+            None => panic!("serde stub derive: no struct or enum found in input"),
+        }
+    }
+}
+
+fn parse_struct(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Shape {
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct name, got {other:?}"),
+    };
+    reject_generics(iter, &name);
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+            name,
+            fields: named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+            name,
+            arity: tuple_arity(g.stream()),
+        },
+        other => panic!("serde stub derive: unsupported struct body for {name}: {other:?}"),
+    }
+}
+
+fn parse_enum(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Shape {
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected enum name, got {other:?}"),
+    };
+    reject_generics(iter, &name);
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde stub derive: expected enum body for {name}, got {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut inner = body.into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                inner.next(); // attribute group
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                // Unit variants only: next must be `,` or end.
+                match inner.next() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => panic!(
+                        "serde stub derive: enum {name} variant {id} carries data \
+                         ({other:?}); only unit variants are supported"
+                    ),
+                }
+            }
+            other => panic!("serde stub derive: unexpected token in enum {name}: {other:?}"),
+        }
+    }
+    Shape::UnitEnum { name, variants }
+}
+
+/// Error out on generic type definitions (none exist in this workspace).
+fn reject_generics(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type {name} is not supported");
+        }
+    }
+}
+
+/// Field names of a named-field struct body, skipping attributes,
+/// visibility, and types.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        match iter.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("serde stub derive: expected field name, got {other:?}"),
+            None => break,
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count).
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
