@@ -5,6 +5,8 @@
 //! criterion benches: instance measurement, ratio bookkeeping, and plain
 //! fixed-width table rendering for reproducible textual reports.
 
+pub mod perf;
+
 use ise_model::{validate, Instance, ScheduleStats};
 use ise_sched::lower_bound::lower_bound;
 use ise_sched::{solve, SolverOptions};

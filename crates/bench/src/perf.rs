@@ -1,0 +1,371 @@
+//! The pinned perf-regression suite behind `ise bench`.
+//!
+//! A fixed set of seeded workloads is measured on the LP hot path — the
+//! sparse (eta-file) simplex, the dense-inverse oracle, and a warm-started
+//! re-solve at a perturbed machine budget — plus an end-to-end solve for
+//! the calibration count. Results serialize to `BENCH_lp.json` at the repo
+//! root; [`compare`] diffs a fresh run against that committed baseline and
+//! reports regressions beyond a threshold, which is what the CI step
+//! `ise bench --quick --check BENCH_lp.json` enforces.
+//!
+//! Timing uses min-of-reps (the usual noise-robust estimator for
+//! single-threaded CPU-bound work). Iteration counts are deterministic per
+//! workload, so they regress only when the algorithm itself changes —
+//! cross-machine comparisons lean on them, with wall time as a generously
+//! thresholded backstop.
+
+use ise_model::{Instance, Job};
+use ise_sched::lp::{build, solve_lp_warm, TiseLp};
+use ise_sched::{solve, SolverOptions};
+use ise_simplex::SolveOptions as LpOptions;
+use ise_workloads::{long_only, uniform, WorkloadParams};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema version of [`BenchReport`]; bump when fields change meaning.
+pub const BENCH_VERSION: u32 = 1;
+
+/// Default regression threshold for [`compare`]: fail when a measurement
+/// exceeds `threshold ×` its baseline. Generous on purpose — wall time is
+/// compared across unlike machines.
+pub const DEFAULT_THRESHOLD: f64 = 2.0;
+
+/// One pinned workload: a generator family plus its full parameterization,
+/// so the instance is reproducible byte for byte.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Stable name used to match runs against the baseline.
+    pub name: String,
+    /// Generator family (`long_only` or `uniform`).
+    pub family: String,
+    /// Job count.
+    pub jobs: usize,
+    /// Machine count.
+    pub machines: usize,
+    /// Calibration length `T`.
+    pub calib_len: i64,
+    /// Release-time horizon.
+    pub horizon: i64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    fn params(&self) -> WorkloadParams {
+        WorkloadParams {
+            jobs: self.jobs,
+            machines: self.machines,
+            calib_len: self.calib_len,
+            horizon: self.horizon,
+        }
+    }
+
+    /// Materialize the instance this spec pins.
+    pub fn instance(&self) -> Result<Instance, String> {
+        match self.family.as_str() {
+            "long_only" => Ok(long_only(&self.params(), self.seed)),
+            "uniform" => Ok(uniform(&self.params(), self.seed)),
+            other => Err(format!("unknown workload family {other:?}")),
+        }
+    }
+}
+
+fn spec(
+    name: &str,
+    family: &str,
+    jobs: usize,
+    machines: usize,
+    t: i64,
+    h: i64,
+    seed: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_string(),
+        family: family.to_string(),
+        jobs,
+        machines,
+        calib_len: t,
+        horizon: h,
+        seed,
+    }
+}
+
+/// The pinned suite. `quick` drops the largest workload so the CI check
+/// stays fast; names are stable so [`compare`] matches on the
+/// intersection.
+pub fn suite(quick: bool) -> Vec<WorkloadSpec> {
+    let mut specs = vec![
+        spec("long_small", "long_only", 24, 2, 10, 160, 7),
+        spec("long_medium", "long_only", 48, 3, 12, 300, 11),
+        spec("mixed_uniform", "uniform", 60, 3, 10, 300, 17),
+    ];
+    if !quick {
+        specs.push(spec("long_large", "long_only", 72, 3, 12, 420, 13));
+    }
+    specs
+}
+
+/// One measured solver configuration on one workload.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PathMeasurement {
+    /// Min-of-reps wall time per LP solve (presolve + simplex).
+    pub ns_per_solve: u64,
+    /// Simplex iterations (deterministic per workload).
+    pub iterations: usize,
+    /// Basis refactorizations during the solve.
+    pub refactorizations: usize,
+}
+
+/// Everything measured for one workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// The pinned workload.
+    pub spec: WorkloadSpec,
+    /// TISE LP rows (before presolve).
+    pub lp_rows: usize,
+    /// TISE LP columns (before presolve).
+    pub lp_cols: usize,
+    /// TISE LP nonzeros (before presolve).
+    pub lp_nnz: usize,
+    /// Optimal LP objective (deterministic per workload).
+    pub lp_objective: f64,
+    /// Calibrations in the end-to-end schedule (deterministic).
+    pub calibrations: usize,
+    /// Sparse (eta-file) simplex, cold start — the default path.
+    pub sparse: PathMeasurement,
+    /// Dense-inverse oracle, cold start.
+    pub dense: PathMeasurement,
+    /// Sparse simplex warm-started from the cold solve's basis, at a
+    /// machine budget perturbed by +1 (phase 1 skipped).
+    pub warm: PathMeasurement,
+}
+
+/// The full suite result, serialized to `BENCH_lp.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_VERSION`]).
+    pub version: u32,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// Long-window jobs of `instance` — the LP pipeline's input.
+fn long_jobs(instance: &Instance) -> Vec<Job> {
+    instance.partition_long_short().0
+}
+
+/// Min-of-reps timing of one LP solve configuration. Returns the
+/// measurement and the last solution's objective/basis for reuse.
+fn time_solves(
+    tise: &TiseLp,
+    opts: &LpOptions,
+    warm: Option<&ise_simplex::Basis>,
+    reps: usize,
+) -> Result<(PathMeasurement, ise_sched::lp::FractionalSolution), String> {
+    let mut best = u64::MAX;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let sol = solve_lp_warm(tise, opts, warm).map_err(|e| e.to_string())?;
+        let ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        best = best.min(ns);
+        last = Some(sol);
+    }
+    let sol = last.expect("reps >= 1");
+    let m = PathMeasurement {
+        ns_per_solve: best,
+        iterations: sol.iterations,
+        refactorizations: sol.refactorizations,
+    };
+    Ok((m, sol))
+}
+
+/// Measure one workload: LP shape, cold sparse/dense solves, a warm
+/// re-solve at budget `3m + 1`, and the end-to-end calibration count.
+pub fn measure_workload(spec: &WorkloadSpec, reps: usize) -> Result<WorkloadResult, String> {
+    let instance = spec.instance()?;
+    let jobs = long_jobs(&instance);
+    if jobs.is_empty() {
+        return Err(format!("workload {} has no long-window jobs", spec.name));
+    }
+    let budget = 3 * instance.machines();
+    let tise = build(&jobs, instance.calib_len(), budget);
+
+    let sparse_opts = LpOptions::default();
+    let dense_opts = LpOptions {
+        dense: true,
+        ..LpOptions::default()
+    };
+
+    let (sparse, cold_sol) = time_solves(&tise, &sparse_opts, None, reps)?;
+    let (dense, dense_sol) = time_solves(&tise, &dense_opts, None, reps)?;
+    if (cold_sol.objective - dense_sol.objective).abs() > 1e-6 * (1.0 + cold_sol.objective.abs()) {
+        return Err(format!(
+            "workload {}: sparse/dense objectives disagree ({} vs {})",
+            spec.name, cold_sol.objective, dense_sol.objective
+        ));
+    }
+
+    // Warm re-solve: same jobs, machine budget perturbed by +1 — the
+    // rhs-only change the basis cache is built for.
+    let basis = cold_sol
+        .basis
+        .as_ref()
+        .ok_or_else(|| format!("workload {}: cold solve returned no basis", spec.name))?;
+    let perturbed = build(&jobs, instance.calib_len(), budget + 1);
+    let (warm, warm_sol) = time_solves(&perturbed, &sparse_opts, Some(basis), reps)?;
+    if !warm_sol.warm_used {
+        return Err(format!(
+            "workload {}: warm basis was rejected at budget {}",
+            spec.name,
+            budget + 1
+        ));
+    }
+
+    let outcome = solve(&instance, &SolverOptions::default()).map_err(|e| e.to_string())?;
+
+    Ok(WorkloadResult {
+        spec: spec.clone(),
+        lp_rows: tise.lp.num_rows(),
+        lp_cols: tise.lp.num_vars(),
+        lp_nnz: tise.lp.nnz(),
+        lp_objective: cold_sol.objective,
+        calibrations: outcome.schedule.num_calibrations(),
+        sparse,
+        dense,
+        warm,
+    })
+}
+
+/// Run the whole suite.
+pub fn run_suite(quick: bool, reps: usize) -> Result<BenchReport, String> {
+    let workloads = suite(quick)
+        .iter()
+        .map(|s| measure_workload(s, reps))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BenchReport {
+        version: BENCH_VERSION,
+        workloads,
+    })
+}
+
+fn check_path(
+    problems: &mut Vec<String>,
+    workload: &str,
+    path: &str,
+    current: &PathMeasurement,
+    baseline: &PathMeasurement,
+    threshold: f64,
+) {
+    let time_limit = (baseline.ns_per_solve as f64) * threshold;
+    if (current.ns_per_solve as f64) > time_limit {
+        problems.push(format!(
+            "{workload}/{path}: {} ns/solve exceeds {threshold}x baseline ({} ns)",
+            current.ns_per_solve, baseline.ns_per_solve
+        ));
+    }
+    let iter_limit = (baseline.iterations as f64) * threshold;
+    if (current.iterations as f64) > iter_limit {
+        problems.push(format!(
+            "{workload}/{path}: {} iterations exceeds {threshold}x baseline ({})",
+            current.iterations, baseline.iterations
+        ));
+    }
+}
+
+/// Compare a fresh run against the committed baseline. Workloads are
+/// matched by name (so `--quick` runs check against the full baseline);
+/// returns one message per regression, empty when clean.
+pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    for cur in &current.workloads {
+        let Some(base) = baseline
+            .workloads
+            .iter()
+            .find(|w| w.spec.name == cur.spec.name)
+        else {
+            continue;
+        };
+        let name = cur.spec.name.as_str();
+        if cur.spec != base.spec {
+            problems.push(format!("{name}: workload parameters differ from baseline"));
+            continue;
+        }
+        check_path(
+            &mut problems,
+            name,
+            "sparse",
+            &cur.sparse,
+            &base.sparse,
+            threshold,
+        );
+        check_path(
+            &mut problems,
+            name,
+            "dense",
+            &cur.dense,
+            &base.dense,
+            threshold,
+        );
+        check_path(
+            &mut problems,
+            name,
+            "warm",
+            &cur.warm,
+            &base.warm,
+            threshold,
+        );
+        if cur.calibrations != base.calibrations {
+            problems.push(format!(
+                "{name}: calibrations changed {} -> {} (deterministic output drifted)",
+                base.calibrations, cur.calibrations
+            ));
+        }
+        if (cur.lp_objective - base.lp_objective).abs() > 1e-6 * (1.0 + base.lp_objective.abs()) {
+            problems.push(format!(
+                "{name}: LP objective changed {} -> {}",
+                base.lp_objective, cur.lp_objective
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_measures_and_roundtrips() {
+        let report = run_suite(true, 1).unwrap();
+        assert_eq!(report.version, BENCH_VERSION);
+        assert_eq!(report.workloads.len(), suite(true).len());
+        for w in &report.workloads {
+            assert!(w.lp_rows > 0 && w.lp_cols > 0 && w.lp_nnz > 0);
+            assert!(w.sparse.iterations > 0);
+            assert!(w.warm.iterations <= w.sparse.iterations);
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workloads.len(), report.workloads.len());
+        // A run compared against itself is clean.
+        assert!(compare(&report, &report, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_regressions() {
+        let report = run_suite(true, 1).unwrap();
+        let mut slow = report.clone();
+        slow.workloads[0].sparse.ns_per_solve = report.workloads[0].sparse.ns_per_solve * 10 + 1;
+        let problems = compare(&slow, &report, DEFAULT_THRESHOLD);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("sparse"));
+    }
+
+    #[test]
+    fn suite_specs_are_reproducible() {
+        for s in suite(false) {
+            assert_eq!(s.instance().unwrap(), s.instance().unwrap());
+        }
+    }
+}

@@ -86,6 +86,19 @@ impl CancelToken {
             Ok(())
         }
     }
+
+    /// An [`ise_simplex::InterruptHandle`] view of this token, for wiring
+    /// into [`ise_simplex::SolveOptions::interrupt`] so a deadline aborts a
+    /// simplex run mid-pivot-loop.
+    pub fn interrupt_handle(&self) -> ise_simplex::InterruptHandle {
+        ise_simplex::InterruptHandle::new(Arc::new(self.clone()))
+    }
+}
+
+impl ise_simplex::Interrupt for CancelToken {
+    fn interrupted(&self) -> bool {
+        self.is_cancelled()
+    }
 }
 
 #[cfg(test)]

@@ -66,7 +66,13 @@ impl std::error::Error for SchedError {}
 
 impl From<SolverError> for SchedError {
     fn from(e: SolverError) -> SchedError {
-        SchedError::Lp(e)
+        match e {
+            // An interrupted simplex is a cancellation of the whole solve,
+            // not an LP failure: the interrupt hook is only ever wired to a
+            // CancelToken.
+            SolverError::Interrupted => SchedError::Cancelled,
+            other => SchedError::Lp(other),
+        }
     }
 }
 

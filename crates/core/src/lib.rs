@@ -61,7 +61,7 @@ pub use cancel::CancelToken;
 pub use decompose::{components, solve_decomposed};
 pub use error::SchedError;
 pub use improve::{improve, ImproveOptions, ImproveOutcome};
-pub use report::SolveReport;
+pub use report::{LpTelemetry, SolveReport};
 pub use solver::{
     refine_for_speed, solve, solve_with_speed, MmBackend, SolveOutcome, SolverOptions,
 };

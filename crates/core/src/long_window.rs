@@ -16,10 +16,10 @@
 use crate::cancel::CancelToken;
 use crate::edf::{assign_jobs, mirror};
 use crate::error::SchedError;
-use crate::lp::{relax_and_solve_cancellable, FractionalSolution};
+use crate::lp::{relax_and_solve_warm, FractionalSolution};
 use crate::rounding::{assign_machines, round_calibrations};
 use ise_model::{Instance, Schedule};
-use ise_simplex::SolveOptions;
+use ise_simplex::{Basis, SolveOptions};
 
 /// Options for the long-window pipeline.
 #[derive(Clone, Debug)]
@@ -32,10 +32,15 @@ pub struct LongWindowOptions {
     pub mirror: bool,
     /// LP solver options.
     pub lp: SolveOptions,
-    /// Cooperative cancellation hook; polled around the LP and EDF phases.
-    /// The default token never fires. [`crate::solve`] overrides this with
-    /// its own [`crate::SolverOptions::cancel`].
+    /// Cooperative cancellation hook; polled around the LP and EDF phases
+    /// and wired into the simplex pivot loop. The default token never
+    /// fires. [`crate::solve`] overrides this with its own
+    /// [`crate::SolverOptions::cancel`].
     pub cancel: CancelToken,
+    /// Optional warm-start basis from a previous LP solve of the same jobs
+    /// and calibration length (e.g. at a different machine budget). An
+    /// incompatible basis is silently ignored.
+    pub warm_basis: Option<Basis>,
 }
 
 impl Default for LongWindowOptions {
@@ -45,6 +50,7 @@ impl Default for LongWindowOptions {
             mirror: true,
             lp: SolveOptions::default(),
             cancel: CancelToken::default(),
+            warm_basis: None,
         }
     }
 }
@@ -76,8 +82,14 @@ pub fn schedule_long_windows(
     let calib_len = instance.calib_len();
     let m_prime = 3 * instance.machines();
 
-    let fractional =
-        relax_and_solve_cancellable(instance.jobs(), calib_len, m_prime, &opts.lp, &opts.cancel)?;
+    let fractional = relax_and_solve_warm(
+        instance.jobs(),
+        calib_len,
+        m_prime,
+        &opts.lp,
+        &opts.cancel,
+        opts.warm_basis.as_ref(),
+    )?;
     opts.cancel.check()?;
     let times = round_calibrations(&fractional.points, &fractional.c, opts.threshold);
     let bank = assign_machines(&times, calib_len);

@@ -29,8 +29,10 @@ use crate::error::SchedError;
 use crate::points::{calibration_points, feasible_range};
 use ise_model::{Dur, Job, Time};
 use ise_simplex::{
-    check_dual, check_solution, solve_with_presolve, Cmp, LinearProgram, SolveOptions, SolveStatus,
+    check_dual, check_solution, solve_with_presolve_warm, Basis, Cmp, LinearProgram, SolveOptions,
+    SolveStatus,
 };
+use std::time::Instant;
 
 /// The TISE LP together with its variable layout.
 #[derive(Clone, Debug)]
@@ -67,6 +69,19 @@ pub struct FractionalSolution {
     pub certified_dual_bound: Option<f64>,
     /// Simplex iterations spent.
     pub iterations: usize,
+    /// Basis-representation rebuilds during the solve.
+    pub refactorizations: usize,
+    /// Whether a supplied warm-start basis was accepted (phase 1 skipped).
+    pub warm_used: bool,
+    /// The optimal basis of the (presolved) LP; feed it back via
+    /// [`relax_and_solve_warm`] when re-solving the same jobs with a
+    /// perturbed machine budget.
+    pub basis: Option<Basis>,
+    /// Wall-clock microseconds spent building the LP (0 when the caller
+    /// built it separately via [`build`] + [`solve_lp`]).
+    pub build_us: u64,
+    /// Wall-clock microseconds spent in presolve + simplex.
+    pub solve_us: u64,
 }
 
 /// Build the TISE LP for `jobs` on `machine_budget` machines.
@@ -136,7 +151,20 @@ pub fn build(jobs: &[Job], calib_len: Dur, machine_budget: usize) -> TiseLp {
 
 /// Solve the TISE LP and verify the solution against all constraints.
 pub fn solve_lp(tise: &TiseLp, opts: &SolveOptions) -> Result<FractionalSolution, SchedError> {
-    let sol = solve_with_presolve(&tise.lp, opts)?;
+    solve_lp_warm(tise, opts, None)
+}
+
+/// [`solve_lp`] with an optional warm-start basis from a previous solve of
+/// a structurally identical LP (same jobs and calibration points; the
+/// machine budget — a pure right-hand-side change — may differ).
+pub fn solve_lp_warm(
+    tise: &TiseLp,
+    opts: &SolveOptions,
+    warm: Option<&Basis>,
+) -> Result<FractionalSolution, SchedError> {
+    let solve_started = Instant::now();
+    let sol = solve_with_presolve_warm(&tise.lp, opts, warm)?;
+    let solve_us = solve_started.elapsed().as_micros() as u64;
     match sol.status {
         SolveStatus::Optimal => {}
         SolveStatus::Infeasible => {
@@ -184,6 +212,11 @@ pub fn solve_lp(tise: &TiseLp, opts: &SolveOptions) -> Result<FractionalSolution
         objective: sol.objective,
         certified_dual_bound,
         iterations: sol.iterations,
+        refactorizations: sol.refactorizations,
+        warm_used: sol.warm_used,
+        basis: sol.basis,
+        build_us: 0,
+        solve_us,
     })
 }
 
@@ -198,16 +231,31 @@ pub fn relax_and_solve(
 }
 
 /// [`relax_and_solve`] with a cooperative cancellation hook: the token is
-/// polled before the (potentially large) LP is built and again before the
-/// simplex run. An individual simplex solve is not interruptible; callers
-/// needing a hard bound combine the token with the solver's iteration
-/// limit.
+/// polled before the (potentially large) LP is built and also wired into
+/// the simplex pivot loop (via [`CancelToken::interrupt_handle`]), so a
+/// deadline aborts a solve mid-iteration.
 pub fn relax_and_solve_cancellable(
     jobs: &[Job],
     calib_len: Dur,
     machine_budget: usize,
     opts: &SolveOptions,
     cancel: &CancelToken,
+) -> Result<FractionalSolution, SchedError> {
+    relax_and_solve_warm(jobs, calib_len, machine_budget, opts, cancel, None)
+}
+
+/// The full-featured entry point: cancellable and warm-startable. The warm
+/// basis must come from a previous solve of the **same jobs and calibration
+/// length** — the machine budget may differ (it only changes the LP's
+/// right-hand side, and presolve's row structure is rhs-independent, so the
+/// basis carries over and phase 1 is skipped).
+pub fn relax_and_solve_warm(
+    jobs: &[Job],
+    calib_len: Dur,
+    machine_budget: usize,
+    opts: &SolveOptions,
+    cancel: &CancelToken,
+    warm: Option<&Basis>,
 ) -> Result<FractionalSolution, SchedError> {
     // A job whose window cannot contain any calibration makes constraint
     // (4) unsatisfiable; report that crisply instead of via the LP.
@@ -222,9 +270,17 @@ pub fn relax_and_solve_cancellable(
         });
     }
     cancel.check()?;
+    let build_started = Instant::now();
     let tise = build(jobs, calib_len, machine_budget);
+    let build_us = build_started.elapsed().as_micros() as u64;
     cancel.check()?;
-    solve_lp(&tise, opts)
+    let mut lp_opts = opts.clone();
+    if lp_opts.interrupt.is_none() {
+        lp_opts.interrupt = Some(cancel.interrupt_handle());
+    }
+    let mut sol = solve_lp_warm(&tise, &lp_opts, warm)?;
+    sol.build_us = build_us;
+    Ok(sol)
 }
 
 #[cfg(test)]
@@ -329,6 +385,29 @@ mod tests {
             "duality gap: primal {} vs dual {dual}",
             sol.objective
         );
+    }
+
+    #[test]
+    fn warm_start_reuses_basis_across_budgets() {
+        let jobs: Vec<Job> = vec![
+            Job::new(0, 0, 40, 7),
+            Job::new(1, 0, 45, 6),
+            Job::new(2, 5, 50, 7),
+        ];
+        let cancel = CancelToken::new();
+        let cold = relax_and_solve_warm(&jobs, Dur(10), 3, &opts(), &cancel, None).unwrap();
+        assert!(!cold.warm_used);
+        let basis = cold.basis.clone().expect("optimal solve yields a basis");
+        // Same jobs, perturbed machine budget: the basis must carry over.
+        let warm = relax_and_solve_warm(&jobs, Dur(10), 4, &opts(), &cancel, Some(&basis)).unwrap();
+        assert!(
+            warm.warm_used,
+            "rhs-only perturbation must accept the basis"
+        );
+        assert!(warm.iterations <= cold.iterations);
+        // Verified like any other solution: objective can only improve with
+        // a bigger budget.
+        assert!(warm.objective <= cold.objective + 1e-9);
     }
 
     #[test]

@@ -8,7 +8,39 @@
 use crate::lower_bound::{lower_bound, LowerBoundReport};
 use crate::solver::SolveOutcome;
 use ise_model::{Instance, ScheduleStats};
+use serde::Serialize;
 use std::fmt;
+
+/// LP-solver telemetry for one solve, serialized into engine responses so
+/// `ise serve` traffic carries per-request perf data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct LpTelemetry {
+    /// Simplex iterations across both phases.
+    pub iterations: usize,
+    /// Basis-representation rebuilds.
+    pub refactorizations: usize,
+    /// Microseconds spent building the TISE LP.
+    pub build_us: u64,
+    /// Microseconds spent in presolve + simplex.
+    pub solve_us: u64,
+    /// Whether the solve was warm-started from a cached basis (phase 1
+    /// skipped).
+    pub warm_started: bool,
+}
+
+impl LpTelemetry {
+    /// Extract telemetry from a solve outcome; `None` when the long-window
+    /// pipeline (the only LP user) did not run.
+    pub fn from_outcome(outcome: &SolveOutcome) -> Option<LpTelemetry> {
+        outcome.long.as_ref().map(|l| LpTelemetry {
+            iterations: l.fractional.iterations,
+            refactorizations: l.fractional.refactorizations,
+            build_us: l.fractional.build_us,
+            solve_us: l.fractional.solve_us,
+            warm_started: l.fractional.warm_used,
+        })
+    }
+}
 
 /// A complete report on one solve.
 #[derive(Clone, Debug)]
@@ -28,6 +60,8 @@ pub struct SolveReport {
     /// `calibrations / max(1, lower bound)` — upper bound on the true
     /// approximation ratio of this run.
     pub ratio: f64,
+    /// LP-solver telemetry, when the long-window pipeline ran.
+    pub lp: Option<LpTelemetry>,
 }
 
 impl SolveReport {
@@ -49,6 +83,7 @@ impl SolveReport {
             lp_objective: outcome.long.as_ref().map(|l| l.fractional.objective),
             crossing_jobs: crossing,
             ratio,
+            lp: LpTelemetry::from_outcome(outcome),
         }
     }
 }
@@ -70,6 +105,17 @@ impl fmt::Display for SolveReport {
         )?;
         if let Some(lp) = self.lp_objective {
             writeln!(f, "long-window LP objective: {lp:.2}")?;
+        }
+        if let Some(t) = &self.lp {
+            writeln!(
+                f,
+                "LP solver: {} iterations, {} refactorizations, build {}us, solve {}us{}",
+                t.iterations,
+                t.refactorizations,
+                t.build_us,
+                t.solve_us,
+                if t.warm_started { ", warm-started" } else { "" }
+            )?;
         }
         if self.short_jobs > 0 {
             writeln!(f, "crossing jobs: {}", self.crossing_jobs)?;

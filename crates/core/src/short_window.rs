@@ -18,9 +18,12 @@
 //! With an `α`-approximate MM black box the result uses at most `6αw*`
 //! machines and `16γαC*` calibrations (Theorem 20).
 
+use crate::cancel::CancelToken;
 use crate::error::SchedError;
 use ise_mm::{MachineMinimizer, MmSchedule};
 use ise_model::{Dur, Instance, Job, Schedule, Time};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The paper's `γ`: short windows are shorter than `γT` (Definition 1 has
 /// the long/short threshold at `2T`).
@@ -90,6 +93,21 @@ pub fn schedule_short_windows_with(
     mm: &dyn MachineMinimizer,
     policy: CrossingPolicy,
 ) -> Result<ShortWindowOutcome, SchedError> {
+    schedule_short_windows_cancellable(instance, mm, policy, &CancelToken::default())
+}
+
+/// The full-featured entry point: explicit crossing policy plus a
+/// cooperative cancellation token, polled before every per-interval MM
+/// call. The per-interval MM calls of Algorithm 5 are independent, so they
+/// are fanned out across a bounded pool of scoped threads; the schedule is
+/// then emitted sequentially in interval order, so results are identical to
+/// a sequential run.
+pub fn schedule_short_windows_cancellable(
+    instance: &Instance,
+    mm: &dyn MachineMinimizer,
+    policy: CrossingPolicy,
+    cancel: &CancelToken,
+) -> Result<ShortWindowOutcome, SchedError> {
     if !instance.all_short() {
         return Err(SchedError::Precondition {
             requirement: "short-window pipeline requires every job window < 2T",
@@ -114,6 +132,7 @@ pub fn schedule_short_windows_with(
         mm,
         policy,
         0,
+        cancel,
         &mut schedule,
         &mut intervals,
     )?;
@@ -126,6 +145,7 @@ pub fn schedule_short_windows_with(
         mm,
         policy,
         pass1_machines,
+        cancel,
         &mut schedule,
         &mut intervals,
     )?;
@@ -148,7 +168,8 @@ pub fn schedule_short_windows_with(
 
 /// One pass of Algorithm 4: group `remaining` jobs nested in intervals
 /// `[anchor + k·len, anchor + (k+1)·len)` and schedule each group with
-/// Algorithm 5. Returns the machines used by this pass.
+/// Algorithm 5. The MM calls run concurrently; emission is sequential in
+/// interval order. Returns the machines used by this pass.
 #[allow(clippy::too_many_arguments)]
 fn run_pass(
     pass: usize,
@@ -159,11 +180,13 @@ fn run_pass(
     mm: &dyn MachineMinimizer,
     policy: CrossingPolicy,
     machine_offset: usize,
+    cancel: &CancelToken,
     schedule: &mut Schedule,
     intervals: &mut Vec<IntervalReport>,
 ) -> Result<usize, SchedError> {
     // Group nested jobs by interval index.
-    let mut groups: std::collections::BTreeMap<i64, Vec<Job>> = std::collections::BTreeMap::new();
+    let mut by_interval: std::collections::BTreeMap<i64, Vec<Job>> =
+        std::collections::BTreeMap::new();
     let mut leftover = Vec::with_capacity(remaining.len());
     for &job in remaining.iter() {
         let k = (job.release - anchor)
@@ -171,26 +194,29 @@ fn run_pass(
             .div_euclid(interval_len.ticks());
         let start = anchor + interval_len * k;
         if job.release >= start && job.deadline <= start + interval_len {
-            groups.entry(k).or_default().push(job);
+            by_interval.entry(k).or_default().push(job);
         } else {
             leftover.push(job);
         }
     }
     *remaining = leftover;
+    let groups: Vec<(i64, Vec<Job>)> = by_interval.into_iter().collect();
+
+    let mm_schedules = minimize_groups(&groups, mm, cancel)?;
 
     let mut pass_machines = 0usize;
     let width = match policy {
         CrossingPolicy::ExtraMachines => 3,
         CrossingPolicy::OverlappingCalibrations => 1,
     };
-    for (k, jobs) in groups {
-        let start = anchor + interval_len * k;
-        let report = schedule_interval(
+    for ((k, jobs), mm_schedule) in groups.iter().zip(mm_schedules) {
+        let start = anchor + interval_len * *k;
+        let report = emit_interval(
             pass,
             start,
-            &jobs,
+            jobs,
             instance,
-            mm,
+            mm_schedule,
             policy,
             machine_offset,
             schedule,
@@ -201,20 +227,71 @@ fn run_pass(
     Ok(pass_machines)
 }
 
-/// Algorithm 5 on one interval `[start, start + 2γT)`.
+/// Run the MM black box on every group, fanning the calls out across a
+/// bounded pool of scoped threads (Algorithm 4's per-interval calls are
+/// embarrassingly parallel). Results come back in group order; on multiple
+/// failures the lowest-index group's error is reported, matching what a
+/// sequential run would have surfaced first.
+fn minimize_groups(
+    groups: &[(i64, Vec<Job>)],
+    mm: &dyn MachineMinimizer,
+    cancel: &CancelToken,
+) -> Result<Vec<MmSchedule>, SchedError> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(groups.len());
+    if threads <= 1 {
+        return groups
+            .iter()
+            .map(|(_, jobs)| {
+                cancel.check()?;
+                mm.minimize(jobs).map_err(SchedError::from)
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<MmSchedule, SchedError>>>> =
+        groups.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= groups.len() {
+                    break;
+                }
+                let res = match cancel.check() {
+                    Ok(()) => mm.minimize(&groups[i].1).map_err(SchedError::from),
+                    Err(e) => Err(e),
+                };
+                *slots[i].lock().unwrap() = Some(res);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every group slot is filled once the scope joins")
+        })
+        .collect()
+}
+
+/// Algorithm 5 on one interval `[start, start + 2γT)`, given the interval's
+/// MM schedule (already computed, possibly on another thread).
 #[allow(clippy::too_many_arguments)]
-fn schedule_interval(
+fn emit_interval(
     pass: usize,
     start: Time,
     jobs: &[Job],
     instance: &Instance,
-    mm: &dyn MachineMinimizer,
+    mm_schedule: MmSchedule,
     policy: CrossingPolicy,
     machine_offset: usize,
     schedule: &mut Schedule,
 ) -> Result<IntervalReport, SchedError> {
     let t_len = instance.calib_len();
-    let mm_schedule: MmSchedule = mm.minimize(jobs)?;
     ise_mm::validate_mm(jobs, &mm_schedule).map_err(|_| SchedError::Internal {
         stage: "short-window: MM black box returned an invalid schedule",
         jobs: jobs.iter().map(|j| j.id).collect(),

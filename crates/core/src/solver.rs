@@ -9,7 +9,7 @@
 use crate::cancel::CancelToken;
 use crate::error::SchedError;
 use crate::long_window::{schedule_long_windows, LongWindowOptions, LongWindowOutcome};
-use crate::short_window::{schedule_short_windows, ShortWindowOutcome};
+use crate::short_window::{schedule_short_windows_cancellable, CrossingPolicy, ShortWindowOutcome};
 use ise_mm::{
     ExactMm, GreedyMm, LpRoundMm, MachineMinimizer, MmError, MmSchedule, Portfolio, UnitMm,
 };
@@ -101,6 +101,36 @@ pub struct SolveOutcome {
     pub short_jobs: usize,
 }
 
+/// Dispatch the short-window pipeline for the configured MM backend.
+fn run_short_pipeline(
+    sub: &Instance,
+    opts: &SolverOptions,
+) -> Result<ShortWindowOutcome, SchedError> {
+    let policy = CrossingPolicy::ExtraMachines;
+    let cancel = &opts.cancel;
+    match opts.mm {
+        MmBackend::Auto => schedule_short_windows_cancellable(
+            sub,
+            &AutoMm {
+                exact: ExactMm::default(),
+            },
+            policy,
+            cancel,
+        ),
+        MmBackend::Exact => {
+            schedule_short_windows_cancellable(sub, &ExactMm::default(), policy, cancel)
+        }
+        MmBackend::Greedy => schedule_short_windows_cancellable(sub, &GreedyMm, policy, cancel),
+        MmBackend::Unit => schedule_short_windows_cancellable(sub, &UnitMm, policy, cancel),
+        MmBackend::LpRound => {
+            schedule_short_windows_cancellable(sub, &LpRoundMm::default(), policy, cancel)
+        }
+        MmBackend::Portfolio => {
+            schedule_short_windows_cancellable(sub, &Portfolio::standard(), policy, cancel)
+        }
+    }
+}
+
 struct AutoMm {
     exact: ExactMm,
 }
@@ -132,35 +162,33 @@ pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, 
     let n_long = long_jobs.len();
     let n_short = short_jobs.len();
 
-    let long = if long_jobs.is_empty() {
-        None
-    } else {
-        let sub = instance.restrict(long_jobs, instance.machines());
-        let mut lopts = opts.long.clone();
-        lopts.cancel = opts.cancel.clone();
-        Some(schedule_long_windows(&sub, &lopts)?)
-    };
-
-    opts.cancel.check()?;
-    let short = if short_jobs.is_empty() {
-        None
-    } else {
-        let sub = instance.restrict(short_jobs, instance.machines());
-        let outcome = match opts.mm {
-            MmBackend::Auto => schedule_short_windows(
-                &sub,
-                &AutoMm {
-                    exact: ExactMm::default(),
-                },
-            )?,
-            MmBackend::Exact => schedule_short_windows(&sub, &ExactMm::default())?,
-            MmBackend::Greedy => schedule_short_windows(&sub, &GreedyMm)?,
-            MmBackend::Unit => schedule_short_windows(&sub, &UnitMm)?,
-            MmBackend::LpRound => schedule_short_windows(&sub, &LpRoundMm::default())?,
-            MmBackend::Portfolio => schedule_short_windows(&sub, &Portfolio::standard())?,
+    // The two pipelines are independent (disjoint jobs, disjoint machine
+    // banks), so run them concurrently: the long side on a scoped thread,
+    // the short side on this one. Errors are resolved long-first to keep
+    // the sequential behavior (the long error used to preempt the short
+    // pipeline entirely).
+    let long_sub =
+        (!long_jobs.is_empty()).then(|| instance.restrict(long_jobs, instance.machines()));
+    let short_sub =
+        (!short_jobs.is_empty()).then(|| instance.restrict(short_jobs, instance.machines()));
+    let (long_res, short_res) = std::thread::scope(|s| {
+        let long_handle = long_sub.as_ref().map(|sub| {
+            let mut lopts = opts.long.clone();
+            lopts.cancel = opts.cancel.clone();
+            s.spawn(move || schedule_long_windows(sub, &lopts))
+        });
+        let short_res = match short_sub.as_ref() {
+            None => Ok(None),
+            Some(sub) => run_short_pipeline(sub, opts).map(Some),
         };
-        Some(outcome)
-    };
+        let long_res = match long_handle {
+            None => Ok(None),
+            Some(h) => h.join().expect("long-window thread panicked").map(Some),
+        };
+        (long_res, short_res)
+    });
+    let long = long_res?;
+    let short = short_res?;
 
     // Union on disjoint machines.
     opts.cancel.check()?;

@@ -1,0 +1,118 @@
+//! Property tests: on TISE LPs of random workloads, the sparse (eta-file)
+//! simplex and the dense-inverse oracle agree.
+//!
+//! [`solve_lp`] already verifies every returned solution against the
+//! original constraints (`check_solution`) and certifies the dual
+//! (`check_dual`), so a successful return *is* the verification — these
+//! tests add the cross-path agreement on status, objective, and dual
+//! certificate, on the exact LP family the production pipeline solves.
+
+use ise_sched::lp::{build, solve_lp};
+use ise_simplex::SolveOptions;
+use ise_workloads::{long_only, uniform, WorkloadParams};
+use proptest::prelude::*;
+
+fn dense_opts() -> SolveOptions {
+    SolveOptions {
+        dense: true,
+        ..SolveOptions::default()
+    }
+}
+
+fn params() -> impl Strategy<Value = (WorkloadParams, u64, bool)> {
+    (
+        3usize..10,
+        1usize..3,
+        5i64..12,
+        40i64..120,
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(jobs, machines, calib_len, horizon, seed, mixed)| {
+            (
+                WorkloadParams {
+                    jobs,
+                    machines,
+                    calib_len,
+                    horizon,
+                },
+                seed,
+                mixed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
+
+    #[test]
+    fn tise_lp_sparse_matches_dense((p, seed, mixed) in params()) {
+        // `uniform` exercises presolve harder (short jobs are filtered out
+        // here, leaving sparser assignment rows); `long_only` keeps every
+        // job in the LP.
+        let instance = if mixed { uniform(&p, seed) } else { long_only(&p, seed) };
+        let jobs = instance.partition_long_short().0;
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let tise = build(&jobs, instance.calib_len(), 3 * instance.machines());
+
+        let sparse = solve_lp(&tise, &SolveOptions::default());
+        let dense = solve_lp(&tise, &dense_opts());
+        match (sparse, dense) {
+            (Ok(s), Ok(d)) => {
+                let scale = 1.0 + s.objective.abs();
+                prop_assert!(
+                    (s.objective - d.objective).abs() <= 1e-6 * scale,
+                    "objectives diverge: sparse {} dense {}", s.objective, d.objective
+                );
+                // Both paths must certify their optimum through the dual.
+                let sd = s.certified_dual_bound.expect("sparse dual certificate");
+                let dd = d.certified_dual_bound.expect("dense dual certificate");
+                prop_assert!((sd - s.objective).abs() <= 1e-5 * scale);
+                prop_assert!((dd - d.objective).abs() <= 1e-5 * scale);
+            }
+            // Same verdict required: both infeasible is fine, a split
+            // verdict is a factorization bug.
+            (Err(s), Err(d)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(&s),
+                    std::mem::discriminant(&d),
+                    "error kinds diverge: sparse {:?} dense {:?}", s, d
+                );
+            }
+            (s, d) => {
+                return Err(TestCaseError::fail(format!(
+                    "verdicts diverge: sparse {s:?} dense {d:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn tise_lp_warm_start_matches_cold((p, seed, _) in params()) {
+        // Warm-starting at a perturbed machine budget must reproduce the
+        // cold optimum at that budget — it only skips phase 1.
+        let instance = long_only(&p, seed);
+        let jobs = instance.partition_long_short().0;
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let budget = 3 * instance.machines();
+        let opts = SolveOptions::default();
+        let Ok(cold_a) = solve_lp(&build(&jobs, instance.calib_len(), budget), &opts) else {
+            return Ok(());
+        };
+        let basis = cold_a.basis.expect("optimal solve carries a basis");
+        let perturbed = build(&jobs, instance.calib_len(), budget + 1);
+        let cold_b = solve_lp(&perturbed, &opts).expect("feasible at larger budget");
+        let warm_b = ise_sched::lp::solve_lp_warm(&perturbed, &opts, Some(&basis))
+            .expect("feasible at larger budget");
+        let scale = 1.0 + cold_b.objective.abs();
+        prop_assert!(
+            (warm_b.objective - cold_b.objective).abs() <= 1e-6 * scale,
+            "warm {} != cold {}", warm_b.objective, cold_b.objective
+        );
+        prop_assert!(warm_b.iterations <= cold_b.iterations + 5);
+    }
+}

@@ -33,6 +33,23 @@ pub fn cache_key(instance: &Instance, opts_fingerprint: &impl Hash) -> u64 {
     h.finish()
 }
 
+/// Key for the warm-start basis cache. Deliberately **excludes** the
+/// machine count: the machine budget only changes the right-hand side of
+/// the TISE LP, not its row/column structure, so an optimal basis from one
+/// budget warm-starts the same jobs at any other budget. Requests that
+/// differ only in `machines` therefore share a basis entry.
+pub fn basis_key(instance: &Instance, speed: i64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    instance.calib_len().ticks().hash(&mut h);
+    for job in instance.jobs() {
+        job.release.ticks().hash(&mut h);
+        job.deadline.ticks().hash(&mut h);
+        job.proc.ticks().hash(&mut h);
+    }
+    speed.hash(&mut h);
+    h.finish()
+}
+
 struct Entry<V> {
     value: Arc<V>,
     tick: u64,
@@ -169,5 +186,15 @@ mod tests {
         assert_eq!(cache_key(&a, &"x"), cache_key(&a, &"x"));
         assert_ne!(cache_key(&a, &"x"), cache_key(&b, &"x"));
         assert_ne!(cache_key(&a, &"x"), cache_key(&a, &"y"));
+    }
+
+    #[test]
+    fn basis_key_ignores_machine_count() {
+        let one = Instance::new([(0, 30, 4), (0, 40, 6)], 1, 10).unwrap();
+        let two = Instance::new([(0, 30, 4), (0, 40, 6)], 2, 10).unwrap();
+        let other = Instance::new([(0, 30, 5), (0, 40, 6)], 1, 10).unwrap();
+        assert_eq!(basis_key(&one, 1), basis_key(&two, 1));
+        assert_ne!(basis_key(&one, 1), basis_key(&other, 1));
+        assert_ne!(basis_key(&one, 1), basis_key(&one, 2));
     }
 }

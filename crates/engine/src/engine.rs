@@ -7,13 +7,14 @@
 //! [`Engine::shutdown`] (also run on drop) closes the queue, lets workers
 //! drain it, and joins them.
 
-use crate::cache::{cache_key, ShardedLru};
+use crate::cache::{basis_key, cache_key, ShardedLru};
 use crate::fallback::greedy_fallback_trimmed;
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PushError};
 use ise_model::{Instance, Schedule};
 use ise_sched::cancel::CancelToken;
-use ise_sched::{solve_with_speed, MmBackend, SchedError, SolverOptions};
+use ise_sched::{solve_with_speed, LpTelemetry, MmBackend, SchedError, SolverOptions};
+use ise_simplex::Basis;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -129,6 +130,9 @@ pub struct EngineResponse {
     /// Wall-clock microseconds spent producing this response (0 for cache
     /// hits).
     pub solve_us: u64,
+    /// LP-solver telemetry (iterations, refactorizations, build/solve
+    /// wall-time, warm-start flag), when the long-window pipeline ran.
+    pub lp: Option<LpTelemetry>,
 }
 
 /// Why [`Engine::submit`] refused a request.
@@ -198,6 +202,11 @@ struct QueuedJob {
 struct Shared {
     queue: BoundedQueue<QueuedJob>,
     cache: ShardedLru<CachedSolve>,
+    /// Warm-start bases keyed by [`basis_key`] (jobs + calibration
+    /// length + speed, *not* machines), so duplicate-shaped requests,
+    /// including machine-budget sweeps over one job set, skip simplex
+    /// phase 1.
+    bases: ShardedLru<Basis>,
     metrics: EngineMetrics,
     config: EngineConfig,
 }
@@ -205,6 +214,7 @@ struct Shared {
 struct CachedSolve {
     schedule: Schedule,
     calibrations: usize,
+    lp: Option<LpTelemetry>,
 }
 
 /// The batch-solving engine. See the module docs for the lifecycle.
@@ -220,6 +230,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity.max(1)),
             cache: ShardedLru::new(config.cache_capacity.max(1), config.cache_shards),
+            bases: ShardedLru::new(config.cache_capacity.max(1), config.cache_shards),
             metrics: EngineMetrics::default(),
             config: config.clone(),
         });
@@ -317,6 +328,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
             schedule: None,
             error: Some(message),
             solve_us: 0,
+            lp: None,
         }
     };
 
@@ -346,9 +358,23 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
             schedule: Some(hit.schedule.clone()),
             error: None,
             solve_us: 0,
+            lp: hit.lp,
         };
     }
     EngineMetrics::inc(&shared.metrics.cache_misses);
+
+    // Warm-start lookup: a prior solve of the same jobs/calibration
+    // length/speed (at any machine budget) left its optimal LP basis
+    // behind; reusing it lets the long-window LP skip phase 1. An
+    // incompatible basis is ignored by the solver, so a stale hit only
+    // costs one refactorization attempt.
+    let bkey = basis_key(&request.instance, speed);
+    let warm_basis = shared.bases.get(bkey);
+    if warm_basis.is_some() {
+        EngineMetrics::inc(&shared.metrics.basis_hits);
+    } else {
+        EngineMetrics::inc(&shared.metrics.basis_misses);
+    }
 
     let budget = request
         .timeout_ms
@@ -358,12 +384,13 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
         Some(b) => CancelToken::with_timeout(b),
         None => CancelToken::new(),
     };
-    let opts = SolverOptions {
+    let mut opts = SolverOptions {
         mm,
         trim_empty_calibrations: trim,
         cancel: cancel.clone(),
         ..SolverOptions::default()
     };
+    opts.long.warm_basis = warm_basis.map(|b| (*b).clone());
 
     let started = Instant::now();
     let result = solve_with_speed(&request.instance, &opts, speed);
@@ -378,11 +405,20 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
     match result {
         Ok(outcome) if !overran => {
             let calibrations = outcome.schedule.num_calibrations();
+            let lp = LpTelemetry::from_outcome(&outcome);
+            if let Some(basis) = outcome
+                .long
+                .as_ref()
+                .and_then(|l| l.fractional.basis.clone())
+            {
+                shared.bases.insert(bkey, Arc::new(basis));
+            }
             shared.cache.insert(
                 key,
                 Arc::new(CachedSolve {
                     schedule: outcome.schedule.clone(),
                     calibrations,
+                    lp,
                 }),
             );
             EngineResponse {
@@ -394,6 +430,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
                 schedule: Some(outcome.schedule),
                 error: None,
                 solve_us,
+                lp,
             }
         }
         Ok(_) | Err(SchedError::Cancelled) => {
@@ -410,6 +447,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
                     schedule: Some(schedule),
                     error: None,
                     solve_us,
+                    lp: None,
                 }
             } else {
                 let mut r = error("solve timed out".to_string(), true);
@@ -455,6 +493,40 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
+    }
+
+    #[test]
+    fn budget_sweep_warm_starts_the_lp() {
+        // Same long-window jobs at two machine budgets: the second solve
+        // misses the result cache (machines is part of the cache key) but
+        // hits the basis cache (machines is not part of the basis key), so
+        // its LP warm-starts from the first solve's optimal basis.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let jobs = [(0, 120, 7), (5, 130, 9), (10, 140, 6), (0, 125, 8)];
+        let cold = engine
+            .submit(EngineRequest::new(Instance::new(jobs, 1, 10).unwrap()))
+            .unwrap()
+            .wait();
+        assert_eq!(cold.status, status::OK);
+        let cold_lp = cold.lp.expect("long pipeline ran");
+        assert!(!cold_lp.warm_started);
+        assert!(cold_lp.iterations > 0);
+
+        let warm = engine
+            .submit(EngineRequest::new(Instance::new(jobs, 2, 10).unwrap()))
+            .unwrap()
+            .wait();
+        assert_eq!(warm.status, status::OK);
+        assert!(!warm.cached, "different machine budget must miss the cache");
+        let warm_lp = warm.lp.expect("long pipeline ran");
+        assert!(warm_lp.warm_started, "basis cache hit should warm-start");
+
+        let m = engine.metrics();
+        assert_eq!(m.basis_misses, 1);
+        assert_eq!(m.basis_hits, 1);
     }
 
     #[test]

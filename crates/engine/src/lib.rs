@@ -13,7 +13,8 @@
 //! * [`queue`] — bounded MPMC request queue with blocking or rejecting
 //!   backpressure.
 //! * [`cache`] — sharded LRU keyed by a canonical hash of
-//!   `(instance, options)`.
+//!   `(instance, options)`, plus a warm-start LP-basis cache keyed on the
+//!   job set alone so machine-budget sweeps skip simplex phase 1.
 //! * [`metrics`] — atomic counters plus log₂ latency histograms,
 //!   serializable to JSON.
 //! * [`fallback`] — the infallible greedy schedule used on timeout.
@@ -27,7 +28,7 @@ pub mod metrics;
 pub mod queue;
 pub mod serve;
 
-pub use cache::{cache_key, ShardedLru};
+pub use cache::{basis_key, cache_key, ShardedLru};
 pub use engine::{
     status, Backpressure, Engine, EngineConfig, EngineRequest, EngineResponse, ResponseSlot,
     SubmitError,

@@ -103,6 +103,10 @@ pub struct EngineMetrics {
     pub cache_hits: AtomicU64,
     /// Requests that missed the cache and went to the solver.
     pub cache_misses: AtomicU64,
+    /// Cache-missing solves that found a warm-start LP basis.
+    pub basis_hits: AtomicU64,
+    /// Cache-missing solves that started the LP cold.
+    pub basis_misses: AtomicU64,
     /// Solves that hit their deadline and were cancelled.
     pub timeouts: AtomicU64,
     /// Timed-out solves rescued by the greedy fallback.
@@ -129,6 +133,8 @@ impl EngineMetrics {
             completed: self.completed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            basis_hits: self.basis_hits.load(Ordering::Relaxed),
+            basis_misses: self.basis_misses.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -151,6 +157,10 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Requests that went to the solver.
     pub cache_misses: u64,
+    /// Cache-missing solves that found a warm-start LP basis.
+    pub basis_hits: u64,
+    /// Cache-missing solves that started the LP cold.
+    pub basis_misses: u64,
     /// Solves cancelled at their deadline.
     pub timeouts: u64,
     /// Timed-out solves rescued by the greedy fallback.

@@ -35,6 +35,7 @@ fn immediate_error(id: u64, message: String) -> Pending {
         schedule: None,
         error: Some(message),
         solve_us: 0,
+        lp: None,
     }))
 }
 

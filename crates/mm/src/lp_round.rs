@@ -33,7 +33,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// LP-rounding machine minimizer.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LpRoundMm {
     /// LP solver options.
     pub lp: SolveOptions,

@@ -63,7 +63,10 @@ impl std::error::Error for MmError {}
 /// being minimized. Every job set is feasible on `n` machines (each job
 /// alone at its release), so `minimize` fails only on unsupported input or
 /// exhausted search budgets.
-pub trait MachineMinimizer {
+///
+/// `Sync` is a supertrait so one minimizer instance can serve concurrent
+/// per-interval calls from the short-window pipeline's parallel fan-out.
+pub trait MachineMinimizer: Sync {
     /// Short human-readable name for reports.
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,467 @@
+//! Basis representations for the revised simplex.
+//!
+//! The solver needs four operations against the basis matrix `B`:
+//!
+//! * **FTRAN** — `w = B⁻¹ a` for a sparse column `a` (the pivot direction);
+//! * **BTRAN** — `y = cᵀ B⁻¹` for a dense row vector `c` (the simplex
+//!   multipliers used in pricing);
+//! * **update** — replace one basis column after a pivot;
+//! * **refactor** — rebuild the representation from the basis columns when
+//!   the update sequence grows long or looks numerically unsafe.
+//!
+//! Two implementations live behind the [`Factor`] enum:
+//!
+//! * [`DenseInverse`] maintains `B⁻¹` explicitly (row major). Every update
+//!   is an `O(m²)` elimination and BTRAN/FTRAN are `O(m²)`/`O(m·nnz)`.
+//!   This is the original kernel, kept as the cross-check oracle behind
+//!   [`SolveOptions::dense`](crate::SolveOptions::dense).
+//! * [`EtaFile`] keeps the **product form of the inverse**:
+//!   `B⁻¹ = E_k ⋯ E_1` where each eta matrix `E_i` differs from the
+//!   identity in one column. A pivot appends one eta (`O(nnz(w))`), FTRAN
+//!   applies the etas oldest-first and BTRAN newest-first, each in
+//!   `O(Σ nnz(eta))` — on the TISE LP (3 nonzeros per assignment column)
+//!   this replaces the `O(m²)` inner loops with work proportional to the
+//!   actual fill. Refactorization re-derives the eta file from the basis
+//!   columns by the classic reinversion sweep, choosing pivot rows by
+//!   magnitude among the still-unassigned rows; that sweep may permute
+//!   which basis position a variable occupies, so `refactor` receives the
+//!   basis array mutably and keeps `xb` consistent.
+
+use crate::solver::SolverError;
+
+/// Pivot threshold below which a refactorization declares the basis
+/// singular. Matches the dense Gauss–Jordan kernel's historical value.
+const SINGULAR_TOL: f64 = 1e-12;
+
+/// One eta matrix: identity except column `row`, recorded as the pivot
+/// direction `w` it was derived from (`E[row][row] = 1/w_row`,
+/// `E[i][row] = -w_i/w_row`).
+struct Eta {
+    row: usize,
+    /// `w_row` — the pivot element.
+    diag: f64,
+    /// `(i, w_i)` for `i != row`, `w_i != 0`.
+    off: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    fn from_direction(row: usize, w: &[f64]) -> Eta {
+        let mut off = Vec::new();
+        for (i, &wi) in w.iter().enumerate() {
+            if i != row && wi.abs() > SINGULAR_TOL {
+                off.push((i, wi));
+            }
+        }
+        Eta {
+            row,
+            diag: w[row],
+            off,
+        }
+    }
+
+    /// `v := E v` (FTRAN step).
+    #[inline]
+    fn apply_ftran(&self, v: &mut [f64]) {
+        let t = v[self.row];
+        if t == 0.0 {
+            return;
+        }
+        let f = t / self.diag;
+        v[self.row] = f;
+        for &(i, wi) in &self.off {
+            v[i] -= wi * f;
+        }
+    }
+
+    /// `y := yᵀ E` (BTRAN step).
+    #[inline]
+    fn apply_btran(&self, y: &mut [f64]) {
+        let mut s = y[self.row];
+        for &(i, wi) in &self.off {
+            s -= y[i] * wi;
+        }
+        y[self.row] = s / self.diag;
+    }
+}
+
+/// Product-form (eta-file) representation of `B⁻¹`.
+#[derive(Default)]
+pub struct EtaFile {
+    etas: Vec<Eta>,
+}
+
+impl EtaFile {
+    fn apply_all_ftran(&self, v: &mut [f64]) {
+        for eta in &self.etas {
+            eta.apply_ftran(v);
+        }
+    }
+
+    fn apply_all_btran(&self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            eta.apply_btran(y);
+        }
+    }
+
+    /// Number of eta terms currently in the file (diagnostic).
+    pub fn len(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Whether the file is empty (represents the identity).
+    pub fn is_empty(&self) -> bool {
+        self.etas.is_empty()
+    }
+}
+
+/// Explicit dense `B⁻¹`, row major — the original kernel.
+pub struct DenseInverse {
+    m: usize,
+    binv: Vec<f64>,
+}
+
+/// A basis representation: dense explicit inverse or sparse eta file.
+pub enum Factor {
+    /// Dense explicit inverse (cross-check oracle).
+    Dense(DenseInverse),
+    /// Product-form inverse (default).
+    Eta(EtaFile),
+}
+
+impl Factor {
+    /// The identity factorization for an `m`-row basis.
+    pub fn identity(m: usize, dense: bool) -> Factor {
+        if dense {
+            let mut binv = vec![0.0; m * m];
+            for i in 0..m {
+                binv[i * m + i] = 1.0;
+            }
+            Factor::Dense(DenseInverse { m, binv })
+        } else {
+            Factor::Eta(EtaFile::default())
+        }
+    }
+
+    /// FTRAN against a sparse column: `w = B⁻¹ a`.
+    pub fn ftran_col(&self, m: usize, col: &[(usize, f64)]) -> Vec<f64> {
+        match self {
+            Factor::Dense(d) => {
+                let mut w = vec![0.0; m];
+                for &(r, a) in col {
+                    for (i, wi) in w.iter_mut().enumerate() {
+                        *wi += a * d.binv[i * m + r];
+                    }
+                }
+                w
+            }
+            Factor::Eta(e) => {
+                let mut w = vec![0.0; m];
+                for &(r, a) in col {
+                    w[r] = a;
+                }
+                e.apply_all_ftran(&mut w);
+                w
+            }
+        }
+    }
+
+    /// BTRAN against a dense row vector: returns `yᵀ = vᵀ B⁻¹`.
+    pub fn btran(&self, m: usize, v: Vec<f64>) -> Vec<f64> {
+        match self {
+            Factor::Dense(d) => {
+                let mut y = vec![0.0; m];
+                for (i, &vi) in v.iter().enumerate() {
+                    if vi != 0.0 {
+                        let row = &d.binv[i * m..(i + 1) * m];
+                        for (yk, &bk) in y.iter_mut().zip(row) {
+                            *yk += vi * bk;
+                        }
+                    }
+                }
+                y
+            }
+            Factor::Eta(e) => {
+                let mut y = v;
+                e.apply_all_btran(&mut y);
+                y
+            }
+        }
+    }
+
+    /// Row `row` of `B⁻¹` (`e_rowᵀ B⁻¹`), used to probe pivot elements when
+    /// driving artificials out of the basis.
+    pub fn row_of_inverse(&self, m: usize, row: usize) -> Vec<f64> {
+        match self {
+            Factor::Dense(d) => d.binv[row * m..(row + 1) * m].to_vec(),
+            Factor::Eta(e) => {
+                let mut y = vec![0.0; m];
+                y[row] = 1.0;
+                e.apply_all_btran(&mut y);
+                y
+            }
+        }
+    }
+
+    /// Account for a pivot with direction `w` leaving at `leaving_row`.
+    /// The caller guarantees `|w[leaving_row]|` is above its pivot
+    /// tolerance.
+    pub fn update(&mut self, leaving_row: usize, w: &[f64]) {
+        match self {
+            Factor::Dense(d) => {
+                let m = d.m;
+                let piv = w[leaving_row];
+                let inv_piv = 1.0 / piv;
+                let (before, rest) = d.binv.split_at_mut(leaving_row * m);
+                let (prow, after) = rest.split_at_mut(m);
+                for v in prow.iter_mut() {
+                    *v *= inv_piv;
+                }
+                for (i, chunk) in before.chunks_exact_mut(m).enumerate() {
+                    let f = w[i];
+                    if f != 0.0 {
+                        for (c, p) in chunk.iter_mut().zip(prow.iter()) {
+                            *c -= f * p;
+                        }
+                    }
+                }
+                for (k, chunk) in after.chunks_exact_mut(m).enumerate() {
+                    let f = w[leaving_row + 1 + k];
+                    if f != 0.0 {
+                        for (c, p) in chunk.iter_mut().zip(prow.iter()) {
+                            *c -= f * p;
+                        }
+                    }
+                }
+            }
+            Factor::Eta(e) => e.etas.push(Eta::from_direction(leaving_row, w)),
+        }
+    }
+
+    /// Rebuild the representation from the basis columns and recompute
+    /// `xb = B⁻¹ b`. The eta reinversion may permute which row position
+    /// each basic variable occupies; `basis` is updated accordingly so the
+    /// caller's row-indexed state stays consistent.
+    pub fn refactor(
+        &mut self,
+        cols: &[Vec<(usize, f64)>],
+        basis: &mut [usize],
+        b: &[f64],
+        xb: &mut [f64],
+    ) -> Result<(), SolverError> {
+        let m = basis.len();
+        match self {
+            Factor::Dense(d) => {
+                debug_assert_eq!(d.m, m);
+                let mut a = vec![0.0; m * m];
+                for (col, &bv) in basis.iter().enumerate() {
+                    for &(r, v) in &cols[bv] {
+                        a[r * m + col] = v;
+                    }
+                }
+                let mut inv = vec![0.0; m * m];
+                for i in 0..m {
+                    inv[i * m + i] = 1.0;
+                }
+                for col in 0..m {
+                    let mut best = col;
+                    let mut best_val = a[col * m + col].abs();
+                    for r in (col + 1)..m {
+                        let v = a[r * m + col].abs();
+                        if v > best_val {
+                            best_val = v;
+                            best = r;
+                        }
+                    }
+                    if best_val < SINGULAR_TOL {
+                        return Err(SolverError::SingularBasis);
+                    }
+                    if best != col {
+                        for k in 0..m {
+                            a.swap(col * m + k, best * m + k);
+                            inv.swap(col * m + k, best * m + k);
+                        }
+                    }
+                    let inv_piv = 1.0 / a[col * m + col];
+                    for k in 0..m {
+                        a[col * m + k] *= inv_piv;
+                        inv[col * m + k] *= inv_piv;
+                    }
+                    for r in 0..m {
+                        if r != col {
+                            let f = a[r * m + col];
+                            if f != 0.0 {
+                                for k in 0..m {
+                                    a[r * m + k] -= f * a[col * m + k];
+                                    inv[r * m + k] -= f * inv[col * m + k];
+                                }
+                            }
+                        }
+                    }
+                }
+                d.binv = inv;
+                for (i, x) in xb.iter_mut().enumerate().take(m) {
+                    let row = &d.binv[i * m..(i + 1) * m];
+                    *x = row.iter().zip(b).map(|(v, bi)| v * bi).sum();
+                }
+                Ok(())
+            }
+            Factor::Eta(e) => {
+                e.etas.clear();
+                // Reinversion sweep: process the sparsest columns first so
+                // early etas stay short, assign each column the unpivoted
+                // row where its transformed value is largest.
+                let mut order: Vec<usize> = (0..m).collect();
+                order.sort_by_key(|&i| (cols[basis[i]].len(), basis[i]));
+                let mut new_basis = vec![usize::MAX; m];
+                let mut assigned = vec![false; m];
+                for &pos in &order {
+                    let var = basis[pos];
+                    let mut v = vec![0.0; m];
+                    for &(r, a) in &cols[var] {
+                        v[r] = a;
+                    }
+                    e.apply_all_ftran(&mut v);
+                    let mut best = usize::MAX;
+                    let mut best_val = SINGULAR_TOL;
+                    for (r, &vr) in v.iter().enumerate() {
+                        if !assigned[r] && vr.abs() > best_val {
+                            best_val = vr.abs();
+                            best = r;
+                        }
+                    }
+                    if best == usize::MAX {
+                        return Err(SolverError::SingularBasis);
+                    }
+                    e.etas.push(Eta::from_direction(best, &v));
+                    assigned[best] = true;
+                    new_basis[best] = var;
+                }
+                basis.copy_from_slice(&new_basis);
+                let mut v = b.to_vec();
+                e.apply_all_ftran(&mut v);
+                xb.copy_from_slice(&v);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Columns of a 3×3 matrix B = [[2,0,1],[0,3,0],[1,0,1]].
+    fn cols3() -> Vec<Vec<(usize, f64)>> {
+        vec![
+            vec![(0, 2.0), (2, 1.0)],
+            vec![(1, 3.0)],
+            vec![(0, 1.0), (2, 1.0)],
+        ]
+    }
+
+    fn check_inverse(f: &Factor, cols: &[Vec<(usize, f64)>], basis: &[usize]) {
+        let m = basis.len();
+        // B⁻¹ B should be the permutation mapping basis position -> row.
+        for (pos, &var) in basis.iter().enumerate() {
+            let w = f.ftran_col(m, &cols[var]);
+            for (i, &wi) in w.iter().enumerate() {
+                let expect = if i == pos { 1.0 } else { 0.0 };
+                assert!(
+                    (wi - expect).abs() < 1e-9,
+                    "ftran(col {var})[{i}] = {wi}, expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eta_refactor_inverts() {
+        let cols = cols3();
+        let mut basis = vec![0, 1, 2];
+        let b = vec![1.0, 2.0, 3.0];
+        let mut xb = vec![0.0; 3];
+        let mut f = Factor::identity(3, false);
+        f.refactor(&cols, &mut basis, &b, &mut xb).unwrap();
+        check_inverse(&f, &cols, &basis);
+        // xb solves B xb(perm) = b: verify by multiplying back.
+        let mut back = vec![0.0; 3];
+        for (pos, &var) in basis.iter().enumerate() {
+            for &(r, a) in &cols[var] {
+                back[r] += a * xb[pos];
+            }
+        }
+        for (bi, &gi) in b.iter().zip(&back) {
+            assert!((bi - gi).abs() < 1e-9, "B xb = {back:?} vs b = {b:?}");
+        }
+    }
+
+    #[test]
+    fn dense_and_eta_btran_agree() {
+        let cols = cols3();
+        let b = vec![0.0; 3];
+        let mut xb = vec![0.0; 3];
+
+        let mut dense = Factor::identity(3, true);
+        let mut dense_basis = vec![0usize, 1, 2];
+        dense
+            .refactor(&cols, &mut dense_basis, &b, &mut xb)
+            .unwrap();
+
+        let mut eta = Factor::identity(3, false);
+        let mut eta_basis = vec![0usize, 1, 2];
+        eta.refactor(&cols, &mut eta_basis, &b, &mut xb).unwrap();
+
+        // Compare y = vᵀ B⁻¹ after mapping the (possibly permuted) basis
+        // position of each variable: v is indexed by position, so build v
+        // per representation assigning cost 1.0 to variable 0.
+        let cost = |basis: &[usize]| {
+            let mut v = vec![0.0; 3];
+            for (pos, &var) in basis.iter().enumerate() {
+                if var == 0 {
+                    v[pos] = 1.0;
+                }
+            }
+            v
+        };
+        let yd = dense.btran(3, cost(&dense_basis));
+        let ye = eta.btran(3, cost(&eta_basis));
+        for (a, b) in yd.iter().zip(&ye) {
+            assert!((a - b).abs() < 1e-9, "{yd:?} vs {ye:?}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_detected() {
+        // Two copies of the same column.
+        let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]];
+        let b = vec![0.0; 2];
+        let mut xb = vec![0.0; 2];
+        for dense in [false, true] {
+            let mut f = Factor::identity(2, dense);
+            let mut basis = vec![0usize, 1];
+            assert_eq!(
+                f.refactor(&cols, &mut basis, &b, &mut xb).unwrap_err(),
+                SolverError::SingularBasis
+            );
+        }
+    }
+
+    #[test]
+    fn update_tracks_column_swap() {
+        // Start from identity basis {slack-like unit columns}, bring in a
+        // new column, and verify FTRAN of that column is a unit vector.
+        let cols = vec![
+            vec![(0, 1.0)],
+            vec![(1, 1.0)],
+            vec![(0, 2.0), (1, 1.0)], // entering column
+        ];
+        for dense in [false, true] {
+            let mut f = Factor::identity(2, dense);
+            let w = f.ftran_col(2, &cols[2]);
+            assert_eq!(w, vec![2.0, 1.0]);
+            f.update(0, &w); // column 2 replaces position 0
+            let basis = vec![2usize, 1];
+            check_inverse(&f, &cols, &basis);
+        }
+    }
+}

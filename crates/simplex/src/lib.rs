@@ -6,8 +6,17 @@
 //! scratch: a **two-phase revised primal simplex** with
 //!
 //! * sparse column storage of the constraint matrix,
-//! * a dense, explicitly maintained basis inverse with periodic
-//!   refactorization (Gauss–Jordan with partial pivoting),
+//! * a **product-form (eta-file) basis representation** priced by sparse
+//!   BTRAN/FTRAN, rebuilt by a sparsity-ordered reinversion every
+//!   [`SolveOptions::refactor_every`] pivots (the original dense explicit
+//!   inverse survives behind [`SolveOptions::dense`] as a cross-check
+//!   oracle),
+//! * **warm starts**: an optimal [`Basis`] can be fed back into
+//!   [`solve_warm`]/[`solve_with_presolve_warm`] to skip phase 1 when
+//!   re-solving the same structure with a perturbed right-hand side,
+//! * cooperative interruption ([`Interrupt`]/[`InterruptHandle`]) polled
+//!   inside the pivot loop, so deadlines can abort a long solve
+//!   mid-iteration,
 //! * Dantzig pricing with an automatic switch to Bland's rule when the
 //!   iteration stalls on degenerate pivots (anti-cycling),
 //! * a zero-ratio leaving rule that immediately evicts artificial variables
@@ -22,12 +31,16 @@
 //! TISE relaxation (thousands of rows/columns), not for industrial LPs with
 //! millions of nonzeros.
 
+pub mod factor;
 pub mod presolve;
 pub mod problem;
 pub mod solver;
 pub mod verify;
 
-pub use presolve::{presolve, solve_with_presolve, Presolved};
+pub use presolve::{presolve, solve_with_presolve, solve_with_presolve_warm, Presolved};
 pub use problem::{Cmp, LinearProgram, Row};
-pub use solver::{solve, Solution, SolveOptions, SolveStatus, SolverError};
+pub use solver::{
+    solve, solve_warm, Basis, Interrupt, InterruptHandle, Solution, SolveOptions, SolveStatus,
+    SolverError,
+};
 pub use verify::{check_dual, check_solution, Violation};

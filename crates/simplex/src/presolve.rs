@@ -3,7 +3,7 @@
 //! The TISE LP contains many structurally trivial pieces — empty rows from
 //! points no job can use, duplicate window-capacity rows when calibration
 //! points cluster, and variables that appear in no constraint. Removing
-//! them up front shrinks the basis (the dense inverse is the solver's
+//! them up front shrinks the basis (factorization work is the solver's
 //! dominant cost) without changing the optimum:
 //!
 //! * **empty rows** are dropped when trivially satisfiable and flagged as
@@ -17,7 +17,7 @@
 //! verbatim.
 
 use crate::problem::{Cmp, LinearProgram, Row};
-use crate::solver::{solve, Solution, SolveOptions, SolveStatus, SolverError};
+use crate::solver::{solve_warm, Basis, Solution, SolveOptions, SolveStatus, SolverError};
 use std::collections::HashMap;
 
 /// Deduplication key: quantized normalized coefficients plus a comparison
@@ -163,6 +163,20 @@ pub fn solve_with_presolve(
     lp: &LinearProgram,
     opts: &SolveOptions,
 ) -> Result<Solution, SolverError> {
+    solve_with_presolve_warm(lp, opts, None)
+}
+
+/// Like [`solve_with_presolve`], optionally warm-starting the reduced LP
+/// from a [`Basis`] returned by a previous call on a structurally identical
+/// program. Presolve's row deduplication keys on coefficients and
+/// comparison only (not the right-hand side), so a pure rhs perturbation —
+/// e.g. a changed machine budget — yields the same reduced structure and
+/// the basis carries over.
+pub fn solve_with_presolve_warm(
+    lp: &LinearProgram,
+    opts: &SolveOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, SolverError> {
     let pre = presolve(lp);
     if let Some(status) = pre.verdict {
         return Ok(Solution {
@@ -171,9 +185,12 @@ pub fn solve_with_presolve(
             x: vec![0.0; lp.num_vars()],
             duals: Vec::new(),
             iterations: 0,
+            refactorizations: 0,
+            basis: None,
+            warm_used: false,
         });
     }
-    let mut sol = solve(&pre.lp, opts)?;
+    let mut sol = solve_warm(&pre.lp, opts, warm)?;
     // Map the reduced duals back to the original rows (dropped rows are
     // implied by kept ones, so dual 0 keeps the certificate feasible).
     if !sol.duals.is_empty() {
@@ -190,6 +207,7 @@ pub fn solve_with_presolve(
 mod tests {
     use super::*;
     use crate::problem::Cmp;
+    use crate::solver::solve;
 
     #[test]
     fn drops_empty_rows() {

@@ -1,24 +1,35 @@
 //! Two-phase revised primal simplex.
 //!
-//! The implementation keeps an explicit dense basis inverse `B⁻¹` (row
-//! major), updated by the standard product-form elimination after each pivot
-//! and rebuilt from scratch (Gauss–Jordan with partial pivoting) every
-//! [`SolveOptions::refactor_every`] iterations or when a pivot looks
-//! numerically unsafe. Pricing is Dantzig (most negative reduced cost) and
-//! switches to Bland's least-index rule while the iteration is stuck on
-//! degenerate pivots, which guarantees termination.
+//! The basis is represented by a [`Factor`](crate::factor::Factor): by
+//! default a sparse **product-form inverse** (eta file) whose BTRAN/FTRAN
+//! cost scales with the actual fill of the pivot history, rebuilt by a
+//! sparsity-ordered reinversion every [`SolveOptions::refactor_every`]
+//! pivots or when a pivot looks numerically unsafe. Setting
+//! [`SolveOptions::dense`] switches to the original explicit dense `B⁻¹`
+//! (row major, Gauss–Jordan refactorization), retained as a cross-check
+//! oracle. Pricing is Dantzig (most negative reduced cost) and switches to
+//! Bland's least-index rule while the iteration is stuck on degenerate
+//! pivots, which guarantees termination.
 //!
 //! Phase 1 minimizes the sum of artificial variables; artificial variables
 //! that remain basic at level zero afterwards are driven out by zero-ratio
 //! pivots, and rows where that is impossible are redundant and harmless
 //! (their artificial is barred from re-entering and evicted by the
 //! zero-ratio rule if it ever threatens to move).
+//!
+//! A solve can be **warm-started** from the [`Basis`] of a previous optimal
+//! solution via [`solve_warm`]: if the basis still matches the program's
+//! standard-form structure and is primal feasible for the (possibly
+//! perturbed) right-hand side, phase 1 is skipped entirely.
 
-// The pivot kernels index several parallel arrays (`w`, `binv`, `xb`,
-// `basis`) by row; iterator rewrites obscure the numerics for no gain.
+// The pivot kernels index several parallel arrays (`w`, `xb`, `basis`) by
+// row; iterator rewrites obscure the numerics for no gain.
 #![allow(clippy::needless_range_loop)]
 
+use crate::factor::Factor;
 use crate::problem::{Cmp, LinearProgram};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Outcome classification of a solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +40,51 @@ pub enum SolveStatus {
     Infeasible,
     /// The objective is unbounded below.
     Unbounded,
+}
+
+/// An opaque snapshot of an optimal basis, reusable to warm-start a later
+/// solve of a structurally identical program (same rows, variables, and
+/// constraint senses — only the right-hand side and costs may differ).
+///
+/// Obtained from [`Solution::basis`]; consumed by [`solve_warm`] and
+/// [`crate::solve_with_presolve_warm`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic variable per row, in standard-form indexing.
+    pub(crate) vars: Vec<usize>,
+    /// Fingerprint of the standard-form shape this basis belongs to.
+    pub(crate) structure: u64,
+}
+
+/// Cooperative interruption hook for long solves. Implementations are
+/// polled from inside the pivot loop every few dozen iterations; returning
+/// `true` aborts the solve with [`SolverError::Interrupted`].
+pub trait Interrupt: Send + Sync {
+    /// Whether the solve should stop now.
+    fn interrupted(&self) -> bool;
+}
+
+/// A cloneable, type-erased handle to an [`Interrupt`] source, carried by
+/// [`SolveOptions::interrupt`].
+#[derive(Clone)]
+pub struct InterruptHandle(Arc<dyn Interrupt>);
+
+impl InterruptHandle {
+    /// Wrap an interrupt source.
+    pub fn new(source: Arc<dyn Interrupt>) -> InterruptHandle {
+        InterruptHandle(source)
+    }
+
+    /// Poll the underlying source.
+    pub fn interrupted(&self) -> bool {
+        self.0.interrupted()
+    }
+}
+
+impl std::fmt::Debug for InterruptHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("InterruptHandle(..)")
+    }
 }
 
 /// A solved LP.
@@ -49,6 +105,14 @@ pub struct Solution {
     pub duals: Vec<f64>,
     /// Total simplex iterations across both phases.
     pub iterations: usize,
+    /// How many times the basis representation was rebuilt from scratch.
+    pub refactorizations: usize,
+    /// The optimal basis, present when the status is
+    /// [`SolveStatus::Optimal`]; feed it back via [`solve_warm`] to skip
+    /// phase 1 on a re-solve of the same structure.
+    pub basis: Option<Basis>,
+    /// Whether a supplied warm basis was accepted (phase 1 skipped).
+    pub warm_used: bool,
 }
 
 /// Hard solver failures (distinct from infeasible/unbounded outcomes).
@@ -58,6 +122,8 @@ pub enum SolverError {
     IterationLimit { limit: usize },
     /// The basis matrix became numerically singular.
     SingularBasis,
+    /// The solve was interrupted via [`SolveOptions::interrupt`].
+    Interrupted,
 }
 
 impl std::fmt::Display for SolverError {
@@ -67,6 +133,7 @@ impl std::fmt::Display for SolverError {
                 write!(f, "simplex iteration limit {limit} exceeded")
             }
             SolverError::SingularBasis => write!(f, "basis matrix is numerically singular"),
+            SolverError::Interrupted => write!(f, "solve interrupted"),
         }
     }
 }
@@ -74,7 +141,7 @@ impl std::fmt::Display for SolverError {
 impl std::error::Error for SolverError {}
 
 /// Tunable solver parameters. The defaults suit the LPs in this workspace.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolveOptions {
     /// Primal feasibility tolerance.
     pub feas_tol: f64,
@@ -84,8 +151,14 @@ pub struct SolveOptions {
     pub pivot_tol: f64,
     /// Iteration limit; `0` selects `200 * (rows + cols) + 20_000`.
     pub max_iters: usize,
-    /// Rebuild the basis inverse after this many pivots.
+    /// Rebuild the basis representation after this many pivots.
     pub refactor_every: usize,
+    /// Use the dense explicit-inverse kernel instead of the sparse
+    /// product-form default. Kept as a cross-check oracle; the two paths
+    /// must agree on status and objective.
+    pub dense: bool,
+    /// Optional cooperative-interruption hook polled inside the pivot loop.
+    pub interrupt: Option<InterruptHandle>,
 }
 
 impl Default for SolveOptions {
@@ -96,9 +169,16 @@ impl Default for SolveOptions {
             pivot_tol: 1e-8,
             max_iters: 0,
             refactor_every: 512,
+            dense: false,
+            interrupt: None,
         }
     }
 }
+
+/// How many pivot iterations pass between interrupt polls. Polling is a
+/// virtual call plus an atomic load; amortizing it keeps the pivot loop
+/// tight while still bounding interrupt latency to a few dozen pivots.
+const INTERRUPT_POLL_MASK: usize = 31;
 
 /// Solve `lp` to optimality (or detect infeasibility/unboundedness).
 ///
@@ -115,7 +195,20 @@ impl Default for SolveOptions {
 /// assert!((sol.objective - 4.0).abs() < 1e-6);
 /// ```
 pub fn solve(lp: &LinearProgram, opts: &SolveOptions) -> Result<Solution, SolverError> {
-    Tableau::build(lp, *opts).run()
+    solve_warm(lp, opts, None)
+}
+
+/// Like [`solve`], optionally warm-starting from a previous optimal
+/// [`Basis`]. A basis that no longer matches the program's structure or is
+/// infeasible for the current right-hand side is silently ignored and the
+/// solve falls back to a cold start; [`Solution::warm_used`] reports which
+/// path ran.
+pub fn solve_warm(
+    lp: &LinearProgram,
+    opts: &SolveOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, SolverError> {
+    Tableau::build(lp, opts.clone()).run(warm)
 }
 
 /// Variable classes in the standard-form program.
@@ -140,11 +233,12 @@ struct Tableau {
     /// Basic variable of each row.
     basis: Vec<usize>,
     in_basis: Vec<bool>,
-    /// Dense `B⁻¹`, row major, `m × m`.
-    binv: Vec<f64>,
+    /// Basis representation (dense inverse or eta file).
+    factor: Factor,
     /// Current basic solution values.
     xb: Vec<f64>,
     iterations: usize,
+    refactorizations: usize,
     pivots_since_refactor: usize,
     num_structural: usize,
     has_artificials: bool,
@@ -215,12 +309,9 @@ impl Tableau {
         for &v in &basis {
             in_basis[v] = true;
         }
-        // Initial basis is the identity (slacks + artificials), so B⁻¹ = I
-        // and xb = b.
-        let mut binv = vec![0.0; m * m];
-        for i in 0..m {
-            binv[i * m + i] = 1.0;
-        }
+        // Initial basis is the identity (slacks + artificials), so the
+        // factor is the identity and xb = b.
+        let factor = Factor::identity(m, opts.dense);
         Tableau {
             opts,
             m,
@@ -230,9 +321,10 @@ impl Tableau {
             b: b.clone(),
             basis,
             in_basis,
-            binv,
+            factor,
             xb: b,
             iterations: 0,
+            refactorizations: 0,
             pivots_since_refactor: 0,
             num_structural: n,
             has_artificials,
@@ -248,8 +340,85 @@ impl Tableau {
         }
     }
 
-    fn run(mut self) -> Result<Solution, SolverError> {
-        if self.m > 0 && self.has_artificials {
+    /// Fingerprint of the standard-form shape: row count plus the kind
+    /// sequence of every column. Two programs share a fingerprint exactly
+    /// when a basis (a set of standard-form column indices) from one is
+    /// structurally meaningful in the other — rhs and costs may differ.
+    fn structure_fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.m.hash(&mut h);
+        self.cols.len().hash(&mut h);
+        for k in &self.kind {
+            let tag: u8 = match k {
+                VarKind::Structural => 0,
+                VarKind::Slack => 1,
+                VarKind::Artificial => 2,
+            };
+            tag.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Try to install a warm-start basis: structure must match, the basis
+    /// must be a valid set of distinct columns, it must factorize, and the
+    /// resulting point must be primal feasible (with any basic artificials
+    /// at level zero). On any failure the tableau is restored to its cold
+    /// initial state and `false` is returned.
+    fn try_install_warm(&mut self, warm: &Basis) -> bool {
+        if self.m == 0
+            || warm.vars.len() != self.m
+            || warm.structure != self.structure_fingerprint()
+        {
+            return false;
+        }
+        let mut seen = vec![false; self.cols.len()];
+        for &v in &warm.vars {
+            if v >= self.cols.len() || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        let cold_basis = self.basis.clone();
+        self.basis.copy_from_slice(&warm.vars);
+        let installed =
+            self.factor
+                .refactor(&self.cols, &mut self.basis, &self.b, &mut self.xb)
+                .is_ok()
+                && {
+                    let scale = 1.0 + self.b.iter().map(|v| v.abs()).sum::<f64>();
+                    let tol = self.opts.feas_tol * scale;
+                    self.basis.iter().zip(&self.xb).all(|(&v, &x)| {
+                        x >= -tol && (self.kind[v] != VarKind::Artificial || x <= tol)
+                    })
+                };
+        if installed {
+            self.refactorizations += 1;
+            self.pivots_since_refactor = 0;
+            for x in self.xb.iter_mut() {
+                if *x < 0.0 {
+                    *x = 0.0;
+                }
+            }
+        } else {
+            // Cold restart: identity factor over the slack/artificial basis.
+            self.basis = cold_basis;
+            self.factor = Factor::identity(self.m, self.opts.dense);
+            self.xb.copy_from_slice(&self.b);
+            self.pivots_since_refactor = 0;
+        }
+        self.in_basis.iter_mut().for_each(|f| *f = false);
+        for &v in &self.basis {
+            self.in_basis[v] = true;
+        }
+        installed
+    }
+
+    fn run(mut self, warm: Option<&Basis>) -> Result<Solution, SolverError> {
+        let warm_used = match warm {
+            Some(basis) => self.try_install_warm(basis),
+            None => false,
+        };
+        if self.m > 0 && self.has_artificials && !warm_used {
             let phase1_cost: Vec<f64> = self
                 .kind
                 .iter()
@@ -272,6 +441,9 @@ impl Tableau {
                     x: vec![0.0; self.num_structural],
                     duals: Vec::new(),
                     iterations: self.iterations,
+                    refactorizations: self.refactorizations,
+                    basis: None,
+                    warm_used,
                 });
             }
             self.drive_out_artificials()?;
@@ -285,10 +457,14 @@ impl Tableau {
             .zip(&x_full(&self, &x))
             .map(|(c, v)| c * v)
             .sum();
-        let duals = if status == SolveStatus::Optimal {
-            self.duals(&cost2)
+        let (duals, basis) = if status == SolveStatus::Optimal {
+            let basis = Basis {
+                vars: self.basis.clone(),
+                structure: self.structure_fingerprint(),
+            };
+            (self.duals(&cost2), Some(basis))
         } else {
-            Vec::new()
+            (Vec::new(), None)
         };
         Ok(Solution {
             status,
@@ -296,27 +472,37 @@ impl Tableau {
             x,
             duals,
             iterations: self.iterations,
+            refactorizations: self.refactorizations,
+            basis,
+            warm_used,
         })
     }
 
-    /// Simplex multipliers `y = c_B B⁻¹`, mapped back to the original row
-    /// orientation (rows normalized by `-1` get their dual negated).
+    /// Simplex multipliers `y = c_B B⁻¹` via BTRAN, mapped back to the
+    /// original row orientation (rows normalized by `-1` get their dual
+    /// negated).
     fn duals(&self, cost: &[f64]) -> Vec<f64> {
-        let m = self.m;
-        let mut y = vec![0.0; m];
+        let mut cb = vec![0.0; self.m];
         for (k, &bv) in self.basis.iter().enumerate() {
-            let cb = cost[bv];
-            if cb != 0.0 {
-                let row = &self.binv[k * m..(k + 1) * m];
-                for (yi, &v) in y.iter_mut().zip(row) {
-                    *yi += cb * v;
-                }
-            }
+            cb[k] = cost[bv];
         }
+        let mut y = self.factor.btran(self.m, cb);
         for (yi, &sign) in y.iter_mut().zip(&self.row_sign) {
             *yi *= sign;
         }
         y
+    }
+
+    #[inline]
+    fn poll_interrupt(&self) -> Result<(), SolverError> {
+        if self.iterations & INTERRUPT_POLL_MASK == 0 {
+            if let Some(h) = &self.opts.interrupt {
+                if h.interrupted() {
+                    return Err(SolverError::Interrupted);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The main simplex loop for a given cost vector. Returns `Optimal` or
@@ -330,21 +516,17 @@ impl Tableau {
                 return Err(SolverError::IterationLimit { limit });
             }
             self.iterations += 1;
+            self.poll_interrupt()?;
             if self.pivots_since_refactor >= self.opts.refactor_every {
                 self.refactorize()?;
             }
 
-            // Simplex multipliers y = c_Bᵀ B⁻¹.
-            let mut y = vec![0.0; self.m];
+            // Simplex multipliers y = c_Bᵀ B⁻¹ via BTRAN.
+            let mut cb = vec![0.0; self.m];
             for (i, &bv) in self.basis.iter().enumerate() {
-                let cb = cost[bv];
-                if cb != 0.0 {
-                    let row = &self.binv[i * self.m..(i + 1) * self.m];
-                    for (yk, &v) in y.iter_mut().zip(row) {
-                        *yk += cb * v;
-                    }
-                }
+                cb[i] = cost[bv];
             }
+            let y = self.factor.btran(self.m, cb);
 
             // Pricing.
             let mut entering = usize::MAX;
@@ -375,13 +557,8 @@ impl Tableau {
                 return Ok(SolveStatus::Optimal);
             }
 
-            // Direction w = B⁻¹ A_j.
-            let mut w = vec![0.0; self.m];
-            for &(r, a) in &self.cols[entering] {
-                for i in 0..self.m {
-                    w[i] += a * self.binv[i * self.m + r];
-                }
-            }
+            // Direction w = B⁻¹ A_j via FTRAN.
+            let w = self.factor.ftran_col(self.m, &self.cols[entering]);
 
             // Ratio test. Artificial basics at level ~0 leave at ratio 0 on
             // any significant movement (either direction) so they can never
@@ -461,33 +638,7 @@ impl Tableau {
         }
         self.xb[leaving_row] = theta;
 
-        // Update B⁻¹: eliminate column `entering` from all rows but the
-        // pivot row.
-        let m = self.m;
-        let inv_piv = 1.0 / piv;
-        {
-            let (before, rest) = self.binv.split_at_mut(leaving_row * m);
-            let (prow, after) = rest.split_at_mut(m);
-            for v in prow.iter_mut() {
-                *v *= inv_piv;
-            }
-            for (i, chunk) in before.chunks_exact_mut(m).enumerate() {
-                let f = w[i];
-                if f != 0.0 {
-                    for (c, p) in chunk.iter_mut().zip(prow.iter()) {
-                        *c -= f * p;
-                    }
-                }
-            }
-            for (k, chunk) in after.chunks_exact_mut(m).enumerate() {
-                let f = w[leaving_row + 1 + k];
-                if f != 0.0 {
-                    for (c, p) in chunk.iter_mut().zip(prow.iter()) {
-                        *c -= f * p;
-                    }
-                }
-            }
-        }
+        self.factor.update(leaving_row, w);
 
         let old = self.basis[leaving_row];
         self.in_basis[old] = false;
@@ -497,66 +648,13 @@ impl Tableau {
         Ok(())
     }
 
-    /// Rebuild `B⁻¹` by Gauss–Jordan elimination with partial pivoting and
-    /// recompute the basic values from it.
+    /// Rebuild the basis representation from scratch and recompute the
+    /// basic values from it.
     fn refactorize(&mut self) -> Result<(), SolverError> {
-        let m = self.m;
-        // Dense basis matrix.
-        let mut a = vec![0.0; m * m];
-        for (col, &bv) in self.basis.iter().enumerate() {
-            for &(r, v) in &self.cols[bv] {
-                a[r * m + col] = v;
-            }
-        }
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // Partial pivot.
-            let mut best = col;
-            let mut best_val = a[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = a[r * m + col].abs();
-                if v > best_val {
-                    best_val = v;
-                    best = r;
-                }
-            }
-            if best_val < 1e-12 {
-                return Err(SolverError::SingularBasis);
-            }
-            if best != col {
-                for k in 0..m {
-                    a.swap(col * m + k, best * m + k);
-                    inv.swap(col * m + k, best * m + k);
-                }
-            }
-            let piv = a[col * m + col];
-            let inv_piv = 1.0 / piv;
-            for k in 0..m {
-                a[col * m + k] *= inv_piv;
-                inv[col * m + k] *= inv_piv;
-            }
-            for r in 0..m {
-                if r != col {
-                    let f = a[r * m + col];
-                    if f != 0.0 {
-                        for k in 0..m {
-                            a[r * m + k] -= f * a[col * m + k];
-                            inv[r * m + k] -= f * inv[col * m + k];
-                        }
-                    }
-                }
-            }
-        }
-        self.binv = inv;
-        // xb = B⁻¹ b.
-        for i in 0..m {
-            let row = &self.binv[i * m..(i + 1) * m];
-            self.xb[i] = row.iter().zip(&self.b).map(|(v, b)| v * b).sum();
-        }
+        self.factor
+            .refactor(&self.cols, &mut self.basis, &self.b, &mut self.xb)?;
         self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
         Ok(())
     }
 
@@ -567,6 +665,7 @@ impl Tableau {
             if self.kind[self.basis[row]] != VarKind::Artificial {
                 continue;
             }
+            let binv_row = self.factor.row_of_inverse(self.m, row);
             let mut found = None;
             'search: for j in 0..self.cols.len() {
                 if self.in_basis[j] || self.kind[j] == VarKind::Artificial {
@@ -575,7 +674,7 @@ impl Tableau {
                 // w_row = (B⁻¹ A_j)[row]
                 let mut w_row = 0.0;
                 for &(r, a) in &self.cols[j] {
-                    w_row += a * self.binv[row * self.m + r];
+                    w_row += a * binv_row[r];
                 }
                 if w_row.abs() > 1e-6 {
                     found = Some(j);
@@ -583,12 +682,7 @@ impl Tableau {
                 }
             }
             if let Some(j) = found {
-                let mut w = vec![0.0; self.m];
-                for &(r, a) in &self.cols[j] {
-                    for i in 0..self.m {
-                        w[i] += a * self.binv[i * self.m + r];
-                    }
-                }
+                let w = self.factor.ftran_col(self.m, &self.cols[j]);
                 self.pivot(j, row, &w, 0.0)?;
             }
             // If no pivot exists the row is linearly dependent; the
@@ -622,87 +716,111 @@ fn x_full(t: &Tableau, x: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::problem::{Cmp, LinearProgram};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() <= tol, "expected {b}, got {a}");
     }
 
+    /// Run a test body against both basis representations.
+    fn both_paths(f: impl Fn(SolveOptions)) {
+        for dense in [false, true] {
+            f(SolveOptions {
+                dense,
+                ..SolveOptions::default()
+            });
+        }
+    }
+
     #[test]
     fn simple_2d_minimization() {
         // min x + 2y  s.t.  x + y >= 3, x <= 2  => x=2, y=1, obj=4.
-        let mut lp = LinearProgram::new();
-        let x = lp.add_var(1.0);
-        let y = lp.add_var(2.0);
-        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
-        lp.add_row([(x, 1.0)], Cmp::Le, 2.0);
-        let sol = solve(&lp, &SolveOptions::default()).unwrap();
-        assert_eq!(sol.status, SolveStatus::Optimal);
-        assert_close(sol.objective, 4.0, 1e-6);
-        assert_close(sol.x[x], 2.0, 1e-6);
-        assert_close(sol.x[y], 1.0, 1e-6);
+        both_paths(|opts| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(1.0);
+            let y = lp.add_var(2.0);
+            lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+            lp.add_row([(x, 1.0)], Cmp::Le, 2.0);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert_close(sol.objective, 4.0, 1e-6);
+            assert_close(sol.x[x], 2.0, 1e-6);
+            assert_close(sol.x[y], 1.0, 1e-6);
+        });
     }
 
     #[test]
     fn equality_constraints() {
         // min 3x + y  s.t.  x + y = 4, x - y = 2  => x=3, y=1, obj=10.
-        let mut lp = LinearProgram::new();
-        let x = lp.add_var(3.0);
-        let y = lp.add_var(1.0);
-        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
-        lp.add_row([(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
-        let sol = solve(&lp, &SolveOptions::default()).unwrap();
-        assert_eq!(sol.status, SolveStatus::Optimal);
-        assert_close(sol.objective, 10.0, 1e-6);
+        both_paths(|opts| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(3.0);
+            let y = lp.add_var(1.0);
+            lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
+            lp.add_row([(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert_close(sol.objective, 10.0, 1e-6);
+        });
     }
 
     #[test]
     fn detects_infeasible() {
         // x <= 1 and x >= 2 cannot both hold.
-        let mut lp = LinearProgram::new();
-        let x = lp.add_var(1.0);
-        lp.add_row([(x, 1.0)], Cmp::Le, 1.0);
-        lp.add_row([(x, 1.0)], Cmp::Ge, 2.0);
-        let sol = solve(&lp, &SolveOptions::default()).unwrap();
-        assert_eq!(sol.status, SolveStatus::Infeasible);
+        both_paths(|opts| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(1.0);
+            lp.add_row([(x, 1.0)], Cmp::Le, 1.0);
+            lp.add_row([(x, 1.0)], Cmp::Ge, 2.0);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Infeasible);
+            assert!(sol.basis.is_none());
+        });
     }
 
     #[test]
     fn detects_unbounded() {
         // min -x  s.t.  x >= 1: x can grow forever.
-        let mut lp = LinearProgram::new();
-        let x = lp.add_var(-1.0);
-        lp.add_row([(x, 1.0)], Cmp::Ge, 1.0);
-        let sol = solve(&lp, &SolveOptions::default()).unwrap();
-        assert_eq!(sol.status, SolveStatus::Unbounded);
+        both_paths(|opts| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(-1.0);
+            lp.add_row([(x, 1.0)], Cmp::Ge, 1.0);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Unbounded);
+        });
     }
 
     #[test]
     fn negative_rhs_rows_are_normalized() {
         // min x  s.t.  -x <= -5  (i.e. x >= 5).
-        let mut lp = LinearProgram::new();
-        let x = lp.add_var(1.0);
-        lp.add_row([(x, -1.0)], Cmp::Le, -5.0);
-        let sol = solve(&lp, &SolveOptions::default()).unwrap();
-        assert_eq!(sol.status, SolveStatus::Optimal);
-        assert_close(sol.x[x], 5.0, 1e-6);
+        both_paths(|opts| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(1.0);
+            lp.add_row([(x, -1.0)], Cmp::Le, -5.0);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert_close(sol.x[x], 5.0, 1e-6);
+        });
     }
 
     #[test]
     fn degenerate_lp_terminates() {
         // Classic degeneracy: many redundant constraints through the origin.
-        let mut lp = LinearProgram::new();
-        let x = lp.add_var(-0.75);
-        let y = lp.add_var(150.0);
-        let z = lp.add_var(-0.02);
-        let w = lp.add_var(6.0);
-        // Beale's cycling example (with Dantzig pricing it cycles without
-        // anti-cycling safeguards).
-        lp.add_row([(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Cmp::Le, 0.0);
-        lp.add_row([(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Cmp::Le, 0.0);
-        lp.add_row([(z, 1.0)], Cmp::Le, 1.0);
-        let sol = solve(&lp, &SolveOptions::default()).unwrap();
-        assert_eq!(sol.status, SolveStatus::Optimal);
-        assert_close(sol.objective, -0.05, 1e-6);
+        both_paths(|opts| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(-0.75);
+            let y = lp.add_var(150.0);
+            let z = lp.add_var(-0.02);
+            let w = lp.add_var(6.0);
+            // Beale's cycling example (with Dantzig pricing it cycles without
+            // anti-cycling safeguards).
+            lp.add_row([(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Cmp::Le, 0.0);
+            lp.add_row([(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Cmp::Le, 0.0);
+            lp.add_row([(z, 1.0)], Cmp::Le, 1.0);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert_close(sol.objective, -0.05, 1e-6);
+        });
     }
 
     #[test]
@@ -724,32 +842,147 @@ mod tests {
     #[test]
     fn redundant_equalities_are_handled() {
         // Duplicate equality rows leave an artificial basic at zero.
-        let mut lp = LinearProgram::new();
-        let x = lp.add_var(1.0);
-        let y = lp.add_var(1.0);
-        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
-        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
-        lp.add_row([(x, 1.0)], Cmp::Le, 1.5);
-        let sol = solve(&lp, &SolveOptions::default()).unwrap();
-        assert_eq!(sol.status, SolveStatus::Optimal);
-        assert_close(sol.objective, 2.0, 1e-6);
+        both_paths(|opts| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(1.0);
+            let y = lp.add_var(1.0);
+            lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+            lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+            lp.add_row([(x, 1.0)], Cmp::Le, 1.5);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert_close(sol.objective, 2.0, 1e-6);
+        });
     }
 
     #[test]
     fn transportation_style_lp() {
         // 2 suppliers (cap 10, 15) x 2 consumers (demand 8, 12), costs:
         //   c11=1 c12=4 c21=2 c22=1. Optimal: x11=8, x22=12, cost 20.
+        both_paths(|opts| {
+            let mut lp = LinearProgram::new();
+            let x11 = lp.add_var(1.0);
+            let x12 = lp.add_var(4.0);
+            let x21 = lp.add_var(2.0);
+            let x22 = lp.add_var(1.0);
+            lp.add_row([(x11, 1.0), (x12, 1.0)], Cmp::Le, 10.0);
+            lp.add_row([(x21, 1.0), (x22, 1.0)], Cmp::Le, 15.0);
+            lp.add_row([(x11, 1.0), (x21, 1.0)], Cmp::Ge, 8.0);
+            lp.add_row([(x12, 1.0), (x22, 1.0)], Cmp::Ge, 12.0);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert_close(sol.objective, 20.0, 1e-6);
+        });
+    }
+
+    fn budget_lp(budget: f64) -> LinearProgram {
+        // min x + 2y  s.t.  x + y >= budget, x <= 2: warm-start target
+        // where only the rhs varies between solves.
         let mut lp = LinearProgram::new();
-        let x11 = lp.add_var(1.0);
-        let x12 = lp.add_var(4.0);
-        let x21 = lp.add_var(2.0);
-        let x22 = lp.add_var(1.0);
-        lp.add_row([(x11, 1.0), (x12, 1.0)], Cmp::Le, 10.0);
-        lp.add_row([(x21, 1.0), (x22, 1.0)], Cmp::Le, 15.0);
-        lp.add_row([(x11, 1.0), (x21, 1.0)], Cmp::Ge, 8.0);
-        lp.add_row([(x12, 1.0), (x22, 1.0)], Cmp::Ge, 12.0);
-        let sol = solve(&lp, &SolveOptions::default()).unwrap();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Ge, budget);
+        lp.add_row([(x, 1.0)], Cmp::Le, 2.0);
+        lp
+    }
+
+    #[test]
+    fn warm_start_skips_phase1_on_rhs_perturbation() {
+        both_paths(|opts| {
+            let cold = solve(&budget_lp(3.0), &opts).unwrap();
+            assert_eq!(cold.status, SolveStatus::Optimal);
+            let basis = cold.basis.clone().expect("optimal solve returns a basis");
+
+            let warm = solve_warm(&budget_lp(4.0), &opts, Some(&basis)).unwrap();
+            assert_eq!(warm.status, SolveStatus::Optimal);
+            assert!(warm.warm_used, "structurally identical basis must install");
+            assert_close(warm.objective, 6.0, 1e-6);
+            assert!(
+                warm.iterations <= cold.iterations,
+                "warm ({}) should not exceed cold ({})",
+                warm.iterations,
+                cold.iterations
+            );
+        });
+    }
+
+    #[test]
+    fn warm_start_rejects_structure_mismatch() {
+        both_paths(|opts| {
+            let cold = solve(&budget_lp(3.0), &opts).unwrap();
+            let basis = cold.basis.clone().unwrap();
+            // A different program shape: extra variable.
+            let mut other = budget_lp(3.0);
+            other.add_var(1.0);
+            let warm = solve_warm(&other, &opts, Some(&basis)).unwrap();
+            assert_eq!(warm.status, SolveStatus::Optimal);
+            assert!(!warm.warm_used, "mismatched structure must fall back cold");
+            assert_close(warm.objective, 4.0, 1e-6);
+        });
+    }
+
+    #[test]
+    fn warm_start_falls_back_when_basis_infeasible_for_new_rhs() {
+        both_paths(|opts| {
+            // Cold-solve with a slack basis optimal at budget 0 (x=y=0),
+            // then jump the budget so that basis is infeasible.
+            let cold = solve(&budget_lp(0.0), &opts).unwrap();
+            assert_eq!(cold.status, SolveStatus::Optimal);
+            let basis = cold.basis.clone().unwrap();
+            let warm = solve_warm(&budget_lp(3.0), &opts, Some(&basis)).unwrap();
+            assert_eq!(warm.status, SolveStatus::Optimal);
+            assert_close(warm.objective, 4.0, 1e-6);
+        });
+    }
+
+    struct FlagInterrupt(AtomicBool);
+    impl Interrupt for FlagInterrupt {
+        fn interrupted(&self) -> bool {
+            self.0.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Counts polls; always reports interrupted. Proves the pivot loop
+    /// actually polls (and aborts) rather than only checking up front.
+    struct CountingInterrupt(AtomicUsize);
+    impl Interrupt for CountingInterrupt {
+        fn interrupted(&self) -> bool {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
+
+    #[test]
+    fn interrupt_flag_clear_solves_normally() {
+        let flag = Arc::new(FlagInterrupt(AtomicBool::new(false)));
+        let opts = SolveOptions {
+            interrupt: Some(InterruptHandle::new(flag)),
+            ..SolveOptions::default()
+        };
+        let sol = solve(&budget_lp(3.0), &opts).unwrap();
         assert_eq!(sol.status, SolveStatus::Optimal);
-        assert_close(sol.objective, 20.0, 1e-6);
+    }
+
+    #[test]
+    fn interrupt_aborts_solve() {
+        // An LP needing more than one poll window (polls happen every 32
+        // iterations) so the abort provably comes from inside the loop.
+        let mut lp = LinearProgram::new();
+        let n = 40;
+        let vars: Vec<usize> = (0..n).map(|i| lp.add_var(1.0 + (i % 7) as f64)).collect();
+        for i in 0..n {
+            lp.add_row(
+                [(vars[i], 1.0), (vars[(i + 1) % n], 2.0)],
+                Cmp::Ge,
+                3.0 + (i % 5) as f64,
+            );
+        }
+        let hook = Arc::new(CountingInterrupt(AtomicUsize::new(0)));
+        let opts = SolveOptions {
+            interrupt: Some(InterruptHandle::new(Arc::clone(&hook) as Arc<dyn Interrupt>)),
+            ..SolveOptions::default()
+        };
+        assert_eq!(solve(&lp, &opts).unwrap_err(), SolverError::Interrupted);
+        assert!(hook.0.load(Ordering::Relaxed) >= 1, "hook must be polled");
     }
 }

@@ -1,0 +1,92 @@
+//! Property tests: the sparse (eta-file) simplex and the dense-inverse
+//! oracle are observationally equivalent.
+//!
+//! Fully random programs — any status (optimal, infeasible, or
+//! unbounded) can come out. The two factorizations must agree on the
+//! status; on optimal programs both solutions must verify against the
+//! original constraints ([`check_solution`]), both duals must certify the
+//! same objective ([`check_dual`]), and the objectives must match to
+//! tolerance. (`stress.rs` separately drives the default path over
+//! programs with a constructed known optimum; `crates/core`'s
+//! `lp_equivalence.rs` covers the TISE LP family.)
+
+use ise_simplex::{
+    check_dual, check_solution, solve_with_presolve, Cmp, LinearProgram, SolveOptions, SolveStatus,
+};
+use proptest::prelude::*;
+
+fn sparse_opts() -> SolveOptions {
+    SolveOptions::default()
+}
+
+fn dense_opts() -> SolveOptions {
+    SolveOptions {
+        dense: true,
+        ..SolveOptions::default()
+    }
+}
+
+/// Fully random LP: small integer data, mixed row senses, no structure —
+/// any of the three statuses can come out.
+fn random_lp() -> impl Strategy<Value = LinearProgram> {
+    let n_vars = 1usize..6;
+    let n_rows = 1usize..8;
+    (n_vars, n_rows, any::<u64>()).prop_map(|(nv, nr, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |m: i64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i64).rem_euclid(m)
+        };
+        let mut lp = LinearProgram::new();
+        for _ in 0..nv {
+            lp.add_var((next(9) - 4) as f64);
+        }
+        for _ in 0..nr {
+            let coeffs: Vec<(usize, f64)> = (0..nv)
+                .filter_map(|j| {
+                    let a = next(7) - 3;
+                    (a != 0).then_some((j, a as f64))
+                })
+                .collect();
+            if coeffs.is_empty() {
+                continue;
+            }
+            let cmp = match next(3) {
+                0 => Cmp::Le,
+                1 => Cmp::Ge,
+                _ => Cmp::Eq,
+            };
+            lp.add_row(coeffs, cmp, (next(11) - 3) as f64);
+        }
+        lp
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
+
+    #[test]
+    fn sparse_and_dense_agree_on_random_lps(lp in random_lp()) {
+        let sparse = solve_with_presolve(&lp, &sparse_opts()).expect("sparse solve");
+        let dense = solve_with_presolve(&lp, &dense_opts()).expect("dense solve");
+        prop_assert_eq!(sparse.status, dense.status);
+        if sparse.status != SolveStatus::Optimal {
+            return Ok(());
+        }
+        let scale = 1.0 + sparse.objective.abs();
+        prop_assert!(
+            (sparse.objective - dense.objective).abs() <= 1e-6 * scale,
+            "objectives diverge: sparse {} dense {}", sparse.objective, dense.objective
+        );
+        prop_assert!(check_solution(&lp, &sparse.x, 1e-6).is_empty());
+        prop_assert!(check_solution(&lp, &dense.x, 1e-6).is_empty());
+        let sparse_dual = check_dual(&lp, &sparse.duals, 1e-5)
+            .map_err(|v| TestCaseError::fail(format!("sparse dual infeasible: {v:?}")))?;
+        let dense_dual = check_dual(&lp, &dense.duals, 1e-5)
+            .map_err(|v| TestCaseError::fail(format!("dense dual infeasible: {v:?}")))?;
+        prop_assert!((sparse_dual - sparse.objective).abs() <= 1e-5 * scale);
+        prop_assert!((dense_dual - dense.objective).abs() <= 1e-5 * scale);
+    }
+}

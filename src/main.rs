@@ -10,6 +10,7 @@
 //! ise gantt    <instance.json> <schedule.json> [--width W]
 //! ise exact    <instance.json> [--max-calibrations K]
 //! ise serve    [requests.jsonl] [--workers N] [--timeout-ms MS] [--out FILE]
+//! ise bench    [--quick] [--reps N] [--out FILE] [--check FILE] [--threshold X]
 //! ```
 //!
 //! Instances and schedules are the serde JSON forms of
@@ -61,7 +62,9 @@ const USAGE: &str = "usage:
   ise exact    <instance.json> [--max-calibrations K]
   ise serve    [requests.jsonl] [--workers N] [--queue-capacity N]
                [--cache-capacity N] [--timeout-ms MS] [--no-fallback]
-               [--out FILE] [--metrics FILE]";
+               [--out FILE] [--metrics FILE]
+  ise bench    [--quick] [--reps N] [--out FILE] [--check FILE]
+               [--threshold X]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -75,6 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "gantt" => cmd_gantt(&rest),
         "exact" => cmd_exact(&rest),
         "serve" => cmd_serve(&rest),
+        "bench" => cmd_bench(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -390,6 +394,58 @@ fn cmd_serve(args: &[&String]) -> Result<(), String> {
     }
     eprintln!("served {} responses", summary.responses);
     Ok(())
+}
+
+/// `ise bench`: run the pinned LP perf suite (see `ise_bench::perf`).
+/// Writes the report to `--out` (or stdout), and with `--check FILE`
+/// compares against that baseline, failing on any measurement worse than
+/// `--threshold` (default 2.0) times its recorded value.
+fn cmd_bench(args: &[&String]) -> Result<(), String> {
+    const VALUE: &[&str] = &["--reps", "--out", "--check", "--threshold"];
+    const SWITCH: &[&str] = &["--quick"];
+    check_flags(args, VALUE, SWITCH)?;
+    if !positionals(args, VALUE).is_empty() {
+        return Err("bench takes no positional arguments".into());
+    }
+    let quick = flag_present(args, "--quick");
+    let reps: usize = parse(args, "--reps", if quick { 3usize } else { 7 })?;
+    let threshold: f64 = parse(args, "--threshold", ise_bench::perf::DEFAULT_THRESHOLD)?;
+    if threshold < 1.0 {
+        return Err("--threshold must be at least 1.0".into());
+    }
+
+    let report = ise_bench::perf::run_suite(quick, reps)?;
+    for w in &report.workloads {
+        eprintln!(
+            "{}: {} rows x {} cols ({} nnz); sparse {} ns ({} iters), dense {} ns \
+             ({} iters), warm {} ns ({} iters)",
+            w.spec.name,
+            w.lp_rows,
+            w.lp_cols,
+            w.lp_nnz,
+            w.sparse.ns_per_solve,
+            w.sparse.iterations,
+            w.dense.ns_per_solve,
+            w.dense.iterations,
+            w.warm.ns_per_solve,
+            w.warm.iterations
+        );
+    }
+
+    if let Some(path) = flag_value(args, "--check")? {
+        let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let baseline: ise_bench::perf::BenchReport =
+            serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}"))?;
+        let problems = ise_bench::perf::compare(&report, &baseline, threshold);
+        if !problems.is_empty() {
+            return Err(format!(
+                "perf regression against {path}:\n  {}",
+                problems.join("\n  ")
+            ));
+        }
+        eprintln!("no regressions against {path} (threshold {threshold}x)");
+    }
+    write_json(&report, flag_value(args, "--out")?)
 }
 
 fn run_serve<R: BufRead>(
