@@ -1,0 +1,218 @@
+//! Minimized-repro corpus: emit shrunk failing instances as JSON and
+//! replay a directory of them as a regression gate.
+//!
+//! Every discrepancy the fuzzer finds is shrunk and written to the corpus
+//! as a self-describing [`Repro`] file. `ise fuzz --replay <dir>` re-runs
+//! the oracle stack over every file, so once a bug is fixed its repro
+//! keeps guarding against reintroduction — and while it is unfixed, CI
+//! prints the minimized JSON instead of a 40-job fuzz case.
+
+use crate::oracle::{check_instance, Oracle, OracleOptions};
+use ise_model::Instance;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into every repro file.
+pub const REPRO_SCHEMA: u32 = 1;
+
+/// A minimized failing instance plus the context needed to understand it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Repro {
+    /// Repro file schema version ([`REPRO_SCHEMA`]).
+    pub schema: u32,
+    /// Name of the oracle that flagged the discrepancy.
+    pub oracle: String,
+    /// Human-readable description of the original disagreement.
+    pub detail: String,
+    /// Generator provenance of the unshrunk case (family + mutators).
+    pub provenance: String,
+    /// Fuzzer seed that produced the original case.
+    pub seed: u64,
+    /// Case index within that fuzz run.
+    pub case: u64,
+    /// Job count of the minimized instance (denormalized for grepping).
+    pub jobs: usize,
+    /// The minimized instance itself.
+    pub instance: Instance,
+}
+
+/// FNV-1a over the serialized instance: a stable, content-addressed
+/// filename so re-finding the same minimized bug overwrites rather than
+/// accumulating duplicates.
+fn content_hash(repro: &Repro) -> u64 {
+    let body = serde_json::to_string(&repro.instance).unwrap_or_default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in repro.oracle.bytes().chain(body.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Write `repro` into `dir` (created if missing); returns the file path.
+pub fn write_repro(dir: &Path, repro: &Repro) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!(
+        "{}-{:016x}.json",
+        repro.oracle,
+        content_hash(repro)
+    ));
+    let json =
+        serde_json::to_string_pretty(repro).map_err(|e| format!("cannot serialize repro: {e}"))?;
+    let mut file =
+        fs::File::create(&path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    file.write_all(json.as_bytes())
+        .and_then(|_| file.write_all(b"\n"))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Load every `*.json` repro in `dir`, sorted by filename for stable
+/// replay order. Unreadable or wrong-schema files are hard errors: a
+/// corrupt corpus must fail the gate, not silently skip.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, Repro)>, String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read corpus {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let repro: Repro = serde_json::from_str(&text)
+            .map_err(|e| format!("malformed repro {}: {e}", path.display()))?;
+        if repro.schema != REPRO_SCHEMA {
+            return Err(format!(
+                "repro {} has schema {} (this binary supports {REPRO_SCHEMA})",
+                path.display(),
+                repro.schema
+            ));
+        }
+        out.push((path, repro));
+    }
+    Ok(out)
+}
+
+/// One replayed corpus entry.
+#[derive(Clone, Debug)]
+pub struct ReplayCase {
+    /// Path of the repro file.
+    pub path: PathBuf,
+    /// The repro's original discrepancy description.
+    pub original: String,
+    /// The discrepancy on replay, if the oracles still disagree.
+    pub failure: Option<String>,
+}
+
+/// Result of replaying a corpus directory.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayReport {
+    /// Every case replayed, in order.
+    pub cases: Vec<ReplayCase>,
+}
+
+impl ReplayReport {
+    /// Number of entries that still trip an oracle.
+    pub fn failures(&self) -> usize {
+        self.cases.iter().filter(|c| c.failure.is_some()).count()
+    }
+
+    /// True when every repro replays clean.
+    pub fn all_clean(&self) -> bool {
+        self.failures() == 0
+    }
+}
+
+/// Replay every repro in `dir` against the oracle stack.
+pub fn replay(
+    dir: &Path,
+    oracles: &[Oracle],
+    opts: &OracleOptions,
+) -> Result<ReplayReport, String> {
+    let mut report = ReplayReport::default();
+    for (path, repro) in load_corpus(dir)? {
+        let failure = check_instance(&repro.instance, oracles, opts)
+            .err()
+            .map(|d| d.to_string());
+        report.cases.push(ReplayCase {
+            path,
+            original: format!("[{}] {}", repro.oracle, repro.detail),
+            failure,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_model::InstanceBuilder;
+
+    fn sample_repro() -> Repro {
+        let mut b = InstanceBuilder::new(1, 5);
+        b.push(0, 10, 3);
+        Repro {
+            schema: REPRO_SCHEMA,
+            oracle: "exact".into(),
+            detail: "test detail".into(),
+            provenance: "uniform+tighten".into(),
+            seed: 42,
+            case: 7,
+            jobs: 1,
+            instance: b.build().unwrap(),
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ise-conform-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = tempdir("roundtrip");
+        let repro = sample_repro();
+        let path = write_repro(&dir, &repro).unwrap();
+        assert!(path.exists());
+        // Re-writing the same repro is idempotent (content-addressed name).
+        let again = write_repro(&dir, &repro).unwrap();
+        assert_eq!(path, again);
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1.instance, repro.instance);
+        assert_eq!(loaded[0].1.seed, 42);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_flags_nothing_on_a_clean_instance() {
+        let dir = tempdir("clean");
+        write_repro(&dir, &sample_repro()).unwrap();
+        let report = replay(&dir, &Oracle::ALL, &OracleOptions::default()).unwrap();
+        assert_eq!(report.cases.len(), 1);
+        assert!(report.all_clean(), "{:?}", report.cases[0].failure);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_corpus_is_a_hard_error() {
+        let dir = tempdir("malformed");
+        fs::write(dir.join("bad.json"), "{ not json").unwrap();
+        assert!(load_corpus(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_a_clean_error() {
+        let err = load_corpus(Path::new("/nonexistent/ise-corpus")).unwrap_err();
+        assert!(err.contains("cannot read corpus"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Greedy delta-debugging instance shrinker.
+//!
+//! Given an instance that triggers a failure closure, repeatedly try
+//! structure-preserving reductions — drop a job, remove a machine, shorten
+//! the calibration length, shrink a processing time, tighten a window,
+//! shift the origin to zero — and keep any reduction under which the
+//! failure still reproduces. Passes loop to a fixpoint (or an evaluation
+//! budget), so the emitted repro is 1-minimal with respect to the
+//! reduction set: no single remaining reduction preserves the failure.
+
+use ise_model::{normalize_origin, Instance, InstanceBuilder};
+
+/// Outcome of a shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The smallest failing instance found.
+    pub instance: Instance,
+    /// Number of failure-closure evaluations spent.
+    pub evals: usize,
+    /// Whether the run stopped on the eval budget rather than a fixpoint.
+    pub budget_exhausted: bool,
+}
+
+fn rebuild(machines: usize, calib_len: i64, jobs: &[(i64, i64, i64)]) -> Option<Instance> {
+    if machines == 0 || calib_len < 1 {
+        return None;
+    }
+    let mut b = InstanceBuilder::new(machines, calib_len);
+    for &(r, d, p) in jobs {
+        b.push(r, d, p);
+    }
+    b.build().ok()
+}
+
+fn decompose(instance: &Instance) -> (usize, i64, Vec<(i64, i64, i64)>) {
+    (
+        instance.machines(),
+        instance.calib_len().ticks(),
+        instance
+            .jobs()
+            .iter()
+            .map(|j| (j.release.ticks(), j.deadline.ticks(), j.proc.ticks()))
+            .collect(),
+    )
+}
+
+/// Shrink `instance` while `fails` keeps returning `true`.
+///
+/// `fails` must be deterministic; it is the caller's closure over the
+/// oracle stack (typically "the same oracle reports the same class of
+/// discrepancy"). `max_evals` caps the number of closure invocations.
+pub fn shrink(
+    instance: &Instance,
+    fails: impl Fn(&Instance) -> bool,
+    max_evals: usize,
+) -> ShrinkReport {
+    let mut best = instance.clone();
+    let mut evals = 0usize;
+    let mut budget_exhausted = false;
+
+    // Try one candidate; adopt it if the failure reproduces.
+    let attempt = |best: &mut Instance, cand: Instance, evals: &mut usize| -> bool {
+        if cand == *best {
+            return false;
+        }
+        *evals += 1;
+        if fails(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    'outer: loop {
+        let mut progressed = false;
+
+        // Pass 1: drop jobs, largest index first (later jobs are usually
+        // the mutated ones; dropping from the back keeps ids stable).
+        let (m, t, jobs) = decompose(&best);
+        for i in (0..jobs.len()).rev() {
+            if evals >= max_evals {
+                budget_exhausted = true;
+                break 'outer;
+            }
+            let mut fewer = jobs.clone();
+            fewer.remove(i);
+            if let Some(cand) = rebuild(m, t, &fewer) {
+                if attempt(&mut best, cand, &mut evals) {
+                    continue 'outer; // indices changed; restart the pass
+                }
+            }
+        }
+
+        // Pass 2: remove machines one at a time.
+        loop {
+            if evals >= max_evals {
+                budget_exhausted = true;
+                break 'outer;
+            }
+            let (m, t, jobs) = decompose(&best);
+            if m <= 1 {
+                break;
+            }
+            let adopted =
+                rebuild(m - 1, t, &jobs).is_some_and(|cand| attempt(&mut best, cand, &mut evals));
+            if adopted {
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Pass 3: shrink the calibration length — halving first, then
+        // decrements — clamping processing times to stay <= T.
+        loop {
+            if evals >= max_evals {
+                budget_exhausted = true;
+                break 'outer;
+            }
+            let (m, t, jobs) = decompose(&best);
+            if t <= 1 {
+                break;
+            }
+            let mut reduced = false;
+            for next_t in [t / 2, t - 1] {
+                if next_t < 1 || next_t >= t {
+                    continue;
+                }
+                let clamped: Vec<_> = jobs
+                    .iter()
+                    .map(|&(r, d, p)| (r, d, p.min(next_t)))
+                    .collect();
+                if let Some(cand) = rebuild(m, next_t, &clamped) {
+                    if attempt(&mut best, cand, &mut evals) {
+                        progressed = true;
+                        reduced = true;
+                        break;
+                    }
+                }
+                if evals >= max_evals {
+                    budget_exhausted = true;
+                    break 'outer;
+                }
+            }
+            if !reduced {
+                break;
+            }
+        }
+
+        // Pass 4: shrink processing times (halve, then decrement).
+        let (m, t, jobs) = decompose(&best);
+        for i in 0..jobs.len() {
+            for next_p in [jobs[i].2 / 2, jobs[i].2 - 1] {
+                if next_p < 1 || next_p >= jobs[i].2 {
+                    continue;
+                }
+                if evals >= max_evals {
+                    budget_exhausted = true;
+                    break 'outer;
+                }
+                let mut smaller = jobs.clone();
+                smaller[i].2 = next_p;
+                if let Some(cand) = rebuild(m, t, &smaller) {
+                    if attempt(&mut best, cand, &mut evals) {
+                        continue 'outer; // job list changed; recompute
+                    }
+                }
+            }
+        }
+
+        // Pass 5: tighten windows toward rigidity (halve the slack, then
+        // drop it entirely).
+        let (m, t, jobs) = decompose(&best);
+        for i in 0..jobs.len() {
+            let (r, d, p) = jobs[i];
+            let slack = d - r - p;
+            for kept in [slack / 2, 0] {
+                if kept >= slack {
+                    continue;
+                }
+                if evals >= max_evals {
+                    budget_exhausted = true;
+                    break 'outer;
+                }
+                let mut tighter = jobs.clone();
+                tighter[i].1 = r + p + kept;
+                if let Some(cand) = rebuild(m, t, &tighter) {
+                    if attempt(&mut best, cand, &mut evals) {
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+
+        // Pass 6: shift the time origin to zero (cosmetic, but makes the
+        // committed repro readable).
+        if evals < max_evals {
+            let (normalized, delta) = normalize_origin(&best);
+            if delta.ticks() != 0 && attempt(&mut best, normalized, &mut evals) {
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+
+    ShrinkReport {
+        instance: best,
+        evals,
+        budget_exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_workloads::{uniform, WorkloadParams};
+
+    #[test]
+    fn shrinks_a_job_count_predicate_to_the_minimum() {
+        // Failure: "has more than 2 jobs on more than 1 machine".
+        let inst = uniform(
+            &WorkloadParams {
+                jobs: 12,
+                machines: 4,
+                calib_len: 10,
+                horizon: 80,
+            },
+            21,
+        );
+        let report = shrink(&inst, |i| i.len() > 2 && i.machines() > 1, 10_000);
+        assert_eq!(report.instance.len(), 3, "1-minimal in jobs");
+        assert_eq!(report.instance.machines(), 2, "1-minimal in machines");
+        assert!(!report.budget_exhausted);
+        assert!(report.evals > 0);
+    }
+
+    #[test]
+    fn respects_the_eval_budget() {
+        let inst = uniform(
+            &WorkloadParams {
+                jobs: 30,
+                machines: 4,
+                calib_len: 10,
+                horizon: 200,
+            },
+            3,
+        );
+        let report = shrink(&inst, |i| i.len() > 1, 5);
+        assert!(report.evals <= 5);
+        assert!(report.budget_exhausted);
+    }
+
+    #[test]
+    fn normalizes_the_origin() {
+        let mut b = ise_model::InstanceBuilder::new(1, 5);
+        b.push(1000, 1010, 3);
+        let inst = b.build().unwrap();
+        let report = shrink(&inst, |i| i.len() == 1, 1_000);
+        assert_eq!(report.instance.jobs()[0].release.ticks(), 0);
+    }
+
+    #[test]
+    fn non_failing_instance_is_returned_unchanged() {
+        let inst = uniform(&WorkloadParams::default(), 1);
+        let report = shrink(&inst, |_| false, 100);
+        assert_eq!(report.instance, inst);
+    }
+}

@@ -43,10 +43,18 @@ pub fn round_calibrations(points: &[Time], c: &[f64], threshold: f64) -> Vec<Tim
     assert!(threshold > 0.0);
     let mut out = Vec::new();
     let mut carryover = 0.0f64;
+    // Emission gate. The `fault-inject` build flips the EPS guard to the
+    // wrong side — an off-by-one that under-emits whenever the cumulative
+    // mass lands exactly on a multiple of the threshold. It exists solely
+    // so the `ise-conform` harness can prove it detects injected bugs.
+    #[cfg(not(feature = "fault-inject"))]
+    let gate = threshold - EPS;
+    #[cfg(feature = "fault-inject")]
+    let gate = threshold + EPS;
     for (&t, &ct) in points.iter().zip(c) {
         debug_assert!(ct >= -EPS, "negative fractional calibration {ct}");
         carryover += ct.max(0.0);
-        while carryover >= threshold - EPS {
+        while carryover >= gate {
             out.push(t);
             carryover -= threshold;
         }

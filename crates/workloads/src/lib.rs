@@ -26,6 +26,13 @@ use ise_model::{Instance, InstanceBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod mutate;
+
+pub use mutate::{
+    adversarial_case, pin_to_capacity, straddle_boundaries, tighten_windows, widen_one_window,
+    Mutator,
+};
+
 /// Parameters shared by the random generators.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkloadParams {

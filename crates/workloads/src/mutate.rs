@@ -1,0 +1,317 @@
+//! Structured instance mutators for the differential conformance harness.
+//!
+//! Each mutator takes a well-formed [`Instance`] and a seed and returns a
+//! new well-formed instance that is *adversarial in a specific way* the
+//! paper identifies as hard:
+//!
+//! * [`tighten_windows`] — shrink window slack toward zero. The related
+//!   NP-hardness results (Partition reductions, two-task-length hardness)
+//!   all live at the zero-slack boundary, which is exactly where the
+//!   feasibility machinery (LP certificates, MM search) must not disagree.
+//! * [`straddle_boundaries`] — translate each job so its window crosses the
+//!   nearest Algorithm 4 interval boundary (`k·2γT`), forcing the
+//!   second-pass partitioning and the crossing-job machinery.
+//! * [`pin_to_capacity`] — rescale processing times so `Σ p_j` lands
+//!   exactly on `machines · T`, the Partition-reduction regime where one
+//!   unit of misplaced work flips feasibility.
+//! * [`widen_one_window`] — relax a single job's window; used by the
+//!   metamorphic oracle (a widened instance can only get easier).
+//!
+//! All mutators are deterministic per seed and preserve the model
+//! invariants (`r + p <= d`, `1 <= p <= T`), so `build()` never fails.
+
+use crate::WorkloadParams;
+use ise_model::{Instance, InstanceBuilder, Job};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The Algorithm 4 γ (mirrors `ise_sched::short_window::GAMMA`, kept local
+/// so the workloads crate does not depend on the scheduler).
+const GAMMA: i64 = 2;
+
+/// The registry of structured mutators, for seeded selection in fuzz loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutator {
+    /// [`tighten_windows`] with a random tightening fraction.
+    Tighten,
+    /// [`straddle_boundaries`].
+    Straddle,
+    /// [`pin_to_capacity`].
+    PinCapacity,
+}
+
+impl Mutator {
+    /// All mutators, for seeded selection.
+    pub const ALL: [Mutator; 3] = [Mutator::Tighten, Mutator::Straddle, Mutator::PinCapacity];
+
+    /// Stable name (used in fuzz-case provenance strings).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutator::Tighten => "tighten",
+            Mutator::Straddle => "straddle",
+            Mutator::PinCapacity => "pin-capacity",
+        }
+    }
+
+    /// Apply this mutator.
+    pub fn apply(self, instance: &Instance, seed: u64) -> Instance {
+        match self {
+            Mutator::Tighten => tighten_windows(instance, seed),
+            Mutator::Straddle => straddle_boundaries(instance, seed),
+            Mutator::PinCapacity => pin_to_capacity(instance, seed),
+        }
+    }
+}
+
+fn rebuild<I: IntoIterator<Item = (i64, i64, i64)>>(instance: &Instance, jobs: I) -> Instance {
+    let mut b = InstanceBuilder::new(instance.machines(), instance.calib_len().ticks());
+    for (r, d, p) in jobs {
+        b.push(r, d, p);
+    }
+    b.build().expect("mutator preserves model invariants")
+}
+
+/// Shrink every job's slack (`d - r - p`) by a random fraction, a random
+/// subset of jobs all the way to zero. Zero-slack jobs pin their execution
+/// exactly, so the schedulers lose all routing freedom — the regime of the
+/// hardness reductions.
+pub fn tighten_windows(instance: &Instance, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rebuild(
+        instance,
+        instance.jobs().iter().map(|j| {
+            let (r, d, p) = (j.release.ticks(), j.deadline.ticks(), j.proc.ticks());
+            let slack = d - r - p;
+            let kept = if rng.gen_bool(0.5) {
+                0 // fully rigid: d = r + p
+            } else if slack > 0 {
+                rng.gen_range(0..=slack)
+            } else {
+                0
+            };
+            (r, r + p + kept, p)
+        }),
+    )
+}
+
+/// Translate each job so its window straddles the nearest Algorithm 4
+/// pass-1 boundary (a multiple of `2γT`), whenever the window is short
+/// enough to be movable across one (windows of length `>= 2γT` already
+/// cover a boundary wherever they sit). Straddling windows defeat the
+/// first partitioning pass and exercise the offset-`γT` second pass plus
+/// the Lemma 15 crossing-job machinery.
+pub fn straddle_boundaries(instance: &Instance, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let interval = 2 * GAMMA * instance.calib_len().ticks();
+    rebuild(
+        instance,
+        instance.jobs().iter().map(|j| {
+            let (r, d, p) = (j.release.ticks(), j.deadline.ticks(), j.proc.ticks());
+            let len = d - r;
+            if len >= interval {
+                return (r, d, p);
+            }
+            // Nearest boundary at or after the release; put it strictly
+            // inside the window: boundary - before = new release with
+            // 1 <= before < len.
+            let boundary = (r.div_euclid(interval) + 1) * interval;
+            let before = rng.gen_range(1..len.max(2));
+            let shift = boundary - before - r;
+            (r + shift, d + shift, p)
+        }),
+    )
+}
+
+/// Rescale processing times so total work lands exactly on the machine
+/// capacity of one calibration bank: `Σ p_j = machines · T` (à la the
+/// Partition reduction). Work is added to (or removed from) randomly
+/// chosen jobs one unit at a time, respecting `1 <= p <= min(T, window)`.
+/// If the instance cannot absorb the adjustment (already at the bounds),
+/// the closest achievable total is returned.
+pub fn pin_to_capacity(instance: &Instance, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = instance.calib_len().ticks();
+    let target = instance.machines() as i64 * t;
+    let mut jobs: Vec<(i64, i64, i64)> = instance
+        .jobs()
+        .iter()
+        .map(|j| (j.release.ticks(), j.deadline.ticks(), j.proc.ticks()))
+        .collect();
+    if jobs.is_empty() {
+        return instance.clone();
+    }
+    let mut total: i64 = jobs.iter().map(|&(_, _, p)| p).sum();
+    let mut stuck = 0usize;
+    while total != target && stuck < 4 * jobs.len() {
+        let i = rng.gen_range(0..jobs.len());
+        let (r, d, p) = jobs[i];
+        if total < target && p < t.min(d - r) {
+            jobs[i].2 = p + 1;
+            total += 1;
+            stuck = 0;
+        } else if total > target && p > 1 {
+            jobs[i].2 = p - 1;
+            total -= 1;
+            stuck = 0;
+        } else {
+            stuck += 1;
+        }
+    }
+    rebuild(instance, jobs)
+}
+
+/// Widen exactly one (seeded) job's window: extend its deadline by
+/// `1..=3T` ticks. The metamorphic oracle uses this — widening can only
+/// enlarge the feasible set, so a solver that succeeds on the original
+/// must not certify the widened instance infeasible, and the exact
+/// optimum must not increase.
+pub fn widen_one_window(instance: &Instance, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if instance.is_empty() {
+        return instance.clone();
+    }
+    let victim = rng.gen_range(0..instance.len());
+    let extend = rng.gen_range(1..=3 * instance.calib_len().ticks());
+    rebuild(
+        instance,
+        instance.jobs().iter().enumerate().map(|(i, j)| {
+            let (r, d, p) = (j.release.ticks(), j.deadline.ticks(), j.proc.ticks());
+            (r, if i == victim { d + extend } else { d }, p)
+        }),
+    )
+}
+
+/// Generate a seeded adversarial instance: a base family (or the
+/// Partition-hard construction) composed with up to two structured
+/// mutations. This is the case generator of the conformance fuzzer;
+/// factored here so property tests and the fuzz CLI draw from the same
+/// distribution.
+pub fn adversarial_case(params: &WorkloadParams, seed: u64) -> (Instance, String) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de_dead_beef);
+    // 1 in 8 cases is the raw Partition-hard construction.
+    if rng.gen_range(0..8) == 0 {
+        let machines = params.machines.max(1);
+        let t = params.calib_len.max(2);
+        let max_jobs = (machines as i64 * t) as usize;
+        let jobs = rng.gen_range(machines..=params.jobs.max(machines).min(max_jobs));
+        let inst = crate::partition_hard(jobs, machines, t, rng.next_u64());
+        return (inst, "partition_hard".to_string());
+    }
+    let family = crate::WorkloadFamily::ALL[rng.gen_range(0..crate::WorkloadFamily::ALL.len())];
+    let jobs = rng.gen_range(1..=params.jobs.max(1));
+    let p = WorkloadParams {
+        jobs,
+        machines: rng.gen_range(1..=params.machines.max(1)),
+        calib_len: rng.gen_range(2..=params.calib_len.max(2)),
+        horizon: rng.gen_range(4..=params.horizon.max(4)),
+    };
+    let mut inst = family.generate(&p, rng.next_u64());
+    let mut provenance = family.name().to_string();
+    for _ in 0..rng.gen_range(0..=2u32) {
+        let m = Mutator::ALL[rng.gen_range(0..Mutator::ALL.len())];
+        inst = m.apply(&inst, rng.next_u64());
+        provenance.push('+');
+        provenance.push_str(m.name());
+    }
+    (inst, provenance)
+}
+
+/// Slack of a job in ticks (`d - r - p`); helper shared with tests.
+pub fn slack(job: &Job) -> i64 {
+    (job.deadline - job.release).ticks() - job.proc.ticks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{uniform, WorkloadParams};
+
+    fn base() -> Instance {
+        uniform(&WorkloadParams::default(), 7)
+    }
+
+    #[test]
+    fn mutators_are_deterministic_and_well_formed() {
+        let inst = base();
+        for m in Mutator::ALL {
+            let a = m.apply(&inst, 3);
+            let b = m.apply(&inst, 3);
+            assert_eq!(a, b, "{} must be deterministic", m.name());
+            assert_eq!(a.len(), inst.len());
+            assert_eq!(a.machines(), inst.machines());
+        }
+    }
+
+    #[test]
+    fn tighten_never_increases_slack() {
+        let inst = base();
+        let tight = tighten_windows(&inst, 11);
+        for (before, after) in inst.jobs().iter().zip(tight.jobs()) {
+            assert!(slack(after) <= slack(before));
+            assert_eq!(before.proc, after.proc);
+            assert_eq!(before.release, after.release);
+        }
+        assert!(
+            tight.jobs().iter().any(|j| slack(j) == 0),
+            "some jobs become fully rigid"
+        );
+    }
+
+    #[test]
+    fn straddle_puts_short_windows_across_boundaries() {
+        let inst = base();
+        let moved = straddle_boundaries(&inst, 5);
+        let interval = 2 * GAMMA * inst.calib_len().ticks();
+        for j in moved.jobs() {
+            let (r, d) = (j.release.ticks(), j.deadline.ticks());
+            if d - r < interval {
+                let k = r.div_euclid(interval);
+                assert!(
+                    d > (k + 1) * interval,
+                    "window [{r}, {d}) must straddle {}",
+                    (k + 1) * interval
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pin_to_capacity_hits_the_target() {
+        let inst = base();
+        let pinned = pin_to_capacity(&inst, 9);
+        assert_eq!(
+            pinned.total_work().ticks(),
+            pinned.machines() as i64 * pinned.calib_len().ticks()
+        );
+    }
+
+    #[test]
+    fn widen_extends_exactly_one_deadline() {
+        let inst = base();
+        let wide = widen_one_window(&inst, 2);
+        let changed = inst
+            .jobs()
+            .iter()
+            .zip(wide.jobs())
+            .filter(|(a, b)| a.deadline != b.deadline)
+            .count();
+        assert_eq!(changed, 1);
+        for (a, b) in inst.jobs().iter().zip(wide.jobs()) {
+            assert!(b.deadline >= a.deadline);
+            assert_eq!(a.release, b.release);
+            assert_eq!(a.proc, b.proc);
+        }
+    }
+
+    #[test]
+    fn adversarial_cases_are_deterministic() {
+        let params = WorkloadParams::default();
+        for seed in 0..50u64 {
+            let (a, pa) = adversarial_case(&params, seed);
+            let (b, pb) = adversarial_case(&params, seed);
+            assert_eq!(a, b);
+            assert_eq!(pa, pb);
+            assert!(!a.is_empty() || pa == "partition_hard");
+        }
+    }
+}

@@ -39,6 +39,7 @@
 //! * [`engine`] — concurrent batch solving: worker pool, result cache,
 //!   timeouts, and the JSONL `serve` protocol.
 
+pub use ise_conform as conform;
 pub use ise_engine as engine;
 pub use ise_mm as mm;
 pub use ise_model as model;

@@ -11,6 +11,9 @@
 //! ise exact    <instance.json> [--max-calibrations K]
 //! ise serve    [requests.jsonl] [--workers N] [--timeout-ms MS] [--out FILE]
 //! ise bench    [--quick] [--reps N] [--out FILE] [--check FILE] [--threshold X]
+//! ise fuzz     [--seed S] [--cases N] [--max-jobs N] [--oracles LIST]
+//!              [--time-budget SECS] [--corpus DIR] [--no-shrink]
+//!              [--replay DIR]
 //! ```
 //!
 //! Instances and schedules are the serde JSON forms of
@@ -64,7 +67,11 @@ const USAGE: &str = "usage:
                [--cache-capacity N] [--timeout-ms MS] [--no-fallback]
                [--out FILE] [--metrics FILE]
   ise bench    [--quick] [--reps N] [--out FILE] [--check FILE]
-               [--threshold X]";
+               [--threshold X]
+  ise fuzz     [--seed S] [--cases N] [--max-jobs N] [--max-machines M]
+               [--oracles all|budgets,exact,dense,warm,engine,metamorphic]
+               [--time-budget SECS] [--corpus DIR] [--no-shrink]
+               [--replay DIR]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -79,6 +86,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "exact" => cmd_exact(&rest),
         "serve" => cmd_serve(&rest),
         "bench" => cmd_bench(&rest),
+        "fuzz" => cmd_fuzz(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -446,6 +454,124 @@ fn cmd_bench(args: &[&String]) -> Result<(), String> {
         eprintln!("no regressions against {path} (threshold {threshold}x)");
     }
     write_json(&report, flag_value(args, "--out")?)
+}
+
+/// `ise fuzz`: differential conformance fuzzing (see `ise::conform`).
+/// Generates seeded adversarial instances and cross-checks the oracle
+/// stack; the first discrepancy is shrunk to a minimal repro, written to
+/// `--corpus` when given, and the process exits 1. With `--replay DIR`
+/// the committed corpus is re-run as a regression gate instead.
+fn cmd_fuzz(args: &[&String]) -> Result<(), String> {
+    const VALUE: &[&str] = &[
+        "--seed",
+        "--cases",
+        "--max-jobs",
+        "--max-machines",
+        "--max-calib-len",
+        "--max-horizon",
+        "--oracles",
+        "--time-budget",
+        "--corpus",
+        "--replay",
+    ];
+    const SWITCH: &[&str] = &["--no-shrink"];
+    check_flags(args, VALUE, SWITCH)?;
+    if !positionals(args, VALUE).is_empty() {
+        return Err("fuzz takes no positional arguments".into());
+    }
+    let oracles = match flag_value(args, "--oracles")? {
+        Some(list) => ise::conform::Oracle::parse_list(list)?,
+        None => ise::conform::Oracle::ALL.to_vec(),
+    };
+
+    if let Some(dir) = flag_value(args, "--replay")? {
+        let dir = std::path::Path::new(dir);
+        if !dir.is_dir() {
+            return Err(format!("--replay: {} is not a directory", dir.display()));
+        }
+        let opts = ise::conform::OracleOptions::default();
+        let report = ise::conform::replay(dir, &oracles, &opts)?;
+        for case in &report.cases {
+            match &case.failure {
+                None => eprintln!("ok   {}", case.path.display()),
+                Some(failure) => {
+                    eprintln!("FAIL {}", case.path.display());
+                    eprintln!("  originally: {}", case.original);
+                    eprintln!("  now:        {failure}");
+                    // Print the repro JSON so CI logs carry the witness.
+                    if let Ok(text) = std::fs::read_to_string(&case.path) {
+                        eprintln!("{text}");
+                    }
+                }
+            }
+        }
+        if !report.all_clean() {
+            return Err(format!(
+                "{} of {} corpus repros still trip an oracle",
+                report.failures(),
+                report.cases.len()
+            ));
+        }
+        println!("replayed {} repros clean", report.cases.len());
+        return Ok(());
+    }
+
+    let defaults = ise::conform::FuzzConfig::default();
+    let config = ise::conform::FuzzConfig {
+        seed: parse(args, "--seed", defaults.seed)?,
+        cases: parse(args, "--cases", defaults.cases)?,
+        max_jobs: parse(args, "--max-jobs", defaults.max_jobs)?,
+        max_machines: parse(args, "--max-machines", defaults.max_machines)?,
+        max_calib_len: parse(args, "--max-calib-len", defaults.max_calib_len)?,
+        max_horizon: parse(args, "--max-horizon", defaults.max_horizon)?,
+        oracles,
+        time_budget: parse(args, "--time-budget", 0u64)
+            .map(|s| (s > 0).then(|| Duration::from_secs(s)))?,
+        shrink: !flag_present(args, "--no-shrink"),
+        corpus_dir: flag_value(args, "--corpus")?.map(std::path::PathBuf::from),
+        ..defaults
+    };
+
+    let report = ise::conform::fuzz(&config, |case| {
+        if case > 0 && (case + 1) % 100 == 0 {
+            eprintln!("... {} cases clean", case + 1);
+        }
+    });
+    match &report.failure {
+        None => {
+            println!(
+                "fuzz: {} cases clean in {:.1}s (seed {}{})",
+                report.cases_run,
+                report.elapsed.as_secs_f64(),
+                config.seed,
+                if report.timed_out {
+                    ", stopped on time budget"
+                } else {
+                    ""
+                }
+            );
+            Ok(())
+        }
+        Some(f) => {
+            eprintln!(
+                "discrepancy at case {} (seed {}, generator {}): {}",
+                f.repro.case, f.repro.seed, f.repro.provenance, f.repro.detail
+            );
+            eprintln!(
+                "shrunk {} -> {} jobs in {} oracle evaluations",
+                f.original_jobs, f.repro.jobs, f.shrink_evals
+            );
+            if let Some(path) = &f.written_to {
+                eprintln!("repro written to {}", path.display());
+            }
+            let json = serde_json::to_string_pretty(&f.repro).map_err(|e| e.to_string())?;
+            println!("{json}");
+            Err(format!(
+                "oracle `{}` found a discrepancy after {} cases",
+                f.repro.oracle, report.cases_run
+            ))
+        }
+    }
 }
 
 fn run_serve<R: BufRead>(

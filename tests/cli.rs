@@ -234,6 +234,66 @@ fn serve_processes_jsonl_file() {
 }
 
 #[test]
+fn fuzz_flag_parsing_is_strict() {
+    // Unknown flags rejected before any fuzzing starts.
+    let (ok, _, err) = ise(&["fuzz", "--frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+    // Value flags require values.
+    let (ok, _, err) = ise(&["fuzz", "--seed"]);
+    assert!(!ok);
+    assert!(err.contains("--seed requires a value"), "{err}");
+    // No positional arguments.
+    let (ok, _, err) = ise(&["fuzz", "stray.json"]);
+    assert!(!ok);
+    assert!(err.contains("no positional arguments"), "{err}");
+    // Oracle names are validated.
+    let (ok, _, err) = ise(&["fuzz", "--cases", "1", "--oracles", "nonsense"]);
+    assert!(!ok);
+    assert!(err.contains("unknown oracle `nonsense`"), "{err}");
+}
+
+#[test]
+fn fuzz_replay_on_missing_corpus_is_a_clean_error() {
+    let (ok, out, err) = ise(&["fuzz", "--replay", "/no/such/corpus-dir"]);
+    assert!(!ok);
+    assert!(
+        err.contains("is not a directory"),
+        "expected a clean error, got: {err}"
+    );
+    assert!(out.is_empty(), "no partial output on a bad corpus: {out}");
+}
+
+#[test]
+fn fuzz_small_clean_run_exits_zero() {
+    let (ok, out, err) = ise(&[
+        "fuzz",
+        "--seed",
+        "7",
+        "--cases",
+        "5",
+        "--max-jobs",
+        "5",
+        "--max-machines",
+        "2",
+        "--oracles",
+        "budgets,metamorphic",
+    ]);
+    assert!(ok, "clean fuzz run must exit 0: {err}");
+    assert!(out.contains("5 cases clean"), "{out}");
+}
+
+#[test]
+fn fuzz_replay_runs_committed_corpus() {
+    // The committed corpus (tests/corpus/) replays clean: every repro in
+    // it documents a fixed (or fault-gated) bug.
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let (ok, out, err) = ise(&["fuzz", "--replay", corpus]);
+    assert!(ok, "committed corpus must replay clean: {err}");
+    assert!(out.contains("repros clean"), "{out}");
+}
+
+#[test]
 fn speed_flag_is_accepted() {
     let dir = tempdir();
     let inst = dir.join("i3.json");

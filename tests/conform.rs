@@ -1,0 +1,91 @@
+//! Integration tests of the differential conformance harness itself.
+//!
+//! The harness is only trustworthy if (a) it stays silent on a correct
+//! build and (b) it actually fires on a broken one. Both directions are
+//! tested: the clean batch + corpus replay run on normal builds, and the
+//! `fault-inject` build (a deliberate off-by-one in Algorithm 1's
+//! rounding, see `crates/core/src/rounding.rs`) must be detected and
+//! shrunk to a tiny witness. CI runs this file both ways.
+
+use ise::conform::{fuzz, replay, FuzzConfig, Oracle, OracleOptions};
+use std::path::Path;
+
+/// On a production build, a seeded batch across the full oracle stack is
+/// discrepancy-free. (CI additionally runs a larger smoke via `ise fuzz`;
+/// this keeps a fast in-process guarantee in the default test suite.)
+#[cfg_attr(
+    feature = "fault-inject",
+    ignore = "fault-inject build breaks rounding on purpose"
+)]
+#[test]
+fn seeded_batch_runs_clean() {
+    let config = FuzzConfig {
+        seed: 0x15E_C0DE,
+        cases: 40,
+        max_jobs: 8,
+        max_machines: 3,
+        max_calib_len: 10,
+        max_horizon: 100,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz(&config, |_| ());
+    assert_eq!(report.cases_run, 40);
+    if let Some(f) = &report.failure {
+        panic!(
+            "discrepancy on a clean build (case {}, oracle {}): {}\n{:#?}",
+            f.repro.case, f.repro.oracle, f.repro.detail, f.repro.instance
+        );
+    }
+}
+
+/// The committed corpus replays clean on a production build: every entry
+/// documents a bug that is fixed or gated behind `fault-inject`.
+#[cfg_attr(
+    feature = "fault-inject",
+    ignore = "corpus entries are fault-inject witnesses"
+)]
+#[test]
+fn committed_corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let report = replay(&dir, &Oracle::ALL, &OracleOptions::default()).expect("corpus loads");
+    assert!(!report.cases.is_empty(), "corpus must not be empty");
+    for case in &report.cases {
+        assert!(
+            case.failure.is_none(),
+            "{} still trips an oracle: {}",
+            case.path.display(),
+            case.failure.as_deref().unwrap_or("")
+        );
+    }
+}
+
+/// Self-test of the harness's detection power: with the deliberate
+/// rounding fault compiled in, the fuzzer must (a) find a discrepancy and
+/// (b) shrink it to at most 5 jobs.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn fuzzer_detects_and_shrinks_the_injected_fault() {
+    let config = FuzzConfig {
+        seed: 1,
+        cases: 500,
+        max_jobs: 10,
+        max_machines: 3,
+        max_calib_len: 12,
+        max_horizon: 120,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz(&config, |_| ());
+    let failure = report
+        .failure
+        .as_ref()
+        .expect("the injected rounding fault must be detected");
+    assert!(
+        failure.repro.jobs <= 5,
+        "repro must shrink to <= 5 jobs, got {} (from {})",
+        failure.repro.jobs,
+        failure.original_jobs
+    );
+    // The identity broken by the fault is Algorithm 1's emission count,
+    // which the budgets oracle owns.
+    assert_eq!(failure.repro.oracle, "budgets", "{}", failure.repro.detail);
+}

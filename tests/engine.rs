@@ -132,6 +132,96 @@ fn zero_budget_stream_degrades_to_greedy_fallback() {
     }
 }
 
+/// A [`CancelToken`] fired from another thread mid-solve — while the
+/// simplex pivot loop is running on a large long-window LP — must surface
+/// as `SchedError::Cancelled` or as a complete, valid schedule (the solve
+/// won the race). It must never return a partial schedule.
+#[test]
+fn mid_solve_cancellation_never_yields_a_partial_schedule() {
+    use ise::sched::{solve, CancelToken, SchedError, SolverOptions};
+
+    // Large long-only instance: windows >= 2T so the whole thing goes
+    // through the LP pipeline, and big enough that the pivot loop spins
+    // for a macroscopic amount of time.
+    let instance = ise::workloads::long_only(
+        &WorkloadParams {
+            jobs: 400,
+            machines: 4,
+            calib_len: 25,
+            horizon: 4000,
+        },
+        99,
+    );
+
+    let mut cancelled_mid_flight = 0;
+    for delay_us in [0u64, 50, 200, 1000, 5000] {
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                token.cancel();
+            })
+        };
+        let opts = SolverOptions {
+            cancel: token,
+            ..SolverOptions::default()
+        };
+        match solve(&instance, &opts) {
+            Err(SchedError::Cancelled) => cancelled_mid_flight += 1,
+            Ok(out) => {
+                // The solve beat the cancel: the schedule must be complete.
+                validate(&instance, &out.schedule)
+                    .unwrap_or_else(|e| panic!("delay {delay_us}us: partial schedule: {e}"));
+                assert_eq!(
+                    out.long_jobs + out.short_jobs,
+                    instance.len(),
+                    "delay {delay_us}us: solve claimed success without covering every job"
+                );
+            }
+            Err(e) => panic!("delay {delay_us}us: unexpected error {e}"),
+        }
+        canceller.join().expect("canceller thread");
+    }
+    // delay 0 fires before the LP even starts; the solver polls the token
+    // between phases and the simplex polls it inside the pivot loop, so at
+    // least the earliest cancels must land.
+    assert!(
+        cancelled_mid_flight >= 1,
+        "no cancellation landed mid-solve across any delay"
+    );
+
+    // An expired-deadline token cancels through the engine too: the
+    // request surfaces as a fallback (greedy schedule, still valid) or an
+    // error — never a partial pipeline schedule.
+    let mut input = String::new();
+    input.push_str(&request_line(0, &instance, ", \"timeout_ms\": 0"));
+    let mut out = Vec::new();
+    let summary = serve(
+        input.as_bytes(),
+        &mut out,
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("serve runs");
+    assert_eq!(summary.metrics.timeouts, 1);
+    let v: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out).unwrap().lines().next().unwrap())
+            .expect("response parses");
+    match v["status"].as_str() {
+        Some("fallback") => {
+            validate(&instance, &response_schedule(&v)).expect("fallback schedule is complete");
+        }
+        Some("error") => assert!(
+            v["schedule"].is_null(),
+            "error response must carry no schedule"
+        ),
+        other => panic!("unexpected status {other:?}"),
+    }
+}
+
 #[test]
 fn default_timeout_from_config_applies_to_bare_requests() {
     let pool = instances(3);

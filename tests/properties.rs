@@ -2,7 +2,9 @@
 //! instances solve to valid schedules, the paper's transformations preserve
 //! their invariants, and the validator rejects mutated schedules.
 
-use ise::model::{validate, validate_tise, Instance, InstanceBuilder, Time};
+use ise::model::{
+    shift_schedule, shift_time, validate, validate_tise, Dur, Instance, InstanceBuilder, Time,
+};
 use ise::sched::long_window::{schedule_long_windows, LongWindowOptions};
 use ise::sched::rounding::{assign_machines, round_calibrations};
 use ise::sched::speed_transform::trade_machines_for_speed;
@@ -168,6 +170,128 @@ proptest! {
                     prop_assert!(b.start.ticks() - a.start.ticks() >= t_len);
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic properties: transformations of the *instance* with a known
+// effect on the answer. These mirror `ise::conform`'s metamorphic oracle, so
+// a violation found by either shows up in both harnesses.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Shifting every window by a multiple of Algorithm 4's period `2γT`
+    /// translates the whole problem: same feasibility verdict, same
+    /// calibration count, and the shifted schedule is the original's
+    /// translate. (Arbitrary shifts move windows relative to the fixed
+    /// interval grid anchored at time 0, so only period multiples are
+    /// exact symmetries.)
+    #[test]
+    fn time_shift_by_period_is_a_symmetry(
+        instance in arb_instance(8, 2, false),
+        k in prop::sample::select(vec![-2i64, 1, 3]),
+    ) {
+        let period = 2 * ise::sched::short_window::GAMMA * instance.calib_len().ticks();
+        let shifted = shift_time(&instance, Dur(k * period));
+        match (
+            solve(&instance, &SolverOptions::default()),
+            solve(&shifted, &SolverOptions::default()),
+        ) {
+            (Ok(a), Ok(b)) => {
+                validate(&shifted, &b.schedule).expect("shifted solve valid");
+                prop_assert_eq!(
+                    a.schedule.num_calibrations(),
+                    b.schedule.num_calibrations(),
+                    "count changed under a {}-period shift", k
+                );
+                // The original schedule, translated, solves the shifted
+                // instance directly.
+                let translated = shift_schedule(&a.schedule, Dur(k * period));
+                validate(&shifted, &translated).expect("translated schedule valid");
+            }
+            (Err(ise::sched::SchedError::Infeasible { .. }),
+             Err(ise::sched::SchedError::Infeasible { .. })) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "verdicts diverged under shift: {:?} vs {:?}",
+                    a.map(|o| o.schedule.num_calibrations()),
+                    b.map(|o| o.schedule.num_calibrations()),
+                )));
+            }
+        }
+    }
+
+    /// Machine ids are interchangeable: mirroring them preserves validity
+    /// and the calibration count.
+    #[test]
+    fn machine_relabeling_is_a_symmetry(instance in arb_instance(8, 3, false)) {
+        let Ok(out) = solve(&instance, &SolverOptions::default()) else { return Ok(()) };
+        let span = out
+            .schedule
+            .calibrations
+            .iter()
+            .map(|c| c.machine)
+            .chain(out.schedule.placements.iter().map(|p| p.machine))
+            .max()
+            .unwrap_or(0);
+        let mut relabeled = out.schedule.clone();
+        for c in &mut relabeled.calibrations {
+            c.machine = span - c.machine;
+        }
+        for p in &mut relabeled.placements {
+            p.machine = span - p.machine;
+        }
+        validate(&instance, &relabeled).expect("relabeled schedule valid");
+        prop_assert_eq!(relabeled.num_calibrations(), out.schedule.num_calibrations());
+    }
+
+    /// Widening one job's window only enlarges the feasible set: a feasible
+    /// instance stays feasible, and on exactly-solvable sizes the optimal
+    /// calibration count never increases.
+    #[test]
+    fn widening_a_window_never_hurts(
+        instance in arb_instance(5, 2, false),
+        seed in 0u64..1_000,
+    ) {
+        let widened = ise::workloads::widen_one_window(&instance, seed);
+        if let Ok(out) = solve(&instance, &SolverOptions::default()) {
+            match solve(&widened, &SolverOptions::default()) {
+                Ok(w) => validate(&widened, &w.schedule).expect("widened solve valid"),
+                Err(e) => {
+                    let _ = out;
+                    return Err(TestCaseError::fail(format!(
+                        "widening turned a feasible instance infeasible: {e}"
+                    )));
+                }
+            }
+        }
+        let search = |inst: &Instance| {
+            ise::sched::exact::optimal(inst, &ise::sched::exact::ExactOptions::default())
+        };
+        if let (Ok(Some(orig)), Ok(Some(wide))) = (search(&instance), search(&widened)) {
+            prop_assert!(
+                wide.calibrations <= orig.calibrations,
+                "widening raised the optimum: {} -> {}", orig.calibrations, wide.calibrations
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// The full conformance oracle stack (sparse/dense, warm/cold, engine,
+    /// exact, budgets, metamorphic) agrees on random instances — the same
+    /// entry point `ise fuzz` uses, so property testing and fuzzing share
+    /// one definition of "conformant".
+    #[test]
+    fn conform_oracles_agree(instance in arb_instance(6, 2, false), seed in 0u64..1_000) {
+        let opts = ise::conform::OracleOptions { meta_seed: seed, ..Default::default() };
+        if let Err(d) = ise::conform::check_instance(&instance, &ise::conform::Oracle::ALL, &opts) {
+            return Err(TestCaseError::fail(format!("oracle discrepancy: {d}")));
         }
     }
 }

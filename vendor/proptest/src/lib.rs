@@ -9,9 +9,21 @@
 //! sampling with **no shrinking** — a failing case reports its test name,
 //! case index, and seed, and reruns are fully deterministic (the seed is a
 //! hash of the test name, so a failure reproduces by rerunning the test).
+//!
+//! Two pieces of the real crate's CI story *are* implemented:
+//!
+//! * **`PROPTEST_CASES`** — when set, overrides every config's `cases`
+//!   count, so CI can pin one known case count regardless of per-file
+//!   configs (and developers can crank it up locally).
+//! * **Regression persistence** — a failing case appends its RNG state to
+//!   `proptest-regressions/regressions.txt` under the crate being tested
+//!   (the real crate's failure-persistence). Committed entries replay
+//!   *first* on every later run, so a once-seen failure keeps failing
+//!   until fixed even if case counts or test bodies shuffle the stream.
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
+use std::path::{Path, PathBuf};
 
 /// Configuration accepted by `#![proptest_config(...)]`.
 #[derive(Clone, Debug)]
@@ -74,6 +86,16 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         TestRng { state: h }
+    }
+
+    /// Restore a generator from a persisted state (regression replay).
+    pub fn from_state(state: u64) -> TestRng {
+        TestRng { state }
+    }
+
+    /// Current state, as persisted into `proptest-regressions/`.
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next 64 random bits.
@@ -339,6 +361,76 @@ impl From<usize> for SizeRange {
     }
 }
 
+/// Resolve the case count: the `PROPTEST_CASES` environment variable wins
+/// over the per-test config, so CI pins one count for the whole suite.
+pub fn resolve_cases(config_cases: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("PROPTEST_CASES must be a positive integer, got {v:?}"),
+        },
+        Err(_) => config_cases,
+    }
+}
+
+fn regressions_file(manifest_dir: &str) -> PathBuf {
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join("regressions.txt")
+}
+
+/// RNG states persisted for `test_name` by earlier failing runs. The file
+/// holds `<test_name> <state_hex>` lines; unrelated or malformed lines are
+/// ignored (the file is hand-mergeable).
+pub fn persisted_states(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regressions_file(manifest_dir)) else {
+        return Vec::new();
+    };
+    let mut states = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some(test_name) {
+            if let Some(state) = parts.next().and_then(|h| u64::from_str_radix(h, 16).ok()) {
+                if !states.contains(&state) {
+                    states.push(state);
+                }
+            }
+        }
+    }
+    states
+}
+
+/// Record a failing case's RNG state so later runs replay it first.
+/// Appends `<test_name> <state_hex>` unless the pair is already present;
+/// persistence errors are reported but never mask the test failure.
+pub fn persist_failure(manifest_dir: &str, test_name: &str, state: u64) {
+    if persisted_states(manifest_dir, test_name).contains(&state) {
+        return;
+    }
+    let path = regressions_file(manifest_dir);
+    let write = (|| -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(file, "{test_name} {state:016x}")
+    })();
+    match write {
+        Ok(()) => eprintln!(
+            "proptest: persisted failing case for {test_name} to {} — commit this file",
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "proptest: could not persist failing case to {}: {e}",
+            path.display()
+        ),
+    }
+}
+
 /// Everything a property test file needs.
 pub mod prelude {
     pub use crate as prop;
@@ -383,18 +475,36 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
-            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
-                $(let $arg = $crate::Strategy::new_value(&($strategy), &mut __rng);)+
+            let __cases = $crate::resolve_cases(__cfg.cases);
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            let __manifest = env!("CARGO_MANIFEST_DIR");
+            let mut __run_case = |__rng: &mut $crate::TestRng|
+                -> ::std::result::Result<(), $crate::TestCaseError> {
+                $(let $arg = $crate::Strategy::new_value(&($strategy), __rng);)+
                 // The closure gives `prop_assert!`'s `return Err(..)` a
                 // function boundary to return through.
                 #[allow(clippy::redundant_closure_call)]
-                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| { $body ::std::result::Result::Ok(()) })();
-                if let ::std::result::Result::Err(__e) = __outcome {
+                (|| { $body ::std::result::Result::Ok(()) })()
+            };
+            // Committed regressions replay first: a once-persisted failure
+            // keeps failing until actually fixed.
+            for __state in $crate::persisted_states(__manifest, __name) {
+                let mut __rng = $crate::TestRng::from_state(__state);
+                if let ::std::result::Result::Err(__e) = __run_case(&mut __rng) {
                     panic!(
-                        "proptest {} failed at case {}/{}: {}",
-                        stringify!($name), __case + 1, __cfg.cases, __e
+                        "proptest {} failed replaying persisted regression {:016x}: {}",
+                        stringify!($name), __state, __e
+                    );
+                }
+            }
+            let mut __rng = $crate::TestRng::deterministic(__name);
+            for __case in 0..__cases {
+                let __state = $crate::TestRng::state(&__rng);
+                if let ::std::result::Result::Err(__e) = __run_case(&mut __rng) {
+                    $crate::persist_failure(__manifest, __name, __state);
+                    panic!(
+                        "proptest {} failed at case {}/{} (rng state {:016x}): {}",
+                        stringify!($name), __case + 1, __cases, __state, __e
                     );
                 }
             }
@@ -498,5 +608,40 @@ mod tests {
         let mut a = TestRng::deterministic("t");
         let mut b = TestRng::deterministic("t");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut a = TestRng::deterministic("state");
+        a.next_u64();
+        let mut b = TestRng::from_state(a.state());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn resolve_cases_defaults_to_config() {
+        // The suite never sets PROPTEST_CASES for its own run; make sure
+        // the fallback path returns the config value.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(crate::resolve_cases(37), 37);
+        }
+    }
+
+    #[test]
+    fn persistence_round_trips() {
+        let dir = std::env::temp_dir().join(format!("proptest-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_str().unwrap();
+        assert!(crate::persisted_states(manifest, "mod::t").is_empty());
+        crate::persist_failure(manifest, "mod::t", 0xdead_beef);
+        crate::persist_failure(manifest, "mod::t", 0xdead_beef); // dedup
+        crate::persist_failure(manifest, "mod::other", 7);
+        assert_eq!(
+            crate::persisted_states(manifest, "mod::t"),
+            vec![0xdead_beef]
+        );
+        assert_eq!(crate::persisted_states(manifest, "mod::other"), vec![7]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
