@@ -91,16 +91,21 @@ pub fn schedule_long_windows(
         opts.warm_basis.as_ref(),
     )?;
     opts.cancel.check()?;
+    let round_span = ise_obs::Span::enter("long.round");
     let times = round_calibrations(&fractional.points, &fractional.c, opts.threshold);
     let bank = assign_machines(&times, calib_len);
     let bank_machines = bank.iter().map(|c| c.machine + 1).max().unwrap_or(0);
+    drop(round_span);
 
     let full = if opts.mirror {
+        let _span = ise_obs::Span::enter("long.mirror");
         mirror(&bank, bank_machines)
     } else {
         bank
     };
+    let edf_span = ise_obs::Span::enter("long.edf");
     let outcome = assign_jobs(instance.jobs(), &full, calib_len);
+    drop(edf_span);
     if !outcome.unscheduled.is_empty() {
         // Lemmas 8–10 guarantee this cannot happen with the paper's
         // parameters; it can with ablation settings.

@@ -91,19 +91,27 @@ pub struct FractionalSolution {
 /// reported as [`SchedError::Infeasible`] at solve time (constraint (4)
 /// cannot hold).
 pub fn build(jobs: &[Job], calib_len: Dur, machine_budget: usize) -> TiseLp {
-    let points = calibration_points(jobs, calib_len);
+    let _build_span = ise_obs::Span::enter("lp.build");
+    let points = {
+        let _span = ise_obs::Span::enter("lp.discretize");
+        calibration_points(jobs, calib_len)
+    };
     let mut lp = LinearProgram::new();
 
     // C_t variables, objective coefficient 1.
     let c_vars: Vec<usize> = points.iter().map(|_| lp.add_var(1.0)).collect();
 
-    // X_jt variables for feasible pairs only (constraint (5) by omission).
+    // X_jt variables for feasible pairs only (constraint (5) by omission):
+    // this per-job restriction to fully-contained calibrations is the
+    // Lemma 2 trim, hence the span name.
+    let trim_span = ise_obs::Span::enter("lp.trim");
     let mut x_vars: Vec<Vec<(usize, usize)>> = Vec::with_capacity(jobs.len());
     for job in jobs {
         let range = feasible_range(job, &points, calib_len);
         let vars: Vec<(usize, usize)> = range.map(|pi| (pi, lp.add_var(0.0))).collect();
         x_vars.push(vars);
     }
+    drop(trim_span);
 
     // (1) window capacity at every point.
     for (i, &t) in points.iter().enumerate() {
@@ -163,7 +171,9 @@ pub fn solve_lp_warm(
     warm: Option<&Basis>,
 ) -> Result<FractionalSolution, SchedError> {
     let solve_started = Instant::now();
+    let lp_span = ise_obs::Span::enter("lp.solve");
     let sol = solve_with_presolve_warm(&tise.lp, opts, warm)?;
+    drop(lp_span);
     let solve_us = solve_started.elapsed().as_micros() as u64;
     match sol.status {
         SolveStatus::Optimal => {}

@@ -8,6 +8,7 @@
 use crate::lower_bound::{lower_bound, LowerBoundReport};
 use crate::solver::SolveOutcome;
 use ise_model::{Instance, ScheduleStats};
+use ise_obs::PhaseTimings;
 use serde::Serialize;
 use std::fmt;
 
@@ -62,6 +63,9 @@ pub struct SolveReport {
     pub ratio: f64,
     /// LP-solver telemetry, when the long-window pipeline ran.
     pub lp: Option<LpTelemetry>,
+    /// Per-phase wall-time breakdown, when the solve ran under an
+    /// installed [`ise_obs::Trace`] (see [`SolveReport::with_phases`]).
+    pub phases: Option<PhaseTimings>,
 }
 
 impl SolveReport {
@@ -84,7 +88,15 @@ impl SolveReport {
             crossing_jobs: crossing,
             ratio,
             lp: LpTelemetry::from_outcome(outcome),
+            phases: None,
         }
+    }
+
+    /// Attach a per-phase timing breakdown (drained from the trace the
+    /// solve ran under).
+    pub fn with_phases(mut self, phases: PhaseTimings) -> SolveReport {
+        self.phases = (!phases.is_empty()).then_some(phases);
+        self
     }
 }
 
@@ -119,6 +131,15 @@ impl fmt::Display for SolveReport {
         }
         if self.short_jobs > 0 {
             writeln!(f, "crossing jobs: {}", self.crossing_jobs)?;
+        }
+        if let Some(phases) = &self.phases {
+            let line = phases
+                .phases
+                .iter()
+                .map(|p| format!("{} {}us", p.name, p.total_us))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            writeln!(f, "phases: {line}")?;
         }
         write!(
             f,

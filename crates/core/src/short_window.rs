@@ -185,6 +185,7 @@ fn run_pass(
     intervals: &mut Vec<IntervalReport>,
 ) -> Result<usize, SchedError> {
     // Group nested jobs by interval index.
+    let partition_span = ise_obs::Span::enter("short.partition");
     let mut by_interval: std::collections::BTreeMap<i64, Vec<Job>> =
         std::collections::BTreeMap::new();
     let mut leftover = Vec::with_capacity(remaining.len());
@@ -201,6 +202,7 @@ fn run_pass(
     }
     *remaining = leftover;
     let groups: Vec<(i64, Vec<Job>)> = by_interval.into_iter().collect();
+    drop(partition_span);
 
     let mm_schedules = minimize_groups(&groups, mm, cancel)?;
 
@@ -209,6 +211,7 @@ fn run_pass(
         CrossingPolicy::ExtraMachines => 3,
         CrossingPolicy::OverlappingCalibrations => 1,
     };
+    let _emit_span = ise_obs::Span::enter("short.emit");
     for ((k, jobs), mm_schedule) in groups.iter().zip(mm_schedules) {
         let start = anchor + interval_len * *k;
         let report = emit_interval(
@@ -246,6 +249,7 @@ fn minimize_groups(
             .iter()
             .map(|(_, jobs)| {
                 cancel.check()?;
+                let _span = ise_obs::Span::enter("short.mm");
                 mm.minimize(jobs).map_err(SchedError::from)
             })
             .collect();
@@ -253,18 +257,26 @@ fn minimize_groups(
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<MmSchedule, SchedError>>>> =
         groups.iter().map(|_| Mutex::new(None)).collect();
+    let ctx = ise_obs::SpanContext::current();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= groups.len() {
-                    break;
+            let (ctx, next, slots) = (&ctx, &next, &slots);
+            s.spawn(move || {
+                let _trace = ctx.install();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= groups.len() {
+                        break;
+                    }
+                    let res = match cancel.check() {
+                        Ok(()) => {
+                            let _span = ise_obs::Span::enter("short.mm");
+                            mm.minimize(&groups[i].1).map_err(SchedError::from)
+                        }
+                        Err(e) => Err(e),
+                    };
+                    *slots[i].lock().unwrap() = Some(res);
                 }
-                let res = match cancel.check() {
-                    Ok(()) => mm.minimize(&groups[i].1).map_err(SchedError::from),
-                    Err(e) => Err(e),
-                };
-                *slots[i].lock().unwrap() = Some(res);
             });
         }
     });

@@ -157,8 +157,12 @@ impl MachineMinimizer for AutoMm {
 /// black box) or an error: [`SchedError::Infeasible`] carries a certificate
 /// that no schedule exists on the instance's stated machine count.
 pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, SchedError> {
+    let _solve_span = ise_obs::Span::enter("solve");
     opts.cancel.check()?;
-    let (long_jobs, short_jobs) = instance.partition_long_short();
+    let (long_jobs, short_jobs) = {
+        let _span = ise_obs::Span::enter("solve.partition");
+        instance.partition_long_short()
+    };
     let n_long = long_jobs.len();
     let n_short = short_jobs.len();
 
@@ -175,11 +179,21 @@ pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, 
         let long_handle = long_sub.as_ref().map(|sub| {
             let mut lopts = opts.long.clone();
             lopts.cancel = opts.cancel.clone();
-            s.spawn(move || schedule_long_windows(sub, &lopts))
+            // Carry the trace onto the worker thread so long-window spans
+            // stay attached under `solve`.
+            let ctx = ise_obs::SpanContext::current();
+            s.spawn(move || {
+                let _trace = ctx.install();
+                let _span = ise_obs::Span::enter("solve.long");
+                schedule_long_windows(sub, &lopts)
+            })
         });
         let short_res = match short_sub.as_ref() {
             None => Ok(None),
-            Some(sub) => run_short_pipeline(sub, opts).map(Some),
+            Some(sub) => {
+                let _span = ise_obs::Span::enter("solve.short");
+                run_short_pipeline(sub, opts).map(Some)
+            }
         };
         let long_res = match long_handle {
             None => Ok(None),
@@ -192,6 +206,7 @@ pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, 
 
     // Union on disjoint machines.
     opts.cancel.check()?;
+    let _union_span = ise_obs::Span::enter("solve.union");
     let mut schedule = Schedule::new();
     let mut offset = 0usize;
     if let Some(ref l) = long {
@@ -203,6 +218,7 @@ pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, 
         schedule.absorb(s.schedule.clone(), offset);
     }
     if opts.trim_empty_calibrations {
+        let _span = ise_obs::Span::enter("solve.trim");
         schedule.trim_empty_calibrations(instance.calib_len());
     }
     schedule.compact_machines();

@@ -117,25 +117,40 @@ impl<V> ShardedLru<V> {
         &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
+    /// Lock a shard, recovering from poisoning. A worker that panics while
+    /// holding a shard lock may have left `map` and `by_tick` out of sync,
+    /// so recovery drops the shard's contents (a cache may always forget)
+    /// and clears the poison flag rather than cascading the panic into
+    /// every other worker that touches the shard.
+    fn shard_guard(mutex: &Mutex<Shard<V>>) -> std::sync::MutexGuard<'_, Shard<V>> {
+        match mutex.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.by_tick.clear();
+                mutex.clear_poison();
+                guard
+            }
+        }
+    }
+
     /// Look up a key, refreshing its recency on a hit.
     pub fn get(&self, key: u64) -> Option<Arc<V>> {
-        self.shard(key).lock().unwrap().touch(key)
+        Self::shard_guard(self.shard(key)).touch(key)
     }
 
     /// Insert (or refresh) a value, evicting least-recently-used entries
     /// from the shard if it overflows.
     pub fn insert(&self, key: u64, value: Arc<V>) {
-        self.shard(key)
-            .lock()
-            .unwrap()
-            .insert(key, value, self.per_shard_capacity);
+        Self::shard_guard(self.shard(key)).insert(key, value, self.per_shard_capacity);
     }
 
     /// Total entries across shards (racy; for metrics only).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().map.len())
+            .map(|s| Self::shard_guard(s).map.len())
             .sum()
     }
 
@@ -186,6 +201,26 @@ mod tests {
         assert_eq!(cache_key(&a, &"x"), cache_key(&a, &"x"));
         assert_ne!(cache_key(&a, &"x"), cache_key(&b, &"x"));
         assert_ne!(cache_key(&a, &"x"), cache_key(&a, &"y"));
+    }
+
+    #[test]
+    fn recovers_from_poisoned_shard() {
+        let c: ShardedLru<u32> = ShardedLru::new(8, 1);
+        c.insert(1, Arc::new(1));
+        // Poison the single shard by panicking while holding its lock.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = c.shards[0].lock().unwrap();
+            panic!("worker dies mid-mutation");
+        }));
+        assert!(result.is_err());
+        assert!(c.shards[0].is_poisoned());
+        // The cache stays usable: recovery drops the (possibly desynced)
+        // contents, clears the poison, and subsequent ops work normally.
+        assert!(c.get(1).is_none());
+        assert!(!c.shards[0].is_poisoned());
+        c.insert(2, Arc::new(2));
+        assert_eq!(*c.get(2).unwrap(), 2);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

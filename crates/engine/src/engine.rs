@@ -12,6 +12,7 @@ use crate::fallback::greedy_fallback_trimmed;
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PushError};
 use ise_model::{Instance, Schedule};
+use ise_obs::PhaseTimings;
 use ise_sched::cancel::CancelToken;
 use ise_sched::{solve_with_speed, LpTelemetry, MmBackend, SchedError, SolverOptions};
 use ise_simplex::Basis;
@@ -49,6 +50,9 @@ pub struct EngineConfig {
     /// Rescue timed-out solves with the greedy fallback instead of
     /// returning a timeout error.
     pub fallback_on_timeout: bool,
+    /// Run every request under a per-request [`ise_obs::Trace`] and attach
+    /// the drained per-phase timings to the response (`phases` field).
+    pub trace_phases: bool,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +65,7 @@ impl Default for EngineConfig {
             backpressure: Backpressure::Block,
             default_timeout: None,
             fallback_on_timeout: true,
+            trace_phases: true,
         }
     }
 }
@@ -133,6 +138,9 @@ pub struct EngineResponse {
     /// LP-solver telemetry (iterations, refactorizations, build/solve
     /// wall-time, warm-start flag), when the long-window pipeline ran.
     pub lp: Option<LpTelemetry>,
+    /// Per-phase wall-time breakdown (queue wait, cache probe, solver
+    /// phases), when [`EngineConfig::trace_phases`] is on.
+    pub phases: Option<PhaseTimings>,
 }
 
 /// Why [`Engine::submit`] refused a request.
@@ -286,6 +294,12 @@ impl Engine {
         self.shared.metrics.snapshot()
     }
 
+    /// Record time spent serializing a response on behalf of the caller
+    /// (the serve loop, which owns the writer side the engine never sees).
+    pub fn record_serialize_time(&self, d: Duration) {
+        self.shared.metrics.serialize_time.record(d);
+    }
+
     /// Close the queue, drain outstanding requests, and join the workers.
     /// Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
@@ -304,12 +318,32 @@ impl Drop for Engine {
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        shared.metrics.queue_wait.record(job.enqueued.elapsed());
-        let response = handle_request(shared, job.id, &job.request);
+        let wait = job.enqueued.elapsed();
+        shared.metrics.queue_wait.record(wait);
+        let trace = shared
+            .config
+            .trace_phases
+            .then(|| ise_obs::Trace::new(TRACE_CAPACITY));
+        let mut response = {
+            let _guard = trace.as_ref().map(ise_obs::Trace::install);
+            ise_obs::Span::record("engine.queue_wait", wait);
+            handle_request(shared, job.id, &job.request)
+        };
+        if let Some(trace) = trace {
+            let phases = PhaseTimings::from_records(&trace.drain());
+            if !phases.is_empty() {
+                response.phases = Some(phases);
+            }
+        }
         EngineMetrics::inc(&shared.metrics.completed);
         job.slot.fill(response);
     }
 }
+
+/// Span capacity of a per-request trace. One request emits a handful of
+/// engine spans plus the solver-phase spans — well under this; overflow
+/// just drops spans rather than blocking a worker.
+const TRACE_CAPACITY: usize = 256;
 
 fn parse_backend(name: &str) -> Result<MmBackend, String> {
     name.parse::<MmBackend>()
@@ -329,6 +363,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
             error: Some(message),
             solve_us: 0,
             lp: None,
+            phases: None,
         }
     };
 
@@ -347,7 +382,10 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
     // completed without a deadline can satisfy a tightly-budgeted
     // duplicate.
     let key = cache_key(&request.instance, &(mm, trim, speed));
-    if let Some(hit) = shared.cache.get(key) {
+    let probe_span = ise_obs::Span::enter("engine.cache_probe");
+    let probed = shared.cache.get(key);
+    drop(probe_span);
+    if let Some(hit) = probed {
         EngineMetrics::inc(&shared.metrics.cache_hits);
         return EngineResponse {
             id,
@@ -359,6 +397,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
             error: None,
             solve_us: 0,
             lp: hit.lp,
+            phases: None,
         };
     }
     EngineMetrics::inc(&shared.metrics.cache_misses);
@@ -393,7 +432,9 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
     opts.long.warm_basis = warm_basis.map(|b| (*b).clone());
 
     let started = Instant::now();
+    let solve_span = ise_obs::Span::enter("engine.solve");
     let result = solve_with_speed(&request.instance, &opts, speed);
+    drop(solve_span);
     // The token is polled at phase boundaries, so a solve can also finish
     // *after* its deadline; treat that as a timeout too for predictable
     // `0 ms => fallback` semantics.
@@ -431,6 +472,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
                 error: None,
                 solve_us,
                 lp,
+                phases: None,
             }
         }
         Ok(_) | Err(SchedError::Cancelled) => {
@@ -448,6 +490,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
                     error: None,
                     solve_us,
                     lp: None,
+                    phases: None,
                 }
             } else {
                 let mut r = error("solve timed out".to_string(), true);
@@ -527,6 +570,50 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.basis_misses, 1);
         assert_eq!(m.basis_hits, 1);
+    }
+
+    #[test]
+    fn responses_carry_phase_timings() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        // Mixed instance so both pipelines (and the LP) show up.
+        let inst = Instance::new([(0, 40, 7), (0, 12, 6)], 1, 10).unwrap();
+        let resp = engine
+            .submit(EngineRequest::new(inst.clone()))
+            .unwrap()
+            .wait();
+        assert_eq!(resp.status, status::OK);
+        let phases = resp.phases.expect("trace_phases defaults on");
+        for name in ["engine.queue_wait", "engine.solve", "solve", "lp.solve"] {
+            assert!(
+                phases.total_us(name).is_some(),
+                "missing phase {name}: {:?}",
+                phases.phases
+            );
+        }
+        // Cache hits still report the engine-side phases.
+        let hit = engine.submit(EngineRequest::new(inst)).unwrap().wait();
+        assert!(hit.cached);
+        let phases = hit.phases.expect("cache hit keeps engine phases");
+        assert!(phases.total_us("engine.cache_probe").is_some());
+        assert!(phases.total_us("engine.solve").is_none());
+    }
+
+    #[test]
+    fn trace_phases_off_omits_phases() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            trace_phases: false,
+            ..EngineConfig::default()
+        });
+        let resp = engine
+            .submit(EngineRequest::new(tiny_instance(4)))
+            .unwrap()
+            .wait();
+        assert_eq!(resp.status, status::OK);
+        assert!(resp.phases.is_none());
     }
 
     #[test]

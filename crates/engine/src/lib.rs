@@ -34,5 +34,5 @@ pub use engine::{
     SubmitError,
 };
 pub use fallback::greedy_fallback;
-pub use metrics::{EngineMetrics, MetricsSnapshot};
-pub use serve::{serve, ServeSummary};
+pub use metrics::{prometheus_text, EngineMetrics, MetricsSnapshot};
+pub use serve::{serve, serve_with, ServeOptions, ServeSummary, FALLBACK_ID_BASE};

@@ -15,12 +15,14 @@ const BUCKETS: usize = 40;
 /// Lock-free log₂ histogram of microsecond durations.
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> LatencyHistogram {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
         }
     }
 }
@@ -31,6 +33,7 @@ impl LatencyHistogram {
         let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
         let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Read the bucket counts.
@@ -46,6 +49,7 @@ impl LatencyHistogram {
             p90_us: quantile(&buckets, count, 0.90),
             p99_us: quantile(&buckets, count, 0.99),
             count,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -80,6 +84,8 @@ fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
 pub struct HistogramSnapshot {
     /// Total recorded samples.
     pub count: u64,
+    /// Sum of all recorded durations in microseconds.
+    pub sum_us: u64,
     /// Approximate (bucket upper bound) quantiles in microseconds.
     pub p50_us: u64,
     /// 90th percentile, bucket upper bound.
@@ -117,6 +123,8 @@ pub struct EngineMetrics {
     pub queue_wait: LatencyHistogram,
     /// Time spent in the solver (cache misses only).
     pub solve_time: LatencyHistogram,
+    /// Time spent serializing responses (recorded by `ise serve`).
+    pub serialize_time: LatencyHistogram,
 }
 
 impl EngineMetrics {
@@ -140,6 +148,7 @@ impl EngineMetrics {
             errors: self.errors.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.snapshot(),
             solve_time: self.solve_time.snapshot(),
+            serialize_time: self.serialize_time.snapshot(),
         }
     }
 }
@@ -171,6 +180,101 @@ pub struct MetricsSnapshot {
     pub queue_wait: HistogramSnapshot,
     /// Solver latency histogram.
     pub solve_time: HistogramSnapshot,
+    /// Response-serialization latency histogram.
+    pub serialize_time: HistogramSnapshot,
+}
+
+/// Render a snapshot in the Prometheus text exposition format: one
+/// `ise_*_total` counter family per engine counter and one histogram
+/// family per latency histogram, with cumulative `_bucket{le="..."}`
+/// series, `_sum` (microseconds), and `_count`.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let counters: [(&str, &str, u64); 10] = [
+        (
+            "requests",
+            "Requests accepted into the queue",
+            snap.requests,
+        ),
+        (
+            "rejected",
+            "Requests refused by backpressure",
+            snap.rejected,
+        ),
+        ("completed", "Responses produced", snap.completed),
+        (
+            "cache_hits",
+            "Responses served from the result cache",
+            snap.cache_hits,
+        ),
+        (
+            "cache_misses",
+            "Requests that went to the solver",
+            snap.cache_misses,
+        ),
+        (
+            "basis_hits",
+            "Solves warm-started from a cached basis",
+            snap.basis_hits,
+        ),
+        (
+            "basis_misses",
+            "Solves that started the LP cold",
+            snap.basis_misses,
+        ),
+        (
+            "timeouts",
+            "Solves cancelled at their deadline",
+            snap.timeouts,
+        ),
+        (
+            "fallbacks",
+            "Timed-out solves rescued by the greedy fallback",
+            snap.fallbacks,
+        ),
+        ("errors", "Error responses", snap.errors),
+    ];
+    for (name, help, value) in counters {
+        out.push_str(&format!(
+            "# HELP ise_{name}_total {help}\n# TYPE ise_{name}_total counter\nise_{name}_total {value}\n"
+        ));
+    }
+    let histograms: [(&str, &str, &HistogramSnapshot); 3] = [
+        (
+            "queue_wait_us",
+            "Queue wait before a worker pickup",
+            &snap.queue_wait,
+        ),
+        (
+            "solve_time_us",
+            "Solver latency (cache misses only)",
+            &snap.solve_time,
+        ),
+        (
+            "serialize_time_us",
+            "Response serialization latency",
+            &snap.serialize_time,
+        ),
+    ];
+    for (name, help, h) in histograms {
+        out.push_str(&format!(
+            "# HELP ise_{name} {help}\n# TYPE ise_{name} histogram\n"
+        ));
+        let mut cumulative = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cumulative += c;
+            out.push_str(&format!(
+                "ise_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_upper_us(i)
+            ));
+        }
+        out.push_str(&format!(
+            "ise_{name}_bucket{{le=\"+Inf\"}} {count}\nise_{name}_sum {sum}\nise_{name}_count {count}\n",
+            count = h.count,
+            sum = h.sum_us
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -208,5 +312,83 @@ mod tests {
         let json = serde_json::to_string(&m.snapshot()).unwrap();
         assert!(json.contains("\"requests\":1"), "{json}");
         assert!(json.contains("\"queue_wait\""), "{json}");
+        assert!(json.contains("\"sum_us\":5"), "{json}");
+    }
+
+    #[test]
+    fn quantiles_with_all_samples_in_one_bucket() {
+        // Every sample lands in the same bucket: all quantiles must agree
+        // on that bucket's upper bound.
+        let h = LatencyHistogram::default();
+        for _ in 0..7 {
+            h.record(Duration::from_micros(3));
+        }
+        let s = h.snapshot();
+        let expect = bucket_upper_us(2); // 3 µs → bucket 2, upper bound 3
+        assert_eq!(s.p50_us, expect);
+        assert_eq!(s.p90_us, expect);
+        assert_eq!(s.p99_us, expect);
+        assert_eq!(s.sum_us, 21);
+    }
+
+    #[test]
+    fn quantiles_with_all_samples_in_last_bucket() {
+        // Durations beyond the histogram range clamp into the final
+        // bucket; quantiles must report its upper bound, not overflow.
+        let h = LatencyHistogram::default();
+        for _ in 0..3 {
+            h.record(Duration::from_secs(1 << 30));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[BUCKETS - 1], 3);
+        let expect = bucket_upper_us(BUCKETS - 1);
+        assert_eq!(s.p50_us, expect);
+        assert_eq!(s.p99_us, expect);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1000));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, s.p99_us);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let m = EngineMetrics::default();
+        EngineMetrics::inc(&m.requests);
+        EngineMetrics::inc(&m.completed);
+        m.queue_wait.record(Duration::from_micros(5));
+        m.solve_time.record(Duration::from_micros(900));
+        m.serialize_time.record(Duration::from_micros(12));
+        let text = prometheus_text(&m.snapshot());
+        assert!(text.contains("# TYPE ise_requests_total counter"), "{text}");
+        assert!(text.contains("ise_requests_total 1"), "{text}");
+        assert!(
+            text.contains("# TYPE ise_queue_wait_us histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ise_queue_wait_us_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ise_solve_time_us_sum 900"), "{text}");
+        assert!(text.contains("ise_serialize_time_us_count 1"), "{text}");
+        // Bucket series must be cumulative: the +Inf bucket equals _count.
+        let inf: Vec<&str> = text.lines().filter(|l| l.contains("le=\"+Inf\"")).collect();
+        assert_eq!(inf.len(), 3, "{text}");
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "bad line: {line}");
+            assert!(parts.next().is_some(), "bad line: {line}");
+        }
     }
 }

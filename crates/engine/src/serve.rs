@@ -1,20 +1,97 @@
 //! JSONL batch serving: one request per input line, one response per
-//! output line, in input order.
+//! output line, in input order, **streamed** — each response is written
+//! (and flushed) as soon as it and everything before it has resolved,
+//! so a consumer tailing the output sees results while the input is
+//! still being produced.
 //!
 //! Request lines are [`EngineRequest`] JSON objects; the only required
-//! field is `instance`. Malformed lines produce an `"error"` response (with
-//! the line number as the id) instead of aborting the stream, so one bad
-//! record cannot poison a batch. Blank lines are skipped.
+//! field is `instance`. Malformed lines produce an `"error"` response
+//! instead of aborting the stream, so one bad record cannot poison a
+//! batch. Blank lines are skipped.
+//!
+//! # Id contract
+//!
+//! Every response echoes an id. Explicit request ids must be below
+//! [`FALLBACK_ID_BASE`] (`2^63`); ids at or above it are reserved for the
+//! server and such a request gets an `"error"` response. Requests without
+//! an id are assigned `FALLBACK_ID_BASE + line_number` (0-based), which
+//! cannot collide with any valid explicit id — mixing explicit and
+//! implicit ids in one stream is safe.
+//!
+//! # Backpressure
+//!
+//! At most [`ServeOptions::max_pending`] responses are buffered awaiting
+//! an earlier (head-of-line) response; beyond that the reader blocks on
+//! the head rather than buffering the whole input.
 
 use crate::engine::{status, Engine, EngineConfig, EngineRequest, EngineResponse, ResponseSlot};
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{prometheus_text, MetricsSnapshot};
+use std::collections::VecDeque;
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// First id the server assigns to requests that omit `id`. Explicit ids
+/// must be strictly below this; the range `[2^63, 2^64)` belongs to the
+/// server.
+pub const FALLBACK_ID_BASE: u64 = 1 << 63;
 
 enum Pending {
     /// Submitted; the worker pool will fill the slot.
     InFlight(ResponseSlot),
-    /// Failed before reaching the pool (parse error, rejected submit).
+    /// Failed before reaching the pool (parse error, reserved id,
+    /// rejected submit).
     Immediate(Box<EngineResponse>),
+}
+
+impl Pending {
+    /// Non-blocking poll.
+    fn poll(&mut self) -> Option<EngineResponse> {
+        match self {
+            Pending::InFlight(slot) => slot.try_take(),
+            Pending::Immediate(_) => match std::mem::replace(self, Pending::taken()) {
+                Pending::Immediate(r) => Some(*r),
+                Pending::InFlight(_) => unreachable!("matched Immediate"),
+            },
+        }
+    }
+
+    /// Blocking resolve.
+    fn wait(self) -> EngineResponse {
+        match self {
+            Pending::InFlight(slot) => slot.wait(),
+            Pending::Immediate(r) => *r,
+        }
+    }
+
+    /// Placeholder left behind by [`Pending::poll`] on an `Immediate`
+    /// entry; the caller pops the entry immediately after.
+    fn taken() -> Pending {
+        Pending::Immediate(Box::new(immediate_response(0, "taken".to_string())))
+    }
+}
+
+/// How [`serve_with`] streams and reports.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Maximum responses buffered while waiting for an earlier one;
+    /// reading blocks on the head-of-line response beyond this.
+    pub max_pending: usize,
+    /// Write engine metrics in the Prometheus text format to this path,
+    /// periodically and at end of stream.
+    pub metrics_out: Option<PathBuf>,
+    /// Cadence of periodic metrics writes (checked between input lines).
+    pub metrics_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_pending: 1024,
+            metrics_out: None,
+            metrics_interval: Duration::from_secs(1),
+        }
+    }
 }
 
 /// Outcome of one [`serve`] run.
@@ -25,8 +102,8 @@ pub struct ServeSummary {
     pub metrics: MetricsSnapshot,
 }
 
-fn immediate_error(id: u64, message: String) -> Pending {
-    Pending::Immediate(Box::new(EngineResponse {
+fn immediate_response(id: u64, message: String) -> EngineResponse {
+    EngineResponse {
         id,
         status: status::ERROR.to_string(),
         cached: false,
@@ -36,63 +113,157 @@ fn immediate_error(id: u64, message: String) -> Pending {
         error: Some(message),
         solve_us: 0,
         lp: None,
-    }))
+        phases: None,
+    }
 }
 
-/// Read JSONL requests from `input`, solve them on `config`'s worker pool,
-/// and write JSONL responses to `output` in input order.
-///
-/// I/O errors abort the run; per-request failures do not.
+fn immediate_error(id: u64, message: String) -> Pending {
+    Pending::Immediate(Box::new(immediate_response(id, message)))
+}
+
+/// Serialize one response, record the serialization latency, write and
+/// flush it.
+fn write_response<W: Write>(
+    engine: &Engine,
+    output: &mut W,
+    response: &EngineResponse,
+    responses: &mut u64,
+) -> std::io::Result<()> {
+    let started = Instant::now();
+    let json = serde_json::to_string(response).expect("response serialization is infallible");
+    engine.record_serialize_time(started.elapsed());
+    writeln!(output, "{json}")?;
+    output.flush()?;
+    *responses += 1;
+    Ok(())
+}
+
+/// Pop and write every already-resolved response at the head of the
+/// queue. Responses behind an unresolved head stay queued to preserve
+/// input order.
+fn drain_ready<W: Write>(
+    engine: &Engine,
+    pending: &mut VecDeque<Pending>,
+    output: &mut W,
+    responses: &mut u64,
+) -> std::io::Result<()> {
+    while let Some(head) = pending.front_mut() {
+        match head.poll() {
+            Some(response) => {
+                pending.pop_front();
+                write_response(engine, output, &response, responses)?;
+            }
+            None => break,
+        }
+    }
+    Ok(())
+}
+
+fn write_metrics_file(engine: &Engine, path: &std::path::Path) -> std::io::Result<()> {
+    let text = prometheus_text(&engine.metrics());
+    std::fs::write(path, text)
+}
+
+/// [`serve_with`] under default [`ServeOptions`].
 pub fn serve<R: BufRead, W: Write>(
     input: R,
     output: &mut W,
     config: EngineConfig,
 ) -> std::io::Result<ServeSummary> {
+    serve_with(input, output, config, &ServeOptions::default())
+}
+
+/// Read JSONL requests from `input`, solve them on `config`'s worker pool,
+/// and stream JSONL responses to `output` in input order (see the module
+/// docs for the id contract and backpressure behavior).
+///
+/// I/O errors abort the run; per-request failures do not.
+pub fn serve_with<R: BufRead, W: Write>(
+    input: R,
+    output: &mut W,
+    config: EngineConfig,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeSummary> {
     let engine = Engine::new(config);
-    let mut pending: Vec<Pending> = Vec::new();
+    let max_pending = opts.max_pending.max(1);
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    let mut responses = 0u64;
+    let mut last_metrics = Instant::now();
     for (lineno, line) in input.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let fallback_id = lineno as u64;
+        let fallback_id = FALLBACK_ID_BASE + lineno as u64;
         let entry = match serde_json::from_str::<EngineRequest>(&line) {
-            Ok(mut request) => {
-                if request.id.is_none() {
-                    request.id = Some(fallback_id);
+            Ok(mut request) => match request.id {
+                Some(explicit) if explicit >= FALLBACK_ID_BASE => immediate_error(
+                    explicit,
+                    format!(
+                        "line {}: id {explicit} is in the server-reserved range \
+                         (ids must be < {FALLBACK_ID_BASE})",
+                        lineno + 1
+                    ),
+                ),
+                _ => {
+                    if request.id.is_none() {
+                        request.id = Some(fallback_id);
+                    }
+                    let id = request.id.expect("id assigned above");
+                    match engine.submit(request) {
+                        Ok(slot) => Pending::InFlight(slot),
+                        Err(e) => immediate_error(id, e.to_string()),
+                    }
                 }
-                match engine.submit(request) {
-                    Ok(slot) => Pending::InFlight(slot),
-                    Err(e) => immediate_error(fallback_id, e.to_string()),
-                }
-            }
+            },
             Err(e) => immediate_error(fallback_id, format!("line {}: {e}", lineno + 1)),
         };
-        pending.push(entry);
+        pending.push_back(entry);
+        drain_ready(&engine, &mut pending, output, &mut responses)?;
+        while pending.len() >= max_pending {
+            // Bounded buffering: block on the head-of-line response
+            // instead of queueing the rest of the input.
+            let head = pending.pop_front().expect("len >= 1").wait();
+            write_response(&engine, output, &head, &mut responses)?;
+            drain_ready(&engine, &mut pending, output, &mut responses)?;
+        }
+        if let Some(path) = &opts.metrics_out {
+            if last_metrics.elapsed() >= opts.metrics_interval {
+                write_metrics_file(&engine, path)?;
+                last_metrics = Instant::now();
+            }
+        }
     }
 
-    let mut responses = 0u64;
-    for entry in pending {
-        let response = match entry {
-            Pending::InFlight(slot) => slot.wait(),
-            Pending::Immediate(r) => *r,
-        };
-        let json = serde_json::to_string(&response).expect("response serialization is infallible");
-        writeln!(output, "{json}")?;
-        responses += 1;
+    while let Some(entry) = pending.pop_front() {
+        let response = entry.wait();
+        write_response(&engine, output, &response, &mut responses)?;
     }
     output.flush()?;
     let metrics = engine.metrics();
+    if let Some(path) = &opts.metrics_out {
+        write_metrics_file(&engine, path)?;
+    }
     Ok(ServeSummary { responses, metrics })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufReader, Read};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
 
     fn request_line(id: u64, proc: i64) -> String {
         format!(
             "{{\"id\": {id}, \"instance\": {{\"jobs\": [{{\"id\": 0, \"release\": 0, \
+             \"deadline\": 30, \"proc\": {proc}}}], \"machines\": 1, \"calib_len\": 10}}}}"
+        )
+    }
+
+    fn anonymous_request_line(proc: i64) -> String {
+        format!(
+            "{{\"instance\": {{\"jobs\": [{{\"id\": 0, \"release\": 0, \
              \"deadline\": 30, \"proc\": {proc}}}], \"machines\": 1, \"calib_len\": 10}}}}"
         )
     }
@@ -127,5 +298,202 @@ mod tests {
         // The malformed line never reached the engine: 2 solves, 0 errors.
         assert_eq!(summary.metrics.errors, 0);
         assert_eq!(summary.metrics.completed, 2);
+        assert!(summary.metrics.serialize_time.count >= 3);
+    }
+
+    #[test]
+    fn fallback_ids_do_not_collide_with_explicit_ids() {
+        // Line 0 claims explicit id 1; line 1 omits its id. Before the ids
+        // were namespaced, the second response also got id 1.
+        let input = format!("{}\n{}\n", request_line(1, 4), anonymous_request_line(5));
+        let mut out = Vec::new();
+        serve(input.as_bytes(), &mut out, EngineConfig::default()).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(first["id"].as_u64(), Some(1));
+        assert_eq!(second["id"].as_u64(), Some(FALLBACK_ID_BASE + 1));
+    }
+
+    #[test]
+    fn reserved_explicit_id_is_rejected() {
+        let input = format!("{}\n", request_line(FALLBACK_ID_BASE + 5, 4));
+        let mut out = Vec::new();
+        let summary = serve(input.as_bytes(), &mut out, EngineConfig::default()).unwrap();
+        assert_eq!(summary.responses, 1);
+        let resp: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&out).unwrap().lines().next().unwrap())
+                .unwrap();
+        assert_eq!(resp["status"].as_str(), Some("error"));
+        assert!(
+            resp["error"]
+                .as_str()
+                .unwrap()
+                .contains("server-reserved range"),
+            "{resp:?}"
+        );
+        // It never reached the engine.
+        assert_eq!(summary.metrics.requests, 0);
+    }
+
+    /// Yields one request line per `read` call, sleeping before the final
+    /// line so earlier requests have time to resolve. At EOF it records
+    /// whether the writer had already emitted a response — the serve loop
+    /// drains opportunistically after each submit, so a response written
+    /// before the EOF read proves pre-EOF streaming.
+    struct GatedReader {
+        lines: Vec<String>,
+        next: usize,
+        written: Arc<AtomicU64>,
+        streamed: Arc<AtomicBool>,
+    }
+
+    impl Read for GatedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.next >= self.lines.len() {
+                // Grace period: the drain after the last submit races the
+                // last-but-one solve; give it a bounded moment. (The write
+                // happens on the serve thread before this read is issued,
+                // so in the common case written > 0 already.)
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while self.written.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                if self.written.load(Ordering::SeqCst) > 0 {
+                    self.streamed.store(true, Ordering::SeqCst);
+                }
+                return Ok(0);
+            }
+            if self.next == self.lines.len() - 1 {
+                // Let the earlier requests finish solving so the drain
+                // after this line's submit flushes them pre-EOF.
+                std::thread::sleep(Duration::from_secs(1));
+            }
+            let line = self.lines[self.next].as_bytes();
+            assert!(buf.len() >= line.len(), "test lines fit one read");
+            buf[..line.len()].copy_from_slice(line);
+            self.next += 1;
+            Ok(line.len())
+        }
+    }
+
+    struct CountingWriter {
+        buf: Vec<u8>,
+        lines: Arc<AtomicU64>,
+    }
+
+    impl Write for CountingWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            let newlines = data.iter().filter(|&&b| b == b'\n').count() as u64;
+            self.lines.fetch_add(newlines, Ordering::SeqCst);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streams_first_response_before_input_is_exhausted() {
+        let written = Arc::new(AtomicU64::new(0));
+        let streamed = Arc::new(AtomicBool::new(false));
+        let reader = GatedReader {
+            lines: vec![
+                format!("{}\n", request_line(0, 4)),
+                format!("{}\n", request_line(1, 5)),
+                format!("{}\n", request_line(2, 6)),
+            ],
+            next: 0,
+            written: Arc::clone(&written),
+            streamed: Arc::clone(&streamed),
+        };
+        let mut out = CountingWriter {
+            buf: Vec::new(),
+            lines: Arc::clone(&written),
+        };
+        let summary = serve(
+            BufReader::new(reader),
+            &mut out,
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.responses, 3);
+        assert!(
+            streamed.load(Ordering::SeqCst),
+            "no response was written before the input finished"
+        );
+        let lines: Vec<&str> = std::str::from_utf8(&out.buf).unwrap().lines().collect();
+        let ids: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                serde_json::from_str::<serde_json::Value>(l).unwrap()["id"]
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2], "streaming must preserve input order");
+    }
+
+    #[test]
+    fn bounded_pending_still_preserves_order() {
+        let input: String = (0..20)
+            .map(|i| format!("{}\n", request_line(i, 2 + (i as i64 % 7))))
+            .collect();
+        let mut out = Vec::new();
+        let summary = serve_with(
+            input.as_bytes(),
+            &mut out,
+            EngineConfig {
+                workers: 4,
+                ..EngineConfig::default()
+            },
+            &ServeOptions {
+                max_pending: 2,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.responses, 20);
+        let ids: Vec<u64> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| {
+                serde_json::from_str::<serde_json::Value>(l).unwrap()["id"]
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ids, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn metrics_out_writes_prometheus_text() {
+        let path =
+            std::env::temp_dir().join(format!("ise-serve-metrics-{}.prom", std::process::id()));
+        let input = format!("{}\n{}\n", request_line(0, 4), request_line(1, 5));
+        let mut out = Vec::new();
+        serve_with(
+            input.as_bytes(),
+            &mut out,
+            EngineConfig::default(),
+            &ServeOptions {
+                metrics_out: Some(path.clone()),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("# TYPE ise_requests_total counter"), "{text}");
+        assert!(text.contains("ise_requests_total 2"), "{text}");
+        assert!(
+            text.contains("# TYPE ise_solve_time_us histogram"),
+            "{text}"
+        );
     }
 }

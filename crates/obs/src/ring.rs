@@ -1,0 +1,182 @@
+//! Lock-free bounded MPMC ring buffer for span records.
+//!
+//! The classic Vyukov bounded queue: each slot carries a sequence number
+//! that encodes whether it is empty (seq == pos) or full (seq == pos + 1)
+//! for the producer/consumer whose ticket is `pos`. Producers and the
+//! consumer claim tickets with compare-and-swap and never block; a full
+//! ring rejects the push (the caller counts the drop) rather than
+//! overwriting, so a drain sees a consistent prefix of the trace.
+
+use crate::SpanRecord;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<SpanRecord>>,
+}
+
+// SAFETY: access to `value` is serialized by the `seq` protocol — a slot's
+// value is only written by the producer that advanced `head` to its ticket
+// and only read by the consumer that advanced `tail` to the matching one.
+unsafe impl Sync for Slot {}
+
+/// Bounded lock-free span sink. Capacity is rounded up to a power of two
+/// (minimum 2).
+pub struct RingSink {
+    slots: Box<[Slot]>,
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+impl RingSink {
+    /// A sink holding at least `capacity` records.
+    pub fn new(capacity: usize) -> RingSink {
+        let cap = capacity.max(2).next_power_of_two();
+        RingSink {
+            slots: (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Push a record; returns `false` (dropping the record) when full.
+    pub fn push(&self, record: SpanRecord) -> bool {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS granted this producer exclusive
+                        // ownership of the slot until the seq store below.
+                        unsafe { (*slot.value.get()).write(record) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if dif < 0 {
+                return false; // full
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop the oldest record, or `None` when empty.
+    pub fn pop(&self) -> Option<SpanRecord> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS granted this consumer exclusive
+                        // ownership; the producer's Release store made the
+                        // value visible.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if dif < 0 {
+                return None; // empty
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            name: "t",
+            start_us: id as u64,
+            dur_us: 1,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let ring = RingSink::new(4);
+        for i in 0..4 {
+            assert!(ring.push(rec(i)));
+        }
+        assert!(!ring.push(rec(99)), "full ring must reject");
+        for i in 0..4 {
+            assert_eq!(ring.pop().unwrap().id, i);
+        }
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(RingSink::new(0).capacity(), 2);
+        assert_eq!(RingSink::new(5).capacity(), 8);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let ring = RingSink::new(2);
+        for round in 0..10u32 {
+            assert!(ring.push(rec(round)));
+            assert_eq!(ring.pop().unwrap().id, round);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_below_capacity() {
+        let ring = RingSink::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        assert!(ring.push(rec(t * 1000 + i)));
+                    }
+                });
+            }
+        });
+        let mut seen = 0;
+        while ring.pop().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 800);
+    }
+}

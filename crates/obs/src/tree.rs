@@ -1,0 +1,233 @@
+//! Consuming a drained trace: per-phase aggregation and tree rendering.
+
+use crate::SpanRecord;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Aggregate time spent in one phase (all spans sharing a name).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct PhaseStat {
+    /// Phase (span) name.
+    pub name: String,
+    /// Number of spans.
+    pub calls: u64,
+    /// Total microseconds across all spans of this phase. Nested phases
+    /// are *not* subtracted: a parent's total includes its children.
+    pub total_us: u64,
+}
+
+/// The `phases` timing block carried by solve reports and engine
+/// responses: one entry per phase, in first-seen (roughly pipeline)
+/// order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct PhaseTimings {
+    /// Per-phase totals.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl PhaseTimings {
+    /// Aggregate drained span records by name.
+    pub fn from_records(records: &[SpanRecord]) -> PhaseTimings {
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut totals: HashMap<&'static str, (u64, u64)> = HashMap::new();
+        for r in records {
+            let entry = totals.entry(r.name).or_insert_with(|| {
+                order.push(r.name);
+                (0, 0)
+            });
+            entry.0 += 1;
+            entry.1 += r.dur_us;
+        }
+        PhaseTimings {
+            phases: order
+                .into_iter()
+                .map(|name| {
+                    let (calls, total_us) = totals[name];
+                    PhaseStat {
+                        name: name.to_string(),
+                        calls,
+                        total_us,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Total microseconds recorded for `name`, or `None` when the phase
+    /// never ran.
+    pub fn total_us(&self, name: &str) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.total_us)
+    }
+
+    /// Whether any phase was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+struct Node {
+    record: SpanRecord,
+    children: Vec<usize>,
+}
+
+/// A reconstructed span tree, renderable as indented text.
+pub struct TraceTree {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    /// Wall time covered by the trace: latest span end − earliest start.
+    pub wall_us: u64,
+}
+
+impl TraceTree {
+    /// Build the tree from drained records. Spans whose parent is missing
+    /// (dropped on overflow) are promoted to roots rather than lost.
+    pub fn build(records: &[SpanRecord]) -> TraceTree {
+        let mut nodes: Vec<Node> = records
+            .iter()
+            .map(|&record| Node {
+                record,
+                children: Vec::new(),
+            })
+            .collect();
+        let index: HashMap<u32, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.record.id, i))
+            .collect();
+        let mut roots = Vec::new();
+        for i in 0..nodes.len() {
+            match index.get(&nodes[i].record.parent) {
+                Some(&p) if nodes[i].record.parent != 0 => nodes[p].children.push(i),
+                _ => roots.push(i),
+            }
+        }
+        for node in &mut nodes {
+            node.children
+                .sort_by_key(|&c| (records[c].start_us, records[c].id));
+        }
+        roots.sort_by_key(|&r| (records[r].start_us, records[r].id));
+        let start = records.iter().map(|r| r.start_us).min().unwrap_or(0);
+        let end = records
+            .iter()
+            .map(|r| r.start_us + r.dur_us)
+            .max()
+            .unwrap_or(0);
+        TraceTree {
+            nodes,
+            roots,
+            wall_us: end - start,
+        }
+    }
+
+    /// Render the tree: one line per span with duration and share of wall
+    /// time, children indented under their parent.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &root in &self.roots {
+            self.render_node(&mut out, root, "", "");
+        }
+        out
+    }
+
+    fn render_node(&self, out: &mut String, i: usize, prefix: &str, child_prefix: &str) {
+        let r = &self.nodes[i].record;
+        let pct = if self.wall_us > 0 {
+            100.0 * r.dur_us as f64 / self.wall_us as f64
+        } else {
+            0.0
+        };
+        let label = format!("{prefix}{}", r.name);
+        writeln!(out, "{label:<42} {:>10} us {pct:>6.1}%", r.dur_us).expect("string write");
+        let children = &self.nodes[i].children;
+        for (k, &c) in children.iter().enumerate() {
+            let last = k + 1 == children.len();
+            let branch = if last { "└─ " } else { "├─ " };
+            let cont = if last { "   " } else { "│  " };
+            self.render_node(
+                out,
+                c,
+                &format!("{child_prefix}{branch}"),
+                &format!("{child_prefix}{cont}"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32, parent: u32, name: &'static str, start_us: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_name_in_first_seen_order() {
+        let records = [
+            rec(1, 0, "solve", 0, 100),
+            rec(2, 1, "lp.solve", 10, 40),
+            rec(3, 1, "lp.solve", 60, 20),
+        ];
+        let phases = PhaseTimings::from_records(&records);
+        assert_eq!(phases.phases.len(), 2);
+        assert_eq!(phases.phases[0].name, "solve");
+        assert_eq!(phases.total_us("lp.solve"), Some(60));
+        assert_eq!(phases.phases[1].calls, 2);
+        assert_eq!(phases.total_us("missing"), None);
+    }
+
+    #[test]
+    fn tree_links_and_renders() {
+        let records = [
+            rec(1, 0, "solve", 0, 100),
+            rec(2, 1, "long", 5, 60),
+            rec(3, 2, "lp.solve", 10, 40),
+            rec(4, 1, "short", 70, 25),
+        ];
+        let tree = TraceTree::build(&records);
+        assert_eq!(tree.wall_us, 100);
+        let text = tree.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("solve"));
+        assert!(lines[1].contains("├─ long"));
+        assert!(lines[2].contains("│  └─ lp.solve"));
+        assert!(lines[3].contains("└─ short"));
+        assert!(lines[0].contains("100.0%"));
+    }
+
+    #[test]
+    fn orphaned_spans_become_roots() {
+        // Parent id 9 was dropped on overflow; the child must still show.
+        let records = [rec(1, 0, "solve", 0, 50), rec(2, 9, "lost-parent", 5, 10)];
+        let tree = TraceTree::build(&records);
+        assert_eq!(tree.roots.len(), 2);
+        assert!(tree.render().contains("lost-parent"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let tree = TraceTree::build(&[]);
+        assert_eq!(tree.wall_us, 0);
+        assert_eq!(tree.render(), "");
+        assert!(PhaseTimings::from_records(&[]).is_empty());
+    }
+
+    #[test]
+    fn phase_timings_serialize() {
+        let phases = PhaseTimings::from_records(&[rec(1, 0, "solve", 0, 7)]);
+        let json = serde_json::to_string(&phases).unwrap();
+        assert!(json.contains("\"name\":\"solve\""), "{json}");
+        assert!(json.contains("\"total_us\":7"), "{json}");
+    }
+}

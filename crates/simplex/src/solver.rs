@@ -419,6 +419,7 @@ impl Tableau {
             None => false,
         };
         if self.m > 0 && self.has_artificials && !warm_used {
+            let _phase1_span = ise_obs::Span::enter("simplex.phase1");
             let phase1_cost: Vec<f64> = self
                 .kind
                 .iter()
@@ -450,7 +451,9 @@ impl Tableau {
         }
 
         let cost2 = self.cost2.clone();
+        let phase2_span = ise_obs::Span::enter("simplex.phase2");
         let status = self.optimize(&cost2, /*phase1=*/ false)?;
+        drop(phase2_span);
         let x = self.extract();
         let objective = cost2[..]
             .iter()
@@ -651,6 +654,7 @@ impl Tableau {
     /// Rebuild the basis representation from scratch and recompute the
     /// basic values from it.
     fn refactorize(&mut self) -> Result<(), SolverError> {
+        let _span = ise_obs::Span::enter("simplex.refactor");
         self.factor
             .refactor(&self.cols, &mut self.basis, &self.b, &mut self.xb)?;
         self.pivots_since_refactor = 0;

@@ -38,11 +38,14 @@
 //! * [`workloads`] — deterministic instance generators for experiments.
 //! * [`engine`] — concurrent batch solving: worker pool, result cache,
 //!   timeouts, and the JSONL `serve` protocol.
+//! * [`obs`] — lightweight observability: solve-phase spans, trace trees,
+//!   and per-phase timing summaries (`ise trace`, response `phases`).
 
 pub use ise_conform as conform;
 pub use ise_engine as engine;
 pub use ise_mm as mm;
 pub use ise_model as model;
+pub use ise_obs as obs;
 pub use ise_sched as sched;
 pub use ise_simplex as simplex;
 pub use ise_workloads as workloads;

@@ -10,6 +10,8 @@
 //! ise gantt    <instance.json> <schedule.json> [--width W]
 //! ise exact    <instance.json> [--max-calibrations K]
 //! ise serve    [requests.jsonl] [--workers N] [--timeout-ms MS] [--out FILE]
+//!              [--metrics FILE] [--metrics-out FILE]
+//! ise trace    <instance.json> [--trim] [--mm BACKEND] [--speed S]
 //! ise bench    [--quick] [--reps N] [--out FILE] [--check FILE] [--threshold X]
 //! ise fuzz     [--seed S] [--cases N] [--max-jobs N] [--oracles LIST]
 //!              [--time-budget SECS] [--corpus DIR] [--no-shrink]
@@ -20,12 +22,16 @@
 //! [`ise::model::Instance`] and [`ise::model::Schedule`]; `generate` and
 //! `solve` write them, so the commands compose through files. `serve` reads
 //! one JSON request per line (stdin when no file is given) and writes one
-//! JSON response per line in input order; see [`ise::engine::serve`].
+//! JSON response per line in input order, streamed as results resolve; see
+//! [`ise::engine::serve`]. `--metrics-out` additionally writes engine
+//! counters and latency histograms in the Prometheus text format. `trace`
+//! runs one solve under an [`ise::obs`] trace and prints the span tree
+//! with per-phase wall time.
 //!
 //! Flag parsing is strict: unknown `--flags` and value flags missing their
 //! value are errors, not silently ignored.
 
-use ise::engine::{serve, EngineConfig, ServeSummary};
+use ise::engine::{serve_with, EngineConfig, ServeOptions, ServeSummary};
 use ise::model::{
     render_gantt, validate, validate_relaxed, validate_tise, Instance, RenderOptions, Schedule,
 };
@@ -65,7 +71,10 @@ const USAGE: &str = "usage:
   ise exact    <instance.json> [--max-calibrations K]
   ise serve    [requests.jsonl] [--workers N] [--queue-capacity N]
                [--cache-capacity N] [--timeout-ms MS] [--no-fallback]
-               [--out FILE] [--metrics FILE]
+               [--max-pending N] [--out FILE] [--metrics FILE]
+               [--metrics-out FILE]
+  ise trace    <instance.json> [--trim]
+               [--mm auto|exact|greedy|unit|lp-round|portfolio] [--speed S]
   ise bench    [--quick] [--reps N] [--out FILE] [--check FILE]
                [--threshold X]
   ise fuzz     [--seed S] [--cases N] [--max-jobs N] [--max-machines M]
@@ -85,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "gantt" => cmd_gantt(&rest),
         "exact" => cmd_exact(&rest),
         "serve" => cmd_serve(&rest),
+        "trace" => cmd_trace(&rest),
         "bench" => cmd_bench(&rest),
         "fuzz" => cmd_fuzz(&rest),
         "help" | "--help" | "-h" => {
@@ -357,8 +367,10 @@ fn cmd_serve(args: &[&String]) -> Result<(), String> {
         "--queue-capacity",
         "--cache-capacity",
         "--timeout-ms",
+        "--max-pending",
         "--out",
         "--metrics",
+        "--metrics-out",
     ];
     const SWITCH: &[&str] = &["--no-fallback"];
     check_flags(args, VALUE, SWITCH)?;
@@ -382,13 +394,23 @@ fn cmd_serve(args: &[&String]) -> Result<(), String> {
         return Err("--workers must be at least 1".into());
     }
 
+    let serve_defaults = ServeOptions::default();
+    let serve_opts = ServeOptions {
+        max_pending: parse(args, "--max-pending", serve_defaults.max_pending)?,
+        metrics_out: flag_value(args, "--metrics-out")?.map(std::path::PathBuf::from),
+        ..serve_defaults
+    };
+    if serve_opts.max_pending == 0 {
+        return Err("--max-pending must be at least 1".into());
+    }
+
     let out = flag_value(args, "--out")?;
     let summary = match pos.first() {
         Some(path) => {
             let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
-            run_serve(std::io::BufReader::new(file), out, config)?
+            run_serve(std::io::BufReader::new(file), out, config, &serve_opts)?
         }
-        None => run_serve(std::io::stdin().lock(), out, config)?,
+        None => run_serve(std::io::stdin().lock(), out, config, &serve_opts)?,
     };
 
     // Keep stdout pure JSONL: the metrics summary goes to stderr or a file.
@@ -578,19 +600,61 @@ fn run_serve<R: BufRead>(
     input: R,
     out: Option<&String>,
     config: EngineConfig,
+    opts: &ServeOptions,
 ) -> Result<ServeSummary, String> {
     match out {
         Some(path) => {
             let file = std::fs::File::create(path).map_err(|e| format!("writing {path}: {e}"))?;
             let mut writer = BufWriter::new(file);
-            let summary = serve(input, &mut writer, config).map_err(|e| e.to_string())?;
+            let summary =
+                serve_with(input, &mut writer, config, opts).map_err(|e| e.to_string())?;
             writer.flush().map_err(|e| e.to_string())?;
             eprintln!("wrote {path}");
             Ok(summary)
         }
         None => {
             let mut stdout = BufWriter::new(std::io::stdout().lock());
-            serve(input, &mut stdout, config).map_err(|e| e.to_string())
+            serve_with(input, &mut stdout, config, opts).map_err(|e| e.to_string())
         }
     }
+}
+
+/// `ise trace`: run one solve under an [`ise::obs::Trace`] and print the
+/// span tree — per-phase wall time and share of total — followed by the
+/// usual solve report (with its `phases` summary) on stderr.
+fn cmd_trace(args: &[&String]) -> Result<(), String> {
+    const VALUE: &[&str] = &["--mm", "--speed"];
+    const SWITCH: &[&str] = &["--trim"];
+    check_flags(args, VALUE, SWITCH)?;
+    let pos = positionals(args, VALUE);
+    let path = pos.first().ok_or("trace requires an instance file")?;
+    let instance = read_instance(path)?;
+    let mm: MmBackend = parse(args, "--mm", MmBackend::Auto)?;
+    let opts = SolverOptions {
+        mm,
+        trim_empty_calibrations: flag_present(args, "--trim"),
+        ..SolverOptions::default()
+    };
+    let speed: i64 = parse(args, "--speed", 1i64)?;
+
+    let trace = ise::obs::Trace::new(8192);
+    let outcome = {
+        let _guard = trace.install();
+        solve_with_speed(&instance, &opts, speed)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let records = trace.drain();
+    let tree = ise::obs::TraceTree::build(&records);
+    print!("{}", tree.render());
+    if trace.dropped() > 0 {
+        eprintln!(
+            "note: {} spans dropped (trace buffer full)",
+            trace.dropped()
+        );
+    }
+    let report = SolveReport::new(&instance, &outcome)
+        .with_phases(ise::obs::PhaseTimings::from_records(&records));
+    eprintln!("{report}");
+    Ok(())
 }

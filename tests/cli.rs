@@ -234,6 +234,91 @@ fn serve_processes_jsonl_file() {
 }
 
 #[test]
+fn serve_metrics_out_writes_prometheus_text() {
+    let dir = tempdir();
+    let reqs = dir.join("prom_reqs.jsonl");
+    let resps = dir.join("prom_resps.jsonl");
+    let prom = dir.join("metrics.prom");
+    std::fs::write(
+        &reqs,
+        "{\"id\": 0, \"instance\": {\"jobs\": [{\"id\": 0, \"release\": 0, \
+         \"deadline\": 30, \"proc\": 4}], \"machines\": 1, \"calib_len\": 10}}\n",
+    )
+    .unwrap();
+    let (ok, _, err) = ise(&[
+        "serve",
+        reqs.to_str().unwrap(),
+        "--out",
+        resps.to_str().unwrap(),
+        "--metrics-out",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(text.contains("# TYPE ise_requests_total counter"), "{text}");
+    assert!(text.contains("ise_requests_total 1"), "{text}");
+    for h in ["queue_wait", "solve_time", "serialize_time"] {
+        assert!(
+            text.contains(&format!("# TYPE ise_{h}_us histogram")),
+            "missing {h} histogram: {text}"
+        );
+        assert!(
+            text.contains(&format!("ise_{h}_us_bucket{{le=\"+Inf\"}}")),
+            "missing {h} +Inf bucket: {text}"
+        );
+    }
+    // Responses carry the per-request phase breakdown.
+    let body = std::fs::read_to_string(&resps).unwrap();
+    let v: serde_json::Value = serde_json::from_str(body.lines().next().unwrap()).unwrap();
+    let names: Vec<&str> = v["phases"]["phases"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| p["name"].as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"engine.solve"), "{names:?}");
+    assert!(names.contains(&"solve"), "{names:?}");
+}
+
+#[test]
+fn trace_prints_span_tree_for_mixed_instance() {
+    let dir = tempdir();
+    let inst = dir.join("trace.json");
+    let inst_s = inst.to_str().unwrap();
+    let (ok, _, err) = ise(&[
+        "generate",
+        "--family",
+        "uniform",
+        "--jobs",
+        "15",
+        "--machines",
+        "2",
+        "--seed",
+        "3",
+        "--out",
+        inst_s,
+    ]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = ise(&["trace", inst_s]);
+    assert!(ok, "{err}");
+    for span in [
+        "solve.partition",
+        "solve.long",
+        "lp.trim",
+        "lp.discretize",
+        "lp.solve",
+        "long.round",
+        "long.edf",
+        "solve.short",
+        "short.mm",
+    ] {
+        assert!(out.contains(span), "span {span} missing from tree:\n{out}");
+    }
+    assert!(out.contains('%'), "tree shows percentages: {out}");
+    assert!(err.contains("phases:"), "report carries phases: {err}");
+}
+
+#[test]
 fn fuzz_flag_parsing_is_strict() {
     // Unknown flags rejected before any fuzzing starts.
     let (ok, _, err) = ise(&["fuzz", "--frobnicate"]);
