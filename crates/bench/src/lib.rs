@@ -6,6 +6,7 @@
 //! fixed-width table rendering for reproducible textual reports.
 
 pub mod perf;
+pub mod session;
 
 use ise_model::{validate, Instance, ScheduleStats};
 use ise_sched::lower_bound::lower_bound;

@@ -30,6 +30,17 @@
 //!   time-shifts by multiples of the Algorithm 4 period `2γT` and under
 //!   machine relabeling; widening one window never loses feasibility and
 //!   never raises the exact optimum.
+//! * [`Oracle::Session`] — incremental vs from-scratch: a deterministic
+//!   delta log derived from `(instance, meta_seed)` replays through
+//!   [`ise_session::Session`], and every commit must match a cold solve
+//!   of the materialized instance: same verdict, same calibration count,
+//!   agreeing LP objectives, schedule validated. Cold-tier commits must
+//!   reproduce the cold schedule bit-for-bit (identical code path);
+//!   basis/warm tiers may land on a different optimal LP vertex — the
+//!   same caveat the dense and warm oracles document — so their
+//!   schedules are compared by count, not bytes. Because the log is a
+//!   pure function of the instance, shrinking the instance shrinks the
+//!   delta log for free.
 
 use ise_engine::{Engine, EngineConfig, EngineRequest};
 use ise_model::{shift_time, validate, validate_tise, Dur, Instance};
@@ -55,17 +66,20 @@ pub enum Oracle {
     Engine,
     /// Metamorphic invariances (time shift, relabeling, widening).
     Metamorphic,
+    /// Incremental session replay vs from-scratch solves.
+    Session,
 }
 
 impl Oracle {
     /// Every oracle, in the order they run.
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::Budgets,
         Oracle::Exact,
         Oracle::Dense,
         Oracle::Warm,
         Oracle::Engine,
         Oracle::Metamorphic,
+        Oracle::Session,
     ];
 
     /// Stable CLI / corpus name.
@@ -77,6 +91,7 @@ impl Oracle {
             Oracle::Warm => "warm",
             Oracle::Engine => "engine",
             Oracle::Metamorphic => "metamorphic",
+            Oracle::Session => "session",
         }
     }
 
@@ -196,6 +211,7 @@ pub fn check_instance(
             Oracle::Warm => check_warm(instance, &base)?,
             Oracle::Engine => check_engine(instance, &base)?,
             Oracle::Metamorphic => check_metamorphic(instance, &base, opts)?,
+            Oracle::Session => check_session(instance, opts)?,
         }
     }
     Ok(())
@@ -694,6 +710,188 @@ fn check_metamorphic(
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// Derive a deterministic delta log from `(instance, seed)`.
+///
+/// The log is a pure function of the instance contents and the seed, so
+/// the shrinker never has to manipulate it: shrinking the instance
+/// re-derives a correspondingly smaller log, and a corpus repro replays
+/// the exact same session it failed on.
+///
+/// The batches deliberately cover all three reuse tiers: a
+/// machine-budget change (basis), a job addition (warm), and a
+/// remove + window-shift batch (cold).
+fn session_delta_log(instance: &Instance, seed: u64) -> Vec<Vec<ise_session::Delta>> {
+    use ise_session::Delta;
+    let r = |i: u64| crate::case_seed(seed ^ 0x5e55_1099, i);
+    let t = instance.calib_len().ticks().max(1) as u64;
+    let mut log = Vec::new();
+
+    let machines = 1 + (r(0) as usize) % (instance.machines() + 2);
+    log.push(vec![Delta::SetMachines(machines)]);
+
+    let mut added = Vec::new();
+    for i in 0..1 + r(1) % 2 {
+        let proc = (1 + r(2 + i) % t) as i64;
+        let release = (r(4 + i) % (4 * t)) as i64;
+        let slack = (r(6 + i) % (2 * t)) as i64;
+        added.push((release, release + proc + slack, proc));
+    }
+    let jobs_after_add = instance.len() + added.len();
+    log.push(vec![Delta::AddJobs(added)]);
+
+    let mut batch = vec![Delta::RemoveJobs(vec![(r(8) as usize) % jobs_after_add])];
+    batch.push(Delta::ShiftWindows((1 + r(9) % 3) as i64 * t as i64));
+    log.push(batch);
+    log
+}
+
+/// Commit the session's staged deltas and compare the commit against a
+/// from-scratch solve of the materialized instance.
+fn verify_session_commit(
+    session: &mut ise_session::Session,
+    commit_idx: usize,
+) -> Result<(), Discrepancy> {
+    let o = Oracle::Session;
+    let materialized = session.instance().clone();
+    let commit = match session.commit() {
+        Ok(c) => c,
+        Err(ise_session::SessionError::Solve(e)) => {
+            // A non-verdict error (budget, cancellation, ...) is only a
+            // session bug if the cold path does NOT fail the same way.
+            return match solve(&materialized, &SolverOptions::default()) {
+                Err(cold) if cold.to_string() == e.to_string() => Ok(()),
+                other => Err(disc(
+                    o,
+                    format!(
+                        "commit {commit_idx} failed with `{e}` but the cold solve \
+                         returned {other:?}"
+                    ),
+                )),
+            };
+        }
+        Err(e) => return Err(disc(o, format!("commit {commit_idx} failed: {e}"))),
+    };
+    let tier = commit.telemetry.tier;
+    match (
+        &commit.verdict,
+        solve(&materialized, &SolverOptions::default()),
+    ) {
+        (ise_session::Verdict::Feasible { report, schedule }, Ok(cold)) => {
+            validate(&materialized, schedule).map_err(|e| {
+                disc(
+                    o,
+                    format!("commit {commit_idx} ({tier} tier) schedule is invalid: {e}"),
+                )
+            })?;
+            // Cold commits run the exact pipeline `solve` runs, so the
+            // schedule must be bit-identical. Basis/warm commits start the
+            // simplex from a cached basis and may stop at a different
+            // optimal vertex, which permutes calibration placement without
+            // changing the count — compare the vertex-independent outputs.
+            if tier == ise_session::ReuseTier::Cold && *schedule != cold.schedule {
+                return Err(disc(
+                    o,
+                    format!(
+                        "commit {commit_idx} (cold tier) schedule differs from the \
+                         from-scratch solve despite an identical code path"
+                    ),
+                ));
+            }
+            if schedule.num_calibrations() != cold.schedule.num_calibrations() {
+                return Err(disc(
+                    o,
+                    format!(
+                        "commit {commit_idx} ({tier} tier) diverges from the cold solve: \
+                         {} vs {} calibrations",
+                        schedule.num_calibrations(),
+                        cold.schedule.num_calibrations()
+                    ),
+                ));
+            }
+            let cold_obj = cold.long.as_ref().map(|l| l.fractional.objective);
+            match (report.lp_objective, cold_obj) {
+                (Some(inc), Some(base)) if !objectives_agree(inc, base) => {
+                    return Err(disc(
+                        o,
+                        format!(
+                            "commit {commit_idx} ({tier} tier) LP objective {inc} diverges \
+                             from the cold solve's {base}"
+                        ),
+                    ));
+                }
+                (Some(_), Some(_)) | (None, None) => {}
+                (inc, base) => {
+                    return Err(disc(
+                        o,
+                        format!(
+                            "commit {commit_idx} ({tier} tier) ran a different pipeline \
+                             than the cold solve: LP objective {inc:?} vs {base:?}"
+                        ),
+                    ));
+                }
+            }
+        }
+        (ise_session::Verdict::Infeasible { .. }, Err(SchedError::Infeasible { .. })) => {}
+        (ise_session::Verdict::Feasible { schedule, .. }, Err(e)) => {
+            return Err(disc(
+                o,
+                format!(
+                    "commit {commit_idx} ({tier} tier) found {} calibrations but the \
+                     cold solve failed: {e}",
+                    schedule.num_calibrations()
+                ),
+            ));
+        }
+        (ise_session::Verdict::Infeasible { reason }, Ok(cold)) => {
+            return Err(disc(
+                o,
+                format!(
+                    "commit {commit_idx} ({tier} tier) certified infeasibility ({reason}) \
+                     but the cold solve found {} calibrations",
+                    cold.schedule.num_calibrations()
+                ),
+            ));
+        }
+        (ise_session::Verdict::Infeasible { reason }, Err(e)) => {
+            return Err(disc(
+                o,
+                format!(
+                    "commit {commit_idx} certified infeasibility ({reason}) but the cold \
+                     solve failed differently: {e}"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_session(instance: &Instance, opts: &OracleOptions) -> Result<(), Discrepancy> {
+    let mut session = ise_session::Session::open(instance.clone());
+
+    // Commit 0 is the opened instance itself: the session's cold path must
+    // reproduce the from-scratch verdict bit for bit.
+    verify_session_commit(&mut session, 0)?;
+
+    for (i, batch) in session_delta_log(instance, opts.meta_seed)
+        .iter()
+        .enumerate()
+    {
+        for delta in batch {
+            session.apply(delta).map_err(|e| {
+                disc(
+                    Oracle::Session,
+                    format!(
+                        "derived delta {delta:?} was rejected at commit {}: {e}",
+                        i + 1
+                    ),
+                )
+            })?;
+        }
+        verify_session_commit(&mut session, i + 1)?;
     }
     Ok(())
 }

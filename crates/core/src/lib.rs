@@ -62,6 +62,8 @@ pub use decompose::{components, solve_decomposed};
 pub use error::SchedError;
 pub use improve::{improve, ImproveOptions, ImproveOutcome};
 pub use report::{LpTelemetry, SolveReport};
+pub use short_window::ShortWindowMemo;
 pub use solver::{
-    refine_for_speed, solve, solve_with_speed, MmBackend, SolveOutcome, SolverOptions,
+    refine_for_speed, solve, solve_incremental, solve_with_speed, MmBackend, SolveOutcome,
+    SolveReuse, SolverOptions,
 };

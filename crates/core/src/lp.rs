@@ -293,6 +293,45 @@ pub fn relax_and_solve_warm(
     Ok(sol)
 }
 
+/// Delta-aware convenience for incremental re-solves (`ise::session`): like
+/// [`relax_and_solve_warm`], but taking the whole previous
+/// [`FractionalSolution`] and extracting its optimal basis as the warm
+/// start. Callers hold on to the prior solution across instance edits; a
+/// basis that no longer matches the new LP's structure (the job set or
+/// calibration points changed shape) is silently ignored and the solve
+/// falls back cold.
+pub fn relax_and_solve_delta(
+    jobs: &[Job],
+    calib_len: Dur,
+    machine_budget: usize,
+    opts: &SolveOptions,
+    cancel: &CancelToken,
+    prior: Option<&FractionalSolution>,
+) -> Result<FractionalSolution, SchedError> {
+    relax_and_solve_warm(
+        jobs,
+        calib_len,
+        machine_budget,
+        opts,
+        cancel,
+        prior.and_then(|p| p.basis.as_ref()),
+    )
+}
+
+/// Rough estimate of the simplex iterations a **cold** solve of the LP
+/// behind `sol` would have spent: phase 1 plus phase 2 each cost on the
+/// order of one pivot per structural row of the TISE LP (one window-capacity
+/// and one work-capacity row per point, one assignment row per job, one
+/// coupling row per retained `X_jt` term). Clamped from below by the actual
+/// iteration count so "iterations saved" reported against this estimate is
+/// never negative. Used by the incremental-session telemetry; the bench
+/// suite reports *measured* cold iterations instead.
+pub fn cold_iteration_estimate(sol: &FractionalSolution) -> usize {
+    let x_terms: usize = sol.x.iter().map(Vec::len).sum();
+    let rows = 2 * sol.points.len() + sol.x.len() + x_terms;
+    rows.max(sol.iterations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +457,25 @@ mod tests {
         // Verified like any other solution: objective can only improve with
         // a bigger budget.
         assert!(warm.objective <= cold.objective + 1e-9);
+    }
+
+    #[test]
+    fn delta_resolve_warm_starts_from_prior_solution() {
+        let jobs: Vec<Job> = vec![
+            Job::new(0, 0, 40, 7),
+            Job::new(1, 0, 45, 6),
+            Job::new(2, 5, 50, 7),
+        ];
+        let cancel = CancelToken::new();
+        let cold = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        let warm = relax_and_solve_delta(&jobs, Dur(10), 4, &opts(), &cancel, Some(&cold)).unwrap();
+        assert!(warm.warm_used, "prior basis must carry over an rhs change");
+        // Without a prior solution the wrapper is a plain cold solve.
+        let none = relax_and_solve_delta(&jobs, Dur(10), 4, &opts(), &cancel, None).unwrap();
+        assert!(!none.warm_used);
+        // The cold estimate never under-reports the actual work.
+        assert!(cold_iteration_estimate(&cold) >= cold.iterations);
+        assert!(cold_iteration_estimate(&warm) >= warm.iterations);
     }
 
     #[test]

@@ -20,8 +20,10 @@
 
 use crate::cancel::CancelToken;
 use crate::error::SchedError;
-use ise_mm::{MachineMinimizer, MmSchedule};
+use ise_mm::{MachineMinimizer, MmPlacement, MmSchedule};
 use ise_model::{Dur, Instance, Job, Schedule, Time};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -77,6 +79,157 @@ pub struct ShortWindowOutcome {
     pub intervals: Vec<IntervalReport>,
 }
 
+/// Default bound on retained memo entries; old entries are evicted in
+/// insertion order beyond this.
+const MEMO_CAPACITY: usize = 4096;
+
+/// A memo of per-interval MM results, keyed by interval content, for
+/// delta solving (`ise::session`).
+///
+/// Algorithm 4 partitions short jobs into intervals independently, so when
+/// an instance is edited incrementally only the intervals whose job set
+/// changed need a fresh MM call; the rest replay their cached schedules.
+/// Cache keys hash the MM backend name, the calibration length, the
+/// interval's absolute start, and the interval's job content `(r, d, p)` in
+/// slice order — everything the (deterministic) MM call depends on except
+/// job *ids*, which shift when jobs are added or removed elsewhere.
+/// Placements are therefore stored by position in the interval's job slice
+/// and re-labelled with the current ids on replay, so a hit reproduces the
+/// MM schedule bit-for-bit. Every replayed schedule still passes through
+/// [`ise_mm::validate_mm`] in interval emission.
+#[derive(Debug, Default)]
+pub struct ShortWindowMemo {
+    entries: HashMap<u64, MemoEntry>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    last_hits: usize,
+    last_misses: usize,
+}
+
+/// A cached MM schedule in position-normalized form: `(job position in the
+/// interval's slice, start, machine)`.
+#[derive(Clone, Debug)]
+struct MemoEntry {
+    machines: usize,
+    placements: Vec<(usize, Time, usize)>,
+}
+
+impl ShortWindowMemo {
+    /// An empty memo.
+    pub fn new() -> ShortWindowMemo {
+        ShortWindowMemo::default()
+    }
+
+    /// Number of cached intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every cached interval (structural deltas invalidate everything).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Reset the per-solve hit/miss counters. Called at the start of each
+    /// memoized solve; callers that route a memo through a larger pipeline
+    /// (e.g. [`crate::solve_incremental`]) call it up front so the counters
+    /// read zero even when the short-window half never runs.
+    pub fn begin_solve(&mut self) {
+        self.last_hits = 0;
+        self.last_misses = 0;
+    }
+
+    /// Intervals replayed from the memo by the most recent memoized solve.
+    pub fn last_hits(&self) -> usize {
+        self.last_hits
+    }
+
+    /// Intervals the most recent memoized solve had to recompute — i.e.
+    /// intervals whose job content was not cached (changed or new).
+    pub fn last_misses(&self) -> usize {
+        self.last_misses
+    }
+
+    fn lookup(&mut self, key: u64, jobs: &[Job]) -> Option<MmSchedule> {
+        let entry = self.entries.get(&key)?;
+        self.hits += 1;
+        self.last_hits += 1;
+        Some(MmSchedule {
+            machines: entry.machines,
+            placements: entry
+                .placements
+                .iter()
+                .map(|&(pos, start, machine)| MmPlacement {
+                    job: jobs[pos].id,
+                    machine,
+                    start,
+                })
+                .collect(),
+        })
+    }
+
+    fn insert(&mut self, key: u64, jobs: &[Job], schedule: &MmSchedule) {
+        let by_id: HashMap<_, _> = jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
+        let placements = schedule
+            .placements
+            .iter()
+            .map(|p| (by_id[&p.job], p.start, p.machine))
+            .collect();
+        if self.entries.len() >= MEMO_CAPACITY {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        if self
+            .entries
+            .insert(
+                key,
+                MemoEntry {
+                    machines: schedule.machines,
+                    placements,
+                },
+            )
+            .is_none()
+        {
+            self.order.push_back(key);
+        }
+    }
+}
+
+/// Content hash of one interval's MM input: the backend, the calibration
+/// length, the interval's absolute start, and the nested jobs' windows in
+/// slice order (ids excluded — they shift under instance edits).
+fn interval_key(mm_name: &str, calib_len: Dur, start: Time, jobs: &[Job]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    mm_name.hash(&mut h);
+    calib_len.ticks().hash(&mut h);
+    start.ticks().hash(&mut h);
+    jobs.len().hash(&mut h);
+    for j in jobs {
+        j.release.ticks().hash(&mut h);
+        j.deadline.ticks().hash(&mut h);
+        j.proc.ticks().hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Run Algorithms 4–5 on a short-window instance with the given MM black
 /// box.
 pub fn schedule_short_windows(
@@ -108,6 +261,32 @@ pub fn schedule_short_windows_cancellable(
     policy: CrossingPolicy,
     cancel: &CancelToken,
 ) -> Result<ShortWindowOutcome, SchedError> {
+    schedule_short_windows_inner(instance, mm, policy, cancel, None)
+}
+
+/// Delta-aware entry point: as [`schedule_short_windows_cancellable`], but
+/// per-interval MM results are served from (and recorded into) `memo`.
+/// Intervals whose job content is unchanged since a previous solve replay
+/// without an MM call; [`ShortWindowMemo::last_misses`] reports how many
+/// intervals had to be recomputed.
+pub fn schedule_short_windows_memoized(
+    instance: &Instance,
+    mm: &dyn MachineMinimizer,
+    policy: CrossingPolicy,
+    cancel: &CancelToken,
+    memo: &mut ShortWindowMemo,
+) -> Result<ShortWindowOutcome, SchedError> {
+    memo.begin_solve();
+    schedule_short_windows_inner(instance, mm, policy, cancel, Some(memo))
+}
+
+fn schedule_short_windows_inner(
+    instance: &Instance,
+    mm: &dyn MachineMinimizer,
+    policy: CrossingPolicy,
+    cancel: &CancelToken,
+    mut memo: Option<&mut ShortWindowMemo>,
+) -> Result<ShortWindowOutcome, SchedError> {
     if !instance.all_short() {
         return Err(SchedError::Precondition {
             requirement: "short-window pipeline requires every job window < 2T",
@@ -135,6 +314,7 @@ pub fn schedule_short_windows_cancellable(
         cancel,
         &mut schedule,
         &mut intervals,
+        memo.as_deref_mut(),
     )?;
     let pass2_machines = run_pass(
         1,
@@ -148,6 +328,7 @@ pub fn schedule_short_windows_cancellable(
         cancel,
         &mut schedule,
         &mut intervals,
+        memo,
     )?;
 
     if !remaining.is_empty() {
@@ -183,6 +364,7 @@ fn run_pass(
     cancel: &CancelToken,
     schedule: &mut Schedule,
     intervals: &mut Vec<IntervalReport>,
+    memo: Option<&mut ShortWindowMemo>,
 ) -> Result<usize, SchedError> {
     // Group nested jobs by interval index.
     let partition_span = ise_obs::Span::enter("short.partition");
@@ -202,9 +384,13 @@ fn run_pass(
     }
     *remaining = leftover;
     let groups: Vec<(i64, Vec<Job>)> = by_interval.into_iter().collect();
+    let starts: Vec<Time> = groups
+        .iter()
+        .map(|(k, _)| anchor + interval_len * *k)
+        .collect();
     drop(partition_span);
 
-    let mm_schedules = minimize_groups(&groups, mm, cancel)?;
+    let mm_schedules = minimize_groups(&groups, &starts, instance.calib_len(), mm, cancel, memo)?;
 
     let mut pass_machines = 0usize;
     let width = match policy {
@@ -234,60 +420,97 @@ fn run_pass(
 /// bounded pool of scoped threads (Algorithm 4's per-interval calls are
 /// embarrassingly parallel). Results come back in group order; on multiple
 /// failures the lowest-index group's error is reported, matching what a
-/// sequential run would have surfaced first.
+/// sequential run would have surfaced first. With a memo, cached intervals
+/// replay without an MM call and only the misses fan out.
 fn minimize_groups(
     groups: &[(i64, Vec<Job>)],
+    starts: &[Time],
+    calib_len: Dur,
     mm: &dyn MachineMinimizer,
     cancel: &CancelToken,
+    mut memo: Option<&mut ShortWindowMemo>,
 ) -> Result<Vec<MmSchedule>, SchedError> {
+    // Probe the memo first; `pending` is the miss set that still needs a
+    // real MM call.
+    let mut results: Vec<Option<MmSchedule>> = groups.iter().map(|_| None).collect();
+    let mut pending: Vec<usize> = Vec::new();
+    let mut keys: Vec<u64> = Vec::new();
+    match memo.as_deref_mut() {
+        Some(memo) => {
+            let _span = ise_obs::Span::enter("short.memo");
+            for (i, (_, jobs)) in groups.iter().enumerate() {
+                let key = interval_key(mm.name(), calib_len, starts[i], jobs);
+                keys.push(key);
+                match memo.lookup(key, jobs) {
+                    Some(replayed) => results[i] = Some(replayed),
+                    None => {
+                        memo.misses += 1;
+                        memo.last_misses += 1;
+                        pending.push(i);
+                    }
+                }
+            }
+        }
+        None => pending = (0..groups.len()).collect(),
+    }
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(groups.len());
+        .min(pending.len());
     if threads <= 1 {
-        return groups
-            .iter()
-            .map(|(_, jobs)| {
-                cancel.check()?;
-                let _span = ise_obs::Span::enter("short.mm");
-                mm.minimize(jobs).map_err(SchedError::from)
-            })
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<MmSchedule, SchedError>>>> =
-        groups.iter().map(|_| Mutex::new(None)).collect();
-    let ctx = ise_obs::SpanContext::current();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let (ctx, next, slots) = (&ctx, &next, &slots);
-            s.spawn(move || {
-                let _trace = ctx.install();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= groups.len() {
-                        break;
-                    }
-                    let res = match cancel.check() {
-                        Ok(()) => {
-                            let _span = ise_obs::Span::enter("short.mm");
-                            mm.minimize(&groups[i].1).map_err(SchedError::from)
-                        }
-                        Err(e) => Err(e),
-                    };
-                    *slots[i].lock().unwrap() = Some(res);
-                }
-            });
+        for &i in &pending {
+            cancel.check()?;
+            let _span = ise_obs::Span::enter("short.mm");
+            let solved = mm.minimize(&groups[i].1).map_err(SchedError::from)?;
+            if let Some(memo) = memo.as_deref_mut() {
+                memo.insert(keys[i], &groups[i].1, &solved);
+            }
+            results[i] = Some(solved);
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<MmSchedule, SchedError>>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        let ctx = ise_obs::SpanContext::current();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let (ctx, next, slots, pending) = (&ctx, &next, &slots, &pending);
+                s.spawn(move || {
+                    let _trace = ctx.install();
+                    loop {
+                        let p = next.fetch_add(1, Ordering::Relaxed);
+                        if p >= pending.len() {
+                            break;
+                        }
+                        let res = match cancel.check() {
+                            Ok(()) => {
+                                let _span = ise_obs::Span::enter("short.mm");
+                                mm.minimize(&groups[pending[p]].1).map_err(SchedError::from)
+                            }
+                            Err(e) => Err(e),
+                        };
+                        *slots[p].lock().unwrap() = Some(res);
+                    }
+                });
+            }
+        });
+        for (p, slot) in slots.into_iter().enumerate() {
+            let i = pending[p];
+            let solved = slot
+                .into_inner()
                 .unwrap()
-                .expect("every group slot is filled once the scope joins")
-        })
-        .collect()
+                .expect("every pending slot is filled once the scope joins")?;
+            if let Some(memo) = memo.as_deref_mut() {
+                memo.insert(keys[i], &groups[i].1, &solved);
+            }
+            results[i] = Some(solved);
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every group resolved via memo or MM call"))
+        .collect())
 }
 
 /// Algorithm 5 on one interval `[start, start + 2γT)`, given the interval's
@@ -502,6 +725,74 @@ mod tests {
             .unwrap();
             ise_model::validate_relaxed(&inst, &out.schedule).unwrap();
         }
+    }
+
+    #[test]
+    fn memoized_solve_is_bit_identical_and_replays_unchanged_intervals() {
+        let mm = ExactMm::default();
+        let cancel = CancelToken::default();
+        let inst =
+            Instance::new([(0, 12, 6), (3, 17, 6), (20, 33, 8), (400, 412, 5)], 2, 10).unwrap();
+        let cold = schedule_short_windows(&inst, &mm).unwrap();
+        let mut memo = ShortWindowMemo::new();
+        let first = schedule_short_windows_memoized(
+            &inst,
+            &mm,
+            CrossingPolicy::ExtraMachines,
+            &cancel,
+            &mut memo,
+        )
+        .unwrap();
+        assert_eq!(first.schedule, cold.schedule);
+        assert_eq!(memo.last_hits(), 0);
+        assert_eq!(memo.last_misses(), cold.intervals.len());
+        // Unchanged instance: every interval replays from the memo.
+        let second = schedule_short_windows_memoized(
+            &inst,
+            &mm,
+            CrossingPolicy::ExtraMachines,
+            &cancel,
+            &mut memo,
+        )
+        .unwrap();
+        assert_eq!(second.schedule, cold.schedule);
+        assert_eq!(second.pass1_machines, cold.pass1_machines);
+        assert_eq!(memo.last_hits(), cold.intervals.len());
+        assert_eq!(memo.last_misses(), 0);
+        validate(&inst, &second.schedule).unwrap();
+    }
+
+    #[test]
+    fn memo_invalidates_only_the_changed_interval() {
+        let mm = ExactMm::default();
+        let cancel = CancelToken::default();
+        // Two far-apart intervals; a third job lands in the second one.
+        let before = Instance::new([(0, 12, 6), (400, 412, 5)], 2, 10).unwrap();
+        let after = Instance::new([(0, 12, 6), (400, 412, 5), (403, 415, 4)], 2, 10).unwrap();
+        let mut memo = ShortWindowMemo::new();
+        schedule_short_windows_memoized(
+            &before,
+            &mm,
+            CrossingPolicy::ExtraMachines,
+            &cancel,
+            &mut memo,
+        )
+        .unwrap();
+        let out = schedule_short_windows_memoized(
+            &after,
+            &mm,
+            CrossingPolicy::ExtraMachines,
+            &cancel,
+            &mut memo,
+        )
+        .unwrap();
+        // Interval around t=0 is untouched (hit); the one around t=400
+        // gained a job (miss). Ids shifted are irrelevant to the memo key.
+        assert_eq!(memo.last_hits(), 1);
+        assert_eq!(memo.last_misses(), 1);
+        let scratch = schedule_short_windows(&after, &mm).unwrap();
+        assert_eq!(out.schedule, scratch.schedule);
+        validate(&after, &out.schedule).unwrap();
     }
 
     #[test]

@@ -9,11 +9,15 @@
 use crate::cancel::CancelToken;
 use crate::error::SchedError;
 use crate::long_window::{schedule_long_windows, LongWindowOptions, LongWindowOutcome};
-use crate::short_window::{schedule_short_windows_cancellable, CrossingPolicy, ShortWindowOutcome};
+use crate::short_window::{
+    schedule_short_windows_cancellable, schedule_short_windows_memoized, CrossingPolicy,
+    ShortWindowMemo, ShortWindowOutcome,
+};
 use ise_mm::{
     ExactMm, GreedyMm, LpRoundMm, MachineMinimizer, MmError, MmSchedule, Portfolio, UnitMm,
 };
 use ise_model::{Instance, Schedule};
+use ise_simplex::Basis;
 
 /// Choice of machine-minimization black box for the short-window pipeline.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -101,33 +105,32 @@ pub struct SolveOutcome {
     pub short_jobs: usize,
 }
 
-/// Dispatch the short-window pipeline for the configured MM backend.
+/// The MM black box instance behind each [`MmBackend`] choice.
+fn mm_black_box(backend: MmBackend) -> Box<dyn MachineMinimizer> {
+    match backend {
+        MmBackend::Auto => Box::new(AutoMm {
+            exact: ExactMm::default(),
+        }),
+        MmBackend::Exact => Box::new(ExactMm::default()),
+        MmBackend::Greedy => Box::new(GreedyMm),
+        MmBackend::Unit => Box::new(UnitMm),
+        MmBackend::LpRound => Box::new(LpRoundMm::default()),
+        MmBackend::Portfolio => Box::new(Portfolio::standard()),
+    }
+}
+
+/// Dispatch the short-window pipeline for the configured MM backend,
+/// optionally routing per-interval MM calls through a memo.
 fn run_short_pipeline(
     sub: &Instance,
     opts: &SolverOptions,
+    memo: Option<&mut ShortWindowMemo>,
 ) -> Result<ShortWindowOutcome, SchedError> {
     let policy = CrossingPolicy::ExtraMachines;
-    let cancel = &opts.cancel;
-    match opts.mm {
-        MmBackend::Auto => schedule_short_windows_cancellable(
-            sub,
-            &AutoMm {
-                exact: ExactMm::default(),
-            },
-            policy,
-            cancel,
-        ),
-        MmBackend::Exact => {
-            schedule_short_windows_cancellable(sub, &ExactMm::default(), policy, cancel)
-        }
-        MmBackend::Greedy => schedule_short_windows_cancellable(sub, &GreedyMm, policy, cancel),
-        MmBackend::Unit => schedule_short_windows_cancellable(sub, &UnitMm, policy, cancel),
-        MmBackend::LpRound => {
-            schedule_short_windows_cancellable(sub, &LpRoundMm::default(), policy, cancel)
-        }
-        MmBackend::Portfolio => {
-            schedule_short_windows_cancellable(sub, &Portfolio::standard(), policy, cancel)
-        }
+    let mm = mm_black_box(opts.mm);
+    match memo {
+        Some(memo) => schedule_short_windows_memoized(sub, mm.as_ref(), policy, &opts.cancel, memo),
+        None => schedule_short_windows_cancellable(sub, mm.as_ref(), policy, &opts.cancel),
     }
 }
 
@@ -157,6 +160,63 @@ impl MachineMinimizer for AutoMm {
 /// black box) or an error: [`SchedError::Infeasible`] carries a certificate
 /// that no schedule exists on the instance's stated machine count.
 pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, SchedError> {
+    solve_inner(instance, opts, None)
+}
+
+/// Cross-solve state reused by the incremental (delta-solving) entry point
+/// [`solve_incremental`] — the optimal LP basis of the previous long-window
+/// solve plus the per-interval MM memo of the short-window pipeline. Owned
+/// by an `ise::session::Session`; a fresh default value makes
+/// [`solve_incremental`] behave exactly like a cold [`solve`].
+#[derive(Debug, Default)]
+pub struct SolveReuse {
+    /// Warm-start basis for the long-window LP (fed through
+    /// [`LongWindowOptions::warm_basis`]; an incompatible basis is silently
+    /// ignored by the simplex).
+    pub warm_basis: Option<Basis>,
+    /// Per-interval MM memo for the short-window pipeline.
+    pub memo: ShortWindowMemo,
+}
+
+impl SolveReuse {
+    /// Empty reuse state (first solve of a session, or after a structural
+    /// delta invalidated everything).
+    pub fn new() -> SolveReuse {
+        SolveReuse::default()
+    }
+}
+
+/// Delta-aware entry point: as [`solve`], but the long-window LP is
+/// warm-started from `reuse.warm_basis` and short-window intervals replay
+/// from `reuse.memo` when their job content is unchanged. On success the
+/// reuse state is updated in place (new optimal basis, refreshed memo) so
+/// consecutive calls keep exploiting each other's work.
+pub fn solve_incremental(
+    instance: &Instance,
+    opts: &SolverOptions,
+    reuse: &mut SolveReuse,
+) -> Result<SolveOutcome, SchedError> {
+    let mut warm_opts = opts.clone();
+    warm_opts.long.warm_basis = reuse.warm_basis.clone();
+    // Reset the per-solve memo counters here: the short-window half may not
+    // run at all (no short jobs), and its stats must not carry over.
+    reuse.memo.begin_solve();
+    let outcome = solve_inner(instance, &warm_opts, Some(&mut reuse.memo))?;
+    if let Some(basis) = outcome
+        .long
+        .as_ref()
+        .and_then(|l| l.fractional.basis.clone())
+    {
+        reuse.warm_basis = Some(basis);
+    }
+    Ok(outcome)
+}
+
+fn solve_inner(
+    instance: &Instance,
+    opts: &SolverOptions,
+    memo: Option<&mut ShortWindowMemo>,
+) -> Result<SolveOutcome, SchedError> {
     let _solve_span = ise_obs::Span::enter("solve");
     opts.cancel.check()?;
     let (long_jobs, short_jobs) = {
@@ -192,7 +252,7 @@ pub fn solve(instance: &Instance, opts: &SolverOptions) -> Result<SolveOutcome, 
             None => Ok(None),
             Some(sub) => {
                 let _span = ise_obs::Span::enter("solve.short");
-                run_short_pipeline(sub, opts).map(Some)
+                run_short_pipeline(sub, opts, memo).map(Some)
             }
         };
         let long_res = match long_handle {

@@ -72,18 +72,22 @@ impl<V> Shard<V> {
         Some(Arc::clone(&entry.value))
     }
 
-    fn insert(&mut self, key: u64, value: Arc<V>, capacity: usize) {
+    /// Returns the number of entries evicted to stay within `capacity`.
+    fn insert(&mut self, key: u64, value: Arc<V>, capacity: usize) -> u64 {
         self.tick += 1;
         let tick = self.tick;
         if let Some(old) = self.map.insert(key, Entry { value, tick }) {
             self.by_tick.remove(&old.tick);
         }
         self.by_tick.insert(tick, key);
+        let mut evicted = 0;
         while self.map.len() > capacity {
             let (&oldest, &victim) = self.by_tick.iter().next().expect("nonempty over capacity");
             self.by_tick.remove(&oldest);
             self.map.remove(&victim);
+            evicted += 1;
         }
+        evicted
     }
 }
 
@@ -91,6 +95,7 @@ impl<V> Shard<V> {
 pub struct ShardedLru<V> {
     shards: Vec<Mutex<Shard<V>>>,
     per_shard_capacity: usize,
+    evictions: std::sync::atomic::AtomicU64,
 }
 
 impl<V> ShardedLru<V> {
@@ -110,6 +115,7 @@ impl<V> ShardedLru<V> {
                 })
                 .collect(),
             per_shard_capacity,
+            evictions: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -143,7 +149,18 @@ impl<V> ShardedLru<V> {
     /// Insert (or refresh) a value, evicting least-recently-used entries
     /// from the shard if it overflows.
     pub fn insert(&self, key: u64, value: Arc<V>) {
-        Self::shard_guard(self.shard(key)).insert(key, value, self.per_shard_capacity);
+        let evicted =
+            Self::shard_guard(self.shard(key)).insert(key, value, self.per_shard_capacity);
+        if evicted > 0 {
+            self.evictions
+                .fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Total LRU evictions since construction (capacity overflows only;
+    /// poison-recovery drops are not counted).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Total entries across shards (racy; for metrics only).
@@ -192,6 +209,19 @@ mod tests {
         c.insert(1, Arc::new(9));
         assert_eq!(*c.get(1).unwrap(), 9);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_counter_tracks_capacity_overflow() {
+        let c: ShardedLru<u32> = ShardedLru::new(2, 1);
+        c.insert(1, Arc::new(1));
+        c.insert(2, Arc::new(2));
+        assert_eq!(c.evictions(), 0);
+        c.insert(3, Arc::new(3));
+        assert_eq!(c.evictions(), 1);
+        // Refreshing an existing key evicts nothing.
+        c.insert(3, Arc::new(30));
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

@@ -15,8 +15,10 @@ use ise_model::{Instance, Schedule};
 use ise_obs::PhaseTimings;
 use ise_sched::cancel::CancelToken;
 use ise_sched::{solve_with_speed, LpTelemetry, MmBackend, SchedError, SolverOptions};
+use ise_session::{DeltaMsg, Session, SessionError, SessionTelemetry, Verdict};
 use ise_simplex::Basis;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,8 +78,9 @@ pub struct EngineRequest {
     /// Caller-chosen correlation id, echoed in the response. Defaults to
     /// the request's position when omitted in a JSONL stream.
     pub id: Option<u64>,
-    /// The instance to solve.
-    pub instance: Instance,
+    /// The instance to solve. Required for plain solve requests and for
+    /// the `open` session command; other session commands omit it.
+    pub instance: Option<Instance>,
     /// Per-request deadline in milliseconds; overrides the engine default.
     pub timeout_ms: Option<u64>,
     /// MM backend name (`auto`, `exact`, `greedy`, `unit`, `lp-round`,
@@ -87,6 +90,10 @@ pub struct EngineRequest {
     pub trim: Option<bool>,
     /// Speed augmentation factor (`>= 1`); default 1.
     pub speed: Option<i64>,
+    /// Session command (`open`/`delta`/`solve`/`close`); a request that
+    /// carries one is routed to the session registry instead of the
+    /// worker pool.
+    pub session: Option<SessionCmd>,
 }
 
 impl EngineRequest {
@@ -94,13 +101,47 @@ impl EngineRequest {
     pub fn new(instance: Instance) -> EngineRequest {
         EngineRequest {
             id: None,
-            instance,
+            instance: Some(instance),
             timeout_ms: None,
             mm: None,
             trim: None,
             speed: None,
+            session: None,
         }
     }
+}
+
+/// One session command, as carried on the wire: `{"session": {"op":
+/// "open"}, "instance": {...}}` opens a session (the response carries the
+/// assigned `sid`); `{"session": {"op": "delta", "sid": N, "delta":
+/// {...}}}` stages a typed delta; `{"session": {"op": "solve", "sid": N}}`
+/// commits the staged deltas and solves incrementally; `{"session": {"op":
+/// "close", "sid": N}}` discards the session.
+#[derive(Clone, Debug, Default, Deserialize)]
+pub struct SessionCmd {
+    /// `open`, `delta`, `solve`, or `close`.
+    pub op: String,
+    /// Target session id (from the `open` response); required for every op
+    /// but `open`.
+    pub sid: Option<u64>,
+    /// The delta to stage, for the `delta` op (see
+    /// [`ise_session::DeltaMsg`] for the format).
+    pub delta: Option<DeltaMsg>,
+}
+
+/// Session state echoed in session-command responses.
+#[derive(Clone, Debug, Serialize)]
+pub struct SessionInfo {
+    /// The session id ([`SESSION_ID_BASE`]-namespaced).
+    pub sid: u64,
+    /// The command this response answers.
+    pub op: String,
+    /// Staged (uncommitted) deltas after the command.
+    pub staged: u64,
+    /// Commits performed so far.
+    pub commits: u64,
+    /// Per-commit reuse telemetry (`solve` responses only).
+    pub telemetry: Option<SessionTelemetry>,
 }
 
 /// Response status values (`status` field of [`EngineResponse`]).
@@ -112,7 +153,18 @@ pub mod status {
     /// No schedule: solver error, timeout with fallback disabled, or
     /// rejected submit.
     pub const ERROR: &str = "error";
+    /// Session `solve` only: the materialized instance is certifiably
+    /// infeasible. The commit still advanced the session.
+    pub const INFEASIBLE: &str = "infeasible";
 }
+
+/// First session id the engine assigns (`2^62`). Session ids live in
+/// `[2^62, 2^63)` — disjoint from both explicit request ids (`< 2^63` but
+/// chosen by callers, who should stay below this too only if they want to
+/// avoid confusion; the engine never collides sids with request ids
+/// because sids are a separate field) and the serve fallback-id range
+/// (`>= 2^63`).
+pub const SESSION_ID_BASE: u64 = 1 << 62;
 
 /// One solve response, as written to the JSONL output.
 #[derive(Clone, Debug, Serialize)]
@@ -141,6 +193,8 @@ pub struct EngineResponse {
     /// Per-phase wall-time breakdown (queue wait, cache probe, solver
     /// phases), when [`EngineConfig::trace_phases`] is on.
     pub phases: Option<PhaseTimings>,
+    /// Session state, for responses to session commands.
+    pub session: Option<SessionInfo>,
 }
 
 /// Why [`Engine::submit`] refused a request.
@@ -230,6 +284,11 @@ pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     next_id: std::sync::atomic::AtomicU64,
+    /// Open incremental sessions, keyed by sid. Session commands run on
+    /// the caller's thread (they are ordered stream state, not pooled
+    /// work), serialized by this lock.
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_session: std::sync::atomic::AtomicU64,
 }
 
 impl Engine {
@@ -255,6 +314,8 @@ impl Engine {
             shared,
             workers,
             next_id: std::sync::atomic::AtomicU64::new(0),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -289,9 +350,174 @@ impl Engine {
         }
     }
 
-    /// Live metrics counters.
+    /// Live metrics counters, with the gauge fields (`cache_evictions`,
+    /// `basis_cache_entries`, `sessions_open`) read from live engine
+    /// state.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snap = self.shared.metrics.snapshot();
+        snap.cache_evictions = self.shared.cache.evictions() + self.shared.bases.evictions();
+        snap.basis_cache_entries = self.shared.bases.len() as u64;
+        snap.sessions_open = self.lock_sessions().len() as u64;
+        snap
+    }
+
+    /// Lock the session registry, recovering from poisoning. Sessions are
+    /// transactional (a failed or panicking commit rolls back), so a
+    /// poisoned lock does not imply corrupt sessions — recovery just
+    /// clears the flag and keeps them.
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Session>> {
+        match self.sessions.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.sessions.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Execute a session command (`open`/`delta`/`solve`/`close`) on the
+    /// calling thread. Session state is ordered — a delta must precede the
+    /// solve that should see it — so these commands bypass the worker pool
+    /// and run synchronously.
+    pub fn session_command(&self, id: u64, request: &EngineRequest) -> EngineResponse {
+        let error = |message: String, session: Option<SessionInfo>| {
+            EngineMetrics::inc(&self.shared.metrics.errors);
+            let mut r = session_response(id, status::ERROR, session);
+            r.error = Some(message);
+            r
+        };
+        let Some(cmd) = &request.session else {
+            return error("not a session request".to_string(), None);
+        };
+        let info = |sid: u64, session: &Session| SessionInfo {
+            sid,
+            op: cmd.op.clone(),
+            staged: session.staged() as u64,
+            commits: session.commits() as u64,
+            telemetry: None,
+        };
+        match cmd.op.as_str() {
+            "open" => {
+                let Some(instance) = &request.instance else {
+                    return error("session open requires `instance`".to_string(), None);
+                };
+                if request.speed.is_some_and(|s| s != 1) {
+                    return error(
+                        "sessions solve at speed 1; `speed` is not supported".to_string(),
+                        None,
+                    );
+                }
+                let mm = match parse_backend(request.mm.as_deref().unwrap_or("auto")) {
+                    Ok(mm) => mm,
+                    Err(message) => return error(message, None),
+                };
+                let opts = SolverOptions {
+                    mm,
+                    trim_empty_calibrations: request.trim.unwrap_or(false),
+                    ..SolverOptions::default()
+                };
+                let sid = SESSION_ID_BASE
+                    + self
+                        .next_session
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let session = Session::with_options(instance.clone(), opts);
+                let i = info(sid, &session);
+                self.lock_sessions().insert(sid, session);
+                session_response(id, status::OK, Some(i))
+            }
+            "delta" => {
+                let Some(sid) = cmd.sid else {
+                    return error("session delta requires `sid`".to_string(), None);
+                };
+                let Some(msg) = &cmd.delta else {
+                    return error("session delta requires `delta`".to_string(), None);
+                };
+                let delta = match msg.decode() {
+                    Ok(d) => d,
+                    Err(e) => return error(e.to_string(), None),
+                };
+                let mut sessions = self.lock_sessions();
+                let Some(session) = sessions.get_mut(&sid) else {
+                    return error(format!("unknown session id {sid}"), None);
+                };
+                match session.apply(&delta) {
+                    Ok(()) => {
+                        let i = info(sid, session);
+                        session_response(id, status::OK, Some(i))
+                    }
+                    Err(e) => {
+                        let i = info(sid, session);
+                        error(e.to_string(), Some(i))
+                    }
+                }
+            }
+            "solve" => {
+                let Some(sid) = cmd.sid else {
+                    return error("session solve requires `sid`".to_string(), None);
+                };
+                let mut sessions = self.lock_sessions();
+                let Some(session) = sessions.get_mut(&sid) else {
+                    return error(format!("unknown session id {sid}"), None);
+                };
+                match session.commit() {
+                    Ok(commit) => {
+                        let tier_counter = match commit.telemetry.tier {
+                            ise_session::ReuseTier::Basis => {
+                                &self.shared.metrics.session_reuse_basis
+                            }
+                            ise_session::ReuseTier::Warm => &self.shared.metrics.session_reuse_warm,
+                            ise_session::ReuseTier::Cold => &self.shared.metrics.session_reuse_cold,
+                        };
+                        EngineMetrics::inc(tier_counter);
+                        self.shared
+                            .metrics
+                            .solve_time
+                            .record(Duration::from_micros(commit.telemetry.solve_us));
+                        let mut i = info(sid, session);
+                        let solve_us = commit.telemetry.solve_us;
+                        i.telemetry = Some(commit.telemetry);
+                        let mut r = match commit.verdict {
+                            Verdict::Feasible { report, schedule } => {
+                                let mut r = session_response(id, status::OK, Some(i));
+                                r.calibrations = Some(report.stats.calibrations as u64);
+                                r.lp = report.lp;
+                                r.schedule = Some(schedule);
+                                r
+                            }
+                            Verdict::Infeasible { reason } => {
+                                let mut r = session_response(id, status::INFEASIBLE, Some(i));
+                                r.error = Some(reason);
+                                r
+                            }
+                        };
+                        r.solve_us = solve_us;
+                        r
+                    }
+                    Err(e @ SessionError::InvalidDelta(_))
+                    | Err(e @ SessionError::Solve(_))
+                    | Err(e @ SessionError::SolvePanicked) => {
+                        let i = info(sid, session);
+                        error(e.to_string(), Some(i))
+                    }
+                }
+            }
+            "close" => {
+                let Some(sid) = cmd.sid else {
+                    return error("session close requires `sid`".to_string(), None);
+                };
+                match self.lock_sessions().remove(&sid) {
+                    Some(session) => {
+                        let i = info(sid, &session);
+                        session_response(id, status::OK, Some(i))
+                    }
+                    None => error(format!("unknown session id {sid}"), None),
+                }
+            }
+            other => error(
+                format!("unknown session op `{other}` (expected open, delta, solve, or close)"),
+                None,
+            ),
+        }
     }
 
     /// Record time spent serializing a response on behalf of the caller
@@ -350,6 +576,24 @@ fn parse_backend(name: &str) -> Result<MmBackend, String> {
         .map_err(|()| format!("unknown mm backend {name:?}"))
 }
 
+/// Skeleton response for session commands; callers fill in the
+/// command-specific fields.
+fn session_response(id: u64, status: &str, session: Option<SessionInfo>) -> EngineResponse {
+    EngineResponse {
+        id,
+        status: status.to_string(),
+        cached: false,
+        timed_out: false,
+        calibrations: None,
+        schedule: None,
+        error: None,
+        solve_us: 0,
+        lp: None,
+        phases: None,
+        session,
+    }
+}
+
 fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineResponse {
     let error = |message: String, timed_out: bool| {
         EngineMetrics::inc(&shared.metrics.errors);
@@ -364,9 +608,13 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
             solve_us: 0,
             lp: None,
             phases: None,
+            session: None,
         }
     };
 
+    let Some(instance) = &request.instance else {
+        return error("request has no `instance`".to_string(), false);
+    };
     let mm = match parse_backend(request.mm.as_deref().unwrap_or("auto")) {
         Ok(mm) => mm,
         Err(message) => return error(message, false),
@@ -381,7 +629,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
     // into the key — the timeout does not, so a request that previously
     // completed without a deadline can satisfy a tightly-budgeted
     // duplicate.
-    let key = cache_key(&request.instance, &(mm, trim, speed));
+    let key = cache_key(instance, &(mm, trim, speed));
     let probe_span = ise_obs::Span::enter("engine.cache_probe");
     let probed = shared.cache.get(key);
     drop(probe_span);
@@ -398,6 +646,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
             solve_us: 0,
             lp: hit.lp,
             phases: None,
+            session: None,
         };
     }
     EngineMetrics::inc(&shared.metrics.cache_misses);
@@ -407,7 +656,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
     // behind; reusing it lets the long-window LP skip phase 1. An
     // incompatible basis is ignored by the solver, so a stale hit only
     // costs one refactorization attempt.
-    let bkey = basis_key(&request.instance, speed);
+    let bkey = basis_key(instance, speed);
     let warm_basis = shared.bases.get(bkey);
     if warm_basis.is_some() {
         EngineMetrics::inc(&shared.metrics.basis_hits);
@@ -433,7 +682,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
 
     let started = Instant::now();
     let solve_span = ise_obs::Span::enter("engine.solve");
-    let result = solve_with_speed(&request.instance, &opts, speed);
+    let result = solve_with_speed(instance, &opts, speed);
     drop(solve_span);
     // The token is polled at phase boundaries, so a solve can also finish
     // *after* its deadline; treat that as a timeout too for predictable
@@ -473,13 +722,14 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
                 solve_us,
                 lp,
                 phases: None,
+                session: None,
             }
         }
         Ok(_) | Err(SchedError::Cancelled) => {
             EngineMetrics::inc(&shared.metrics.timeouts);
             if shared.config.fallback_on_timeout {
                 EngineMetrics::inc(&shared.metrics.fallbacks);
-                let schedule = greedy_fallback_trimmed(&request.instance, trim);
+                let schedule = greedy_fallback_trimmed(instance, trim);
                 EngineResponse {
                     id,
                     status: status::FALLBACK.to_string(),
@@ -491,6 +741,7 @@ fn handle_request(shared: &Shared, id: u64, request: &EngineRequest) -> EngineRe
                     solve_us,
                     lp: None,
                     phases: None,
+                    session: None,
                 }
             } else {
                 let mut r = error("solve timed out".to_string(), true);
@@ -614,6 +865,143 @@ mod tests {
             .wait();
         assert_eq!(resp.status, status::OK);
         assert!(resp.phases.is_none());
+    }
+
+    #[test]
+    fn session_lifecycle_tiers_and_metrics() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        // Mixed instance: long jobs feed the LP, short jobs feed the memo.
+        let inst = Instance::new([(0, 40, 7), (5, 50, 6), (0, 12, 6)], 1, 10).unwrap();
+        let mut open_req = EngineRequest::new(inst);
+        open_req.session = Some(SessionCmd {
+            op: "open".to_string(),
+            ..SessionCmd::default()
+        });
+        let opened = engine.session_command(1, &open_req);
+        assert_eq!(opened.status, status::OK);
+        let sid = opened.session.as_ref().unwrap().sid;
+        assert!(sid >= SESSION_ID_BASE, "sid {sid} must be namespaced");
+        assert_eq!(engine.metrics().sessions_open, 1);
+
+        let cmd = |op: &str, delta: Option<DeltaMsg>| EngineRequest {
+            id: Some(2),
+            instance: None,
+            timeout_ms: None,
+            mm: None,
+            trim: None,
+            speed: None,
+            session: Some(SessionCmd {
+                op: op.to_string(),
+                sid: Some(sid),
+                delta,
+            }),
+        };
+
+        // First solve is cold.
+        let cold = engine.session_command(2, &cmd("solve", None));
+        assert_eq!(cold.status, status::OK);
+        assert!(cold.schedule.is_some());
+        let t = cold.session.as_ref().unwrap().telemetry.as_ref().unwrap();
+        assert_eq!(t.tier, ise_session::ReuseTier::Cold);
+
+        // Machine-budget delta solves at the basis tier with a warm LP.
+        let machines = DeltaMsg {
+            op: "set_machines".to_string(),
+            machines: Some(2),
+            ..DeltaMsg::default()
+        };
+        let staged = engine.session_command(2, &cmd("delta", Some(machines)));
+        assert_eq!(staged.status, status::OK);
+        assert_eq!(staged.session.as_ref().unwrap().staged, 1);
+        let basis = engine.session_command(2, &cmd("solve", None));
+        assert_eq!(basis.status, status::OK);
+        let t = basis.session.as_ref().unwrap().telemetry.as_ref().unwrap();
+        assert_eq!(t.tier, ise_session::ReuseTier::Basis);
+        assert!(t.warm_started, "budget-only delta must skip LP phase 1");
+
+        // Job delta solves at the warm tier.
+        let add = DeltaMsg {
+            op: "add_jobs".to_string(),
+            jobs: Some(vec![(10, 60, 9)]),
+            ..DeltaMsg::default()
+        };
+        engine.session_command(2, &cmd("delta", Some(add)));
+        let warm = engine.session_command(2, &cmd("solve", None));
+        let t = warm.session.as_ref().unwrap().telemetry.as_ref().unwrap();
+        assert_eq!(t.tier, ise_session::ReuseTier::Warm);
+        assert!(t.memo_hits >= 1, "unchanged short interval must replay");
+
+        let closed = engine.session_command(2, &cmd("close", None));
+        assert_eq!(closed.status, status::OK);
+        let m = engine.metrics();
+        assert_eq!(m.sessions_open, 0);
+        assert_eq!(m.session_reuse_cold, 1);
+        assert_eq!(m.session_reuse_basis, 1);
+        assert_eq!(m.session_reuse_warm, 1);
+    }
+
+    #[test]
+    fn session_errors_are_responses() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let mut req = EngineRequest {
+            id: Some(1),
+            instance: None,
+            timeout_ms: None,
+            mm: None,
+            trim: None,
+            speed: None,
+            session: Some(SessionCmd {
+                op: "solve".to_string(),
+                sid: Some(SESSION_ID_BASE + 99),
+                delta: None,
+            }),
+        };
+        let resp = engine.session_command(1, &req);
+        assert_eq!(resp.status, status::ERROR);
+        assert!(resp.error.unwrap().contains("unknown session id"));
+
+        // Open without an instance is an error.
+        req.session = Some(SessionCmd {
+            op: "open".to_string(),
+            ..SessionCmd::default()
+        });
+        let resp = engine.session_command(1, &req);
+        assert_eq!(resp.status, status::ERROR);
+        assert!(resp.error.unwrap().contains("requires `instance`"));
+
+        // Unknown op is an error.
+        req.instance = Some(tiny_instance(4));
+        req.session = Some(SessionCmd {
+            op: "warp".to_string(),
+            ..SessionCmd::default()
+        });
+        let resp = engine.session_command(1, &req);
+        assert_eq!(resp.status, status::ERROR);
+        assert!(resp.error.unwrap().contains("unknown session op"));
+        assert_eq!(engine.metrics().errors, 3);
+    }
+
+    #[test]
+    fn missing_instance_on_plain_request_is_an_error() {
+        let engine = Engine::new(EngineConfig::default());
+        let req = EngineRequest {
+            id: Some(7),
+            instance: None,
+            timeout_ms: None,
+            mm: None,
+            trim: None,
+            speed: None,
+            session: None,
+        };
+        let resp = engine.submit(req).unwrap().wait();
+        assert_eq!(resp.status, status::ERROR);
+        assert!(resp.error.unwrap().contains("no `instance`"));
     }
 
     #[test]

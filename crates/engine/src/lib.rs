@@ -18,7 +18,9 @@
 //! * [`metrics`] — atomic counters plus log₂ latency histograms,
 //!   serializable to JSON.
 //! * [`fallback`] — the infallible greedy schedule used on timeout.
-//! * [`engine`] — the worker pool tying the above together.
+//! * [`engine`] — the worker pool tying the above together, plus the
+//!   incremental-session registry (`open`/`delta`/`solve`/`close`
+//!   commands over [`ise_session::Session`]).
 //! * [`serve`] — JSONL request/response streaming.
 
 pub mod cache;
@@ -31,7 +33,7 @@ pub mod serve;
 pub use cache::{basis_key, cache_key, ShardedLru};
 pub use engine::{
     status, Backpressure, Engine, EngineConfig, EngineRequest, EngineResponse, ResponseSlot,
-    SubmitError,
+    SessionCmd, SessionInfo, SubmitError, SESSION_ID_BASE,
 };
 pub use fallback::greedy_fallback;
 pub use metrics::{prometheus_text, EngineMetrics, MetricsSnapshot};

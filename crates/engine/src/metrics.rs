@@ -119,6 +119,15 @@ pub struct EngineMetrics {
     pub fallbacks: AtomicU64,
     /// Solves that ended in an error response.
     pub errors: AtomicU64,
+    /// Session commits that reused a cached optimal basis (machine-budget
+    /// deltas only; LP phase 1 skipped).
+    pub session_reuse_basis: AtomicU64,
+    /// Session commits that warm-started the LP after job add/remove
+    /// deltas, replaying unchanged short intervals from the memo.
+    pub session_reuse_warm: AtomicU64,
+    /// Session commits that recomputed everything (first commit or
+    /// structural deltas).
+    pub session_reuse_cold: AtomicU64,
     /// Time requests spent queued before a worker picked them up.
     pub queue_wait: LatencyHistogram,
     /// Time spent in the solver (cache misses only).
@@ -146,6 +155,12 @@ impl EngineMetrics {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            session_reuse_basis: self.session_reuse_basis.load(Ordering::Relaxed),
+            session_reuse_warm: self.session_reuse_warm.load(Ordering::Relaxed),
+            session_reuse_cold: self.session_reuse_cold.load(Ordering::Relaxed),
+            cache_evictions: 0,
+            basis_cache_entries: 0,
+            sessions_open: 0,
             queue_wait: self.queue_wait.snapshot(),
             solve_time: self.solve_time.snapshot(),
             serialize_time: self.serialize_time.snapshot(),
@@ -176,6 +191,22 @@ pub struct MetricsSnapshot {
     pub fallbacks: u64,
     /// Error responses.
     pub errors: u64,
+    /// Session commits at the basis reuse tier.
+    pub session_reuse_basis: u64,
+    /// Session commits at the warm reuse tier.
+    pub session_reuse_warm: u64,
+    /// Session commits at the cold reuse tier.
+    pub session_reuse_cold: u64,
+    /// Result- and basis-cache entries evicted by LRU capacity pressure
+    /// (gauge; filled in by `Engine::metrics`, 0 from a bare
+    /// `EngineMetrics::snapshot`).
+    pub cache_evictions: u64,
+    /// Live warm-start bases held by the basis cache (gauge; filled in by
+    /// `Engine::metrics`).
+    pub basis_cache_entries: u64,
+    /// Currently open incremental sessions (gauge; filled in by
+    /// `Engine::metrics`).
+    pub sessions_open: u64,
     /// Queue-wait latency histogram.
     pub queue_wait: HistogramSnapshot,
     /// Solver latency histogram.
@@ -237,6 +268,41 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     for (name, help, value) in counters {
         out.push_str(&format!(
             "# HELP ise_{name}_total {help}\n# TYPE ise_{name}_total counter\nise_{name}_total {value}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP ise_session_reuse_total Session commits by reuse tier\n\
+         # TYPE ise_session_reuse_total counter\n",
+    );
+    for (tier, value) in [
+        ("basis", snap.session_reuse_basis),
+        ("warm", snap.session_reuse_warm),
+        ("cold", snap.session_reuse_cold),
+    ] {
+        out.push_str(&format!(
+            "ise_session_reuse_total{{tier=\"{tier}\"}} {value}\n"
+        ));
+    }
+    let gauges: [(&str, &str, u64); 3] = [
+        (
+            "cache_evictions",
+            "Cache entries evicted by LRU capacity pressure",
+            snap.cache_evictions,
+        ),
+        (
+            "basis_cache_entries",
+            "Live warm-start bases in the basis cache",
+            snap.basis_cache_entries,
+        ),
+        (
+            "sessions_open",
+            "Currently open incremental sessions",
+            snap.sessions_open,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        out.push_str(&format!(
+            "# HELP ise_{name} {help}\n# TYPE ise_{name} gauge\nise_{name} {value}\n"
         ));
     }
     let histograms: [(&str, &str, &HistogramSnapshot); 3] = [
@@ -377,6 +443,20 @@ mod tests {
         );
         assert!(text.contains("ise_solve_time_us_sum 900"), "{text}");
         assert!(text.contains("ise_serialize_time_us_count 1"), "{text}");
+        assert!(
+            text.contains("# TYPE ise_session_reuse_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ise_session_reuse_total{tier=\"cold\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE ise_sessions_open gauge"), "{text}");
+        assert!(text.contains("# TYPE ise_cache_evictions gauge"), "{text}");
+        assert!(
+            text.contains("# TYPE ise_basis_cache_entries gauge"),
+            "{text}"
+        );
         // Bucket series must be cumulative: the +Inf bucket equals _count.
         let inf: Vec<&str> = text.lines().filter(|l| l.contains("le=\"+Inf\"")).collect();
         assert_eq!(inf.len(), 3, "{text}");

@@ -9,6 +9,17 @@
 //! instead of aborting the stream, so one bad record cannot poison a
 //! batch. Blank lines are skipped.
 //!
+//! # Sessions
+//!
+//! A request carrying a `session` command (`{"session": {"op": "open"},
+//! "instance": {...}}`, then `delta`/`solve`/`close` with the returned
+//! `sid`) is executed synchronously in stream order against the engine's
+//! incremental-session registry instead of the worker pool — session
+//! state is ordered, so a staged delta is always visible to the next
+//! `solve` on the stream. Session ids live in their own
+//! [`crate::engine::SESSION_ID_BASE`] (`2^62`) namespace and never
+//! collide with response ids.
+//!
 //! # Id contract
 //!
 //! Every response echoes an id. Explicit request ids must be below
@@ -114,6 +125,7 @@ fn immediate_response(id: u64, message: String) -> EngineResponse {
         solve_us: 0,
         lp: None,
         phases: None,
+        session: None,
     }
 }
 
@@ -210,9 +222,17 @@ pub fn serve_with<R: BufRead, W: Write>(
                         request.id = Some(fallback_id);
                     }
                     let id = request.id.expect("id assigned above");
-                    match engine.submit(request) {
-                        Ok(slot) => Pending::InFlight(slot),
-                        Err(e) => immediate_error(id, e.to_string()),
+                    if request.session.is_some() {
+                        // Session commands are ordered stream state (a
+                        // delta must be visible to the next solve), so
+                        // they run synchronously here instead of on the
+                        // worker pool.
+                        Pending::Immediate(Box::new(engine.session_command(id, &request)))
+                    } else {
+                        match engine.submit(request) {
+                            Ok(slot) => Pending::InFlight(slot),
+                            Err(e) => immediate_error(id, e.to_string()),
+                        }
                     }
                 }
             },
@@ -469,6 +489,74 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn session_protocol_round_trips_over_jsonl() {
+        use crate::engine::SESSION_ID_BASE;
+        // The sid is assigned by the server, but the first session on a
+        // fresh engine always gets SESSION_ID_BASE, so the script can be
+        // written ahead of time — exactly how `ise session` scripts work.
+        let sid = SESSION_ID_BASE;
+        let open = "{\"id\": 1, \"session\": {\"op\": \"open\"}, \"instance\": {\"jobs\": \
+             [{\"id\": 0, \"release\": 0, \"deadline\": 40, \"proc\": 7}, \
+              {\"id\": 1, \"release\": 0, \"deadline\": 12, \"proc\": 6}], \
+             \"machines\": 1, \"calib_len\": 10}}"
+            .to_string();
+        let cmd = |id: u64, body: &str| format!("{{\"id\": {id}, \"session\": {{{body}}}}}");
+        let input = [
+            open,
+            cmd(2, &format!("\"op\": \"solve\", \"sid\": {sid}")),
+            cmd(
+                3,
+                &format!(
+                    "\"op\": \"delta\", \"sid\": {sid}, \
+                     \"delta\": {{\"op\": \"set_machines\", \"machines\": 2}}"
+                ),
+            ),
+            cmd(4, &format!("\"op\": \"solve\", \"sid\": {sid}")),
+            cmd(5, &format!("\"op\": \"close\", \"sid\": {sid}")),
+            cmd(6, &format!("\"op\": \"solve\", \"sid\": {sid}")),
+        ]
+        .join("\n")
+            + "\n";
+        let mut out = Vec::new();
+        let summary = serve(input.as_bytes(), &mut out, EngineConfig::default()).unwrap();
+        assert_eq!(summary.responses, 6);
+        let lines: Vec<serde_json::Value> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines[0]["status"].as_str(), Some("ok"));
+        assert_eq!(lines[0]["session"]["sid"].as_u64(), Some(sid));
+        assert_eq!(
+            lines[1]["session"]["telemetry"]["tier"].as_str(),
+            Some("cold")
+        );
+        assert!(lines[1]["calibrations"].as_u64().is_some());
+        assert_eq!(lines[2]["session"]["staged"].as_u64(), Some(1));
+        assert_eq!(
+            lines[3]["session"]["telemetry"]["tier"].as_str(),
+            Some("basis")
+        );
+        assert_eq!(
+            lines[3]["session"]["telemetry"]["warm_started"].as_bool(),
+            Some(true)
+        );
+        assert_eq!(lines[4]["status"].as_str(), Some("ok"));
+        // Solving a closed session is an inline error, not a stream abort.
+        assert_eq!(lines[5]["status"].as_str(), Some("error"));
+        assert!(
+            lines[5]["error"]
+                .as_str()
+                .unwrap()
+                .contains("unknown session id"),
+            "{:?}",
+            lines[5]
+        );
+        assert_eq!(summary.metrics.session_reuse_basis, 1);
+        assert_eq!(summary.metrics.session_reuse_cold, 1);
     }
 
     #[test]

@@ -40,6 +40,10 @@
 //!   timeouts, and the JSONL `serve` protocol.
 //! * [`obs`] — lightweight observability: solve-phase spans, trace trees,
 //!   and per-phase timing summaries (`ise trace`, response `phases`).
+//! * [`session`] — incremental delta-solving sessions: typed instance
+//!   deltas, tiered reuse (cached basis / warm start / memoized short
+//!   intervals), and per-commit telemetry (`ise session`, the `serve`
+//!   session protocol).
 
 pub use ise_conform as conform;
 pub use ise_engine as engine;
@@ -47,5 +51,6 @@ pub use ise_mm as mm;
 pub use ise_model as model;
 pub use ise_obs as obs;
 pub use ise_sched as sched;
+pub use ise_session as session;
 pub use ise_simplex as simplex;
 pub use ise_workloads as workloads;

@@ -76,11 +76,15 @@ const USAGE: &str = "usage:
   ise trace    <instance.json> [--trim]
                [--mm auto|exact|greedy|unit|lp-round|portfolio] [--speed S]
   ise bench    [--quick] [--reps N] [--out FILE] [--check FILE]
-               [--threshold X]
+               [--threshold X] [--skip-session] [--out-session FILE]
+               [--check-session FILE]
+  ise session  <script.jsonl> [--trim]
+               [--mm auto|exact|greedy|unit|lp-round|portfolio] [--out FILE]
   ise fuzz     [--seed S] [--cases N] [--max-jobs N] [--max-machines M]
-               [--oracles all|budgets,exact,dense,warm,engine,metamorphic]
+               [--oracles all|budgets,exact,dense,warm,engine,metamorphic,session]
                [--time-budget SECS] [--corpus DIR] [--no-shrink]
-               [--replay DIR]";
+               [--replay DIR]
+  ise version";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -94,9 +98,17 @@ fn run(args: &[String]) -> Result<(), String> {
         "gantt" => cmd_gantt(&rest),
         "exact" => cmd_exact(&rest),
         "serve" => cmd_serve(&rest),
+        "session" => cmd_session(&rest),
         "trace" => cmd_trace(&rest),
         "bench" => cmd_bench(&rest),
         "fuzz" => cmd_fuzz(&rest),
+        "version" | "--version" | "-V" => {
+            if !rest.is_empty() {
+                return Err("version takes no arguments".into());
+            }
+            println!("ise {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -431,8 +443,15 @@ fn cmd_serve(args: &[&String]) -> Result<(), String> {
 /// compares against that baseline, failing on any measurement worse than
 /// `--threshold` (default 2.0) times its recorded value.
 fn cmd_bench(args: &[&String]) -> Result<(), String> {
-    const VALUE: &[&str] = &["--reps", "--out", "--check", "--threshold"];
-    const SWITCH: &[&str] = &["--quick"];
+    const VALUE: &[&str] = &[
+        "--reps",
+        "--out",
+        "--check",
+        "--threshold",
+        "--out-session",
+        "--check-session",
+    ];
+    const SWITCH: &[&str] = &["--quick", "--skip-session"];
     check_flags(args, VALUE, SWITCH)?;
     if !positionals(args, VALUE).is_empty() {
         return Err("bench takes no positional arguments".into());
@@ -474,6 +493,39 @@ fn cmd_bench(args: &[&String]) -> Result<(), String> {
             ));
         }
         eprintln!("no regressions against {path} (threshold {threshold}x)");
+    }
+
+    if !flag_present(args, "--skip-session") {
+        let session = ise_bench::session::run_session_suite(reps)?;
+        eprintln!(
+            "{}: {} ns/commit incremental vs {} ns/commit scratch; {} vs {} LP iterations \
+             ({:.2}x reuse ratio); tiers {} basis / {} warm / {} cold",
+            session.spec.name,
+            session.ns_per_commit_incremental,
+            session.ns_per_commit_scratch,
+            session.total_incremental_iters,
+            session.total_scratch_iters,
+            session.iteration_ratio,
+            session.tier_counts[0],
+            session.tier_counts[1],
+            session.tier_counts[2]
+        );
+        if let Some(path) = flag_value(args, "--check-session")? {
+            let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let baseline: ise_bench::session::SessionBenchReport =
+                serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}"))?;
+            let problems = ise_bench::session::compare_session(&session, &baseline, threshold);
+            if !problems.is_empty() {
+                return Err(format!(
+                    "session perf regression against {path}:\n  {}",
+                    problems.join("\n  ")
+                ));
+            }
+            eprintln!("no session regressions against {path} (threshold {threshold}x)");
+        }
+        if let Some(path) = flag_value(args, "--out-session")? {
+            write_json(&session, Some(path))?;
+        }
     }
     write_json(&report, flag_value(args, "--out")?)
 }
@@ -617,6 +669,96 @@ fn run_serve<R: BufRead>(
             serve_with(input, &mut stdout, config, opts).map_err(|e| e.to_string())
         }
     }
+}
+
+/// `ise session`: replay a JSONL delta script through an incremental
+/// [`ise::session::Session`], printing one telemetry line per commit
+/// (reuse tier, invalidated intervals, LP iterations and iterations saved)
+/// and a reuse summary at the end. `--out FILE` additionally writes the
+/// per-commit telemetry as a JSON array. See [`ise::session::ScriptStep`]
+/// for the line format.
+fn cmd_session(args: &[&String]) -> Result<(), String> {
+    const VALUE: &[&str] = &["--mm", "--out"];
+    const SWITCH: &[&str] = &["--trim"];
+    check_flags(args, VALUE, SWITCH)?;
+    let pos = positionals(args, VALUE);
+    let path = pos.first().ok_or("session requires a script file")?;
+    let mm: MmBackend = parse(args, "--mm", MmBackend::Auto)?;
+    let opts = SolverOptions {
+        mm,
+        trim_empty_calibrations: flag_present(args, "--trim"),
+        ..SolverOptions::default()
+    };
+
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut session: Option<ise::session::Session> = None;
+    let mut telemetry: Vec<ise::session::SessionTelemetry> = Vec::new();
+    let mut tiers = [0u64; 3];
+    let mut total_iterations = 0usize;
+    let mut total_saved = 0usize;
+    for (lineno, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |e: &dyn std::fmt::Display| format!("{path}:{}: {e}", lineno + 1);
+        let step: ise::session::ScriptStep = serde_json::from_str(line).map_err(|e| at(&e))?;
+        match step.decode().map_err(|e| at(&e))? {
+            ise::session::ScriptAction::Open(instance) => {
+                session = Some(ise::session::Session::with_options(*instance, opts.clone()));
+            }
+            ise::session::ScriptAction::Delta(delta) => {
+                let s = session.as_mut().ok_or_else(|| at(&"delta before `open`"))?;
+                s.apply(&delta).map_err(|e| at(&e))?;
+            }
+            ise::session::ScriptAction::Commit => {
+                let s = session.as_mut().ok_or_else(|| at(&"solve before `open`"))?;
+                let commit = s.commit().map_err(|e| at(&e))?;
+                let t = &commit.telemetry;
+                let verdict = match commit.calibrations() {
+                    Some(c) => format!("calibrations={c}"),
+                    None => "infeasible".to_string(),
+                };
+                println!(
+                    "commit {}: tier={} deltas={} jobs={} machines={} {verdict} \
+                     lp_iters={} saved={} memo_hits={} invalidated={} solve_us={}",
+                    t.commit,
+                    t.tier,
+                    t.deltas,
+                    t.jobs,
+                    t.machines,
+                    t.lp_iterations,
+                    t.lp_iterations_saved,
+                    t.memo_hits,
+                    t.invalidated_intervals,
+                    t.solve_us
+                );
+                tiers[match t.tier {
+                    ise::session::ReuseTier::Basis => 0,
+                    ise::session::ReuseTier::Warm => 1,
+                    ise::session::ReuseTier::Cold => 2,
+                }] += 1;
+                total_iterations += t.lp_iterations;
+                total_saved += t.lp_iterations_saved;
+                telemetry.push(commit.telemetry);
+            }
+        }
+    }
+    if telemetry.is_empty() {
+        return Err(format!("{path}: script performed no commits"));
+    }
+    eprintln!(
+        "{} commits: {} basis / {} warm / {} cold; {} LP iterations (~{} saved by reuse)",
+        telemetry.len(),
+        tiers[0],
+        tiers[1],
+        tiers[2],
+        total_iterations,
+        total_saved
+    );
+    if let Some(out) = flag_value(args, "--out")? {
+        write_json(&telemetry, Some(out))?;
+    }
+    Ok(())
 }
 
 /// `ise trace`: run one solve under an [`ise::obs::Trace`] and print the

@@ -404,3 +404,80 @@ fn speed_flag_is_accepted() {
         "schedule JSON should carry the speed: {out}"
     );
 }
+
+#[test]
+fn version_prints_workspace_version() {
+    for invocation in [&["version"][..], &["--version"], &["-V"]] {
+        let (ok, out, err) = ise(invocation);
+        assert!(ok, "{invocation:?} failed: {err}");
+        assert_eq!(out.trim(), concat!("ise ", env!("CARGO_PKG_VERSION")));
+    }
+    // The version subcommand takes no flags.
+    let (ok, _, err) = ise(&["version", "--frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("no arguments"), "{err}");
+}
+
+#[test]
+fn session_replays_a_delta_script() {
+    let dir = tempdir();
+    let script = dir.join("session.jsonl");
+    let telemetry = dir.join("telemetry.json");
+    let script_s = script.to_str().unwrap();
+    let telemetry_s = telemetry.to_str().unwrap();
+    std::fs::write(
+        &script,
+        concat!(
+            r#"{"op": "open", "instance": {"jobs": [{"id": 0, "release": 0, "deadline": 40, "proc": 7}, {"id": 1, "release": 5, "deadline": 50, "proc": 6}], "machines": 1, "calib_len": 10}}"#,
+            "\n",
+            r#"{"op": "solve"}"#,
+            "\n",
+            r#"{"op": "set_machines", "machines": 2}"#,
+            "\n",
+            r#"{"op": "solve"}"#,
+            "\n",
+            r#"{"op": "add_jobs", "jobs": [[0, 12, 6]]}"#,
+            "\n",
+            r#"{"op": "solve"}"#,
+            "\n",
+        ),
+    )
+    .expect("write script");
+
+    let (ok, out, err) = ise(&["session", script_s, "--out", telemetry_s]);
+    assert!(ok, "session failed: {err}");
+    assert!(
+        out.contains("commit 1: tier=cold"),
+        "missing cold commit: {out}"
+    );
+    assert!(
+        out.contains("commit 2: tier=basis"),
+        "missing basis commit: {out}"
+    );
+    assert!(
+        out.contains("commit 3: tier=warm"),
+        "missing warm commit: {out}"
+    );
+    assert!(
+        err.contains("1 basis / 1 warm / 1 cold"),
+        "missing tier summary: {err}"
+    );
+    let telemetry_json = std::fs::read_to_string(&telemetry).expect("telemetry written");
+    assert!(
+        telemetry_json.contains("\"tier\": \"basis\""),
+        "{telemetry_json}"
+    );
+}
+
+#[test]
+fn session_flag_parsing_is_strict() {
+    let (ok, _, err) = ise(&["session"]);
+    assert!(!ok);
+    assert!(err.contains("usage") || err.contains("script"), "{err}");
+    let (ok, _, err) = ise(&["session", "script.jsonl", "--bogus"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag"), "{err}");
+    let (ok, _, err) = ise(&["session", "/nonexistent/script.jsonl"]);
+    assert!(!ok);
+    assert!(err.contains("nonexistent"), "{err}");
+}

@@ -295,3 +295,126 @@ proptest! {
         }
     }
 }
+
+/// Commit the session's staged deltas and require the result to match a
+/// from-scratch solve of the materialized instance: same verdict, same
+/// calibration count, validated schedule. Cold commits must reproduce the
+/// scratch schedule bit-for-bit; warm-started tiers may stop at a
+/// different optimal LP vertex (same caveat as the dense/warm oracles),
+/// so only the vertex-independent outputs are compared.
+fn session_commit_matches_scratch(
+    session: &mut ise::session::Session,
+) -> Result<(), TestCaseError> {
+    use ise::session::{ReuseTier, Verdict};
+    let materialized = session.instance().clone();
+    let commit = session
+        .commit()
+        .map_err(|e| TestCaseError::fail(format!("commit failed: {e}")))?;
+    match (
+        &commit.verdict,
+        solve(&materialized, &SolverOptions::default()),
+    ) {
+        (Verdict::Feasible { schedule, .. }, Ok(scratch)) => {
+            validate(&materialized, schedule)
+                .map_err(|e| TestCaseError::fail(format!("invalid incremental schedule: {e}")))?;
+            if commit.telemetry.tier == ReuseTier::Cold {
+                prop_assert_eq!(schedule, &scratch.schedule);
+            }
+            prop_assert_eq!(
+                schedule.num_calibrations(),
+                scratch.schedule.num_calibrations()
+            );
+        }
+        (Verdict::Infeasible { .. }, Err(ise::sched::SchedError::Infeasible { .. })) => {}
+        (v, s) => {
+            return Err(TestCaseError::fail(format!(
+                "verdicts diverge: session {v:?} vs scratch {:?}",
+                s.map(|o| o.schedule.num_calibrations())
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Strategy: one session delta. Deltas may be invalid against the evolving
+/// instance (an out-of-range removal, a calibration length below some
+/// processing time) — the replay test expects those to be rejected
+/// atomically, leaving the staged instance untouched.
+fn arb_delta() -> impl Strategy<Value = ise::session::Delta> {
+    use ise::session::Delta;
+    (
+        0u8..5,
+        (0i64..80, 1i64..=10, 0i64..=30),
+        0usize..12,
+        1usize..=4,
+        5i64..=15,
+        0i64..=40,
+    )
+        .prop_map(
+            |(kind, (r, p, slack), idx, machines, calib, shift)| match kind {
+                0 => Delta::AddJobs(vec![(r, r + p + slack, p)]),
+                1 => Delta::RemoveJobs(vec![idx]),
+                2 => Delta::SetMachines(machines),
+                3 => Delta::SetCalibrationLen(calib),
+                _ => Delta::ShiftWindows(shift),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Replaying any random delta log through a `Session` produces, at
+    /// every prefix, exactly the schedule a from-scratch solve of the
+    /// materialized instance produces — reuse tiers are an optimization,
+    /// never an approximation.
+    #[test]
+    fn session_replay_matches_scratch_at_every_prefix(
+        instance in arb_instance(6, 2, false),
+        deltas in proptest::collection::vec(arb_delta(), 0..5),
+    ) {
+        let mut session = ise::session::Session::open(instance);
+        session_commit_matches_scratch(&mut session)?;
+        for delta in &deltas {
+            let before = session.instance().clone();
+            match session.apply(delta) {
+                Ok(()) => session_commit_matches_scratch(&mut session)?,
+                Err(ise::session::SessionError::InvalidDelta(_)) => {
+                    // Atomic rejection: the staged instance is untouched.
+                    prop_assert_eq!(session.instance(), &before);
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("apply failed: {e}"))),
+            }
+        }
+    }
+}
+
+/// A panic inside the solver must not poison the session: the staged
+/// deltas survive, and the next (healthy) commit succeeds and still
+/// matches a from-scratch solve.
+#[test]
+fn poisoned_session_commit_recovers() {
+    use ise::session::{Delta, SessionError};
+    let instance = Instance::new([(0, 40, 7), (5, 50, 6)], 1, 10).unwrap();
+    let mut session = ise::session::Session::open(instance);
+    session.commit().expect("opening commit");
+    session.apply(&Delta::SetMachines(2)).expect("valid delta");
+    let err = session
+        .commit_with(|_, _, _| panic!("injected solver failure"))
+        .expect_err("panicking solve must surface as an error");
+    assert!(matches!(err, SessionError::SolvePanicked));
+    // The staged delta survived the panic and the session stays usable.
+    assert_eq!(session.staged(), 1);
+    let commit = session.commit().expect("healthy retry");
+    let scratch = solve(session.committed(), &SolverOptions::default()).expect("feasible");
+    match &commit.verdict {
+        ise::session::Verdict::Feasible { schedule, .. } => {
+            validate(session.committed(), schedule).expect("valid incremental schedule");
+            assert_eq!(
+                schedule.num_calibrations(),
+                scratch.schedule.num_calibrations()
+            );
+        }
+        other => panic!("expected a feasible verdict, got {other:?}"),
+    }
+}
