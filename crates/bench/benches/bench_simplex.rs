@@ -1,13 +1,14 @@
 //! Criterion bench: the LP hot path in isolation — sparse (eta-file)
-//! versus dense-inverse factorization, and cold versus warm-started
-//! solves. The `ise bench` CLI suite (`BENCH_lp.json`) is the pinned
-//! regression gate; this bench is for interactive profiling of the same
+//! versus dense-inverse factorization, devex versus Dantzig pricing, and
+//! cold versus warm-started solves (with and without a shared workspace).
+//! The `ise bench` CLI suite (`BENCH_lp.json`) is the pinned regression
+//! gate; this bench is for interactive profiling of the same
 //! configurations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ise_bench::perf::suite;
+use ise_bench::perf::{suite, DENSE_COL_CAP};
 use ise_sched::lp::{build, solve_lp_warm};
-use ise_simplex::SolveOptions;
+use ise_simplex::{Pricing, SolveOptions, WorkspaceHandle};
 
 fn bench_cold(c: &mut Criterion) {
     let mut group = c.benchmark_group("tise_lp_cold");
@@ -16,9 +17,18 @@ fn bench_cold(c: &mut Criterion) {
         let instance = spec.instance().unwrap();
         let jobs = instance.partition_long_short().0;
         let tise = build(&jobs, instance.calib_len(), 3 * instance.machines());
-        for (path, dense) in [("sparse", false), ("dense", true)] {
+        let paths = [
+            ("devex", false, Pricing::Devex),
+            ("dantzig", false, Pricing::Dantzig),
+            ("dense", true, Pricing::Dantzig),
+        ];
+        for (path, dense, pricing) in paths {
+            if dense && tise.lp.num_vars() > DENSE_COL_CAP {
+                continue;
+            }
             let opts = SolveOptions {
                 dense,
+                pricing,
                 ..SolveOptions::default()
             };
             group.bench_with_input(BenchmarkId::new(path, &spec.name), &tise, |b, tise| {
@@ -36,18 +46,34 @@ fn bench_warm(c: &mut Criterion) {
         let instance = spec.instance().unwrap();
         let jobs = instance.partition_long_short().0;
         let budget = 3 * instance.machines();
-        let opts = SolveOptions::default();
-        // Basis from the cold solve; the benched solve re-targets the same
+        // Basis from the cold solve; the benched solves re-target the same
         // LP at budget + 1 (an rhs-only perturbation) so phase 1 is
-        // skipped.
-        let cold = solve_lp_warm(&build(&jobs, instance.calib_len(), budget), &opts, None).unwrap();
+        // skipped. Each pricing rule also runs with a shared workspace —
+        // the steady-state serving configuration with allocation-free
+        // iterations.
+        let cold = solve_lp_warm(
+            &build(&jobs, instance.calib_len(), budget),
+            &SolveOptions::default(),
+            None,
+        )
+        .unwrap();
         let basis = cold.basis.expect("optimal solve carries a basis");
         let perturbed = build(&jobs, instance.calib_len(), budget + 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&spec.name),
-            &perturbed,
-            |b, tise| b.iter(|| solve_lp_warm(tise, &opts, Some(&basis)).unwrap()),
-        );
+        for (path, pricing, shared) in [
+            ("devex", Pricing::Devex, false),
+            ("devex_ws", Pricing::Devex, true),
+            ("dantzig", Pricing::Dantzig, false),
+            ("dantzig_ws", Pricing::Dantzig, true),
+        ] {
+            let opts = SolveOptions {
+                pricing,
+                workspace: shared.then(WorkspaceHandle::new),
+                ..SolveOptions::default()
+            };
+            group.bench_with_input(BenchmarkId::new(path, &spec.name), &perturbed, |b, tise| {
+                b.iter(|| solve_lp_warm(tise, &opts, Some(&basis)).unwrap())
+            });
+        }
     }
     group.finish();
 }

@@ -23,7 +23,13 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Schema version of [`BenchReport`]; bump when fields change meaning.
-pub const BENCH_VERSION: u32 = 1;
+///
+/// v2: pricing-aware measurements — [`PathMeasurement`] gained
+/// `cols_scanned`, every workload additionally measures the sparse kernel
+/// under Dantzig pricing (`dantzig`), the dense oracle became optional
+/// (skipped on very wide LPs where explicit-inverse cost is prohibitive),
+/// and wide workloads can pin a devex-vs-Dantzig pricing-work ratio floor.
+pub const BENCH_VERSION: u32 = 2;
 
 /// Default regression threshold for [`compare`]: fail when a measurement
 /// exceeds `threshold ×` its baseline. Generous on purpose — wall time is
@@ -48,6 +54,11 @@ pub struct WorkloadSpec {
     pub horizon: i64,
     /// Generator seed.
     pub seed: u64,
+    /// When set, [`compare`] requires Dantzig pricing to scan at least
+    /// this many times more columns than devex on this workload — the
+    /// pinned proof that partial pricing pays off at scale. `None` (the
+    /// default for the small workloads) imposes no floor.
+    pub pricing_ratio_floor: Option<u64>,
 }
 
 impl WorkloadSpec {
@@ -87,12 +98,24 @@ fn spec(
         calib_len: t,
         horizon: h,
         seed,
+        pricing_ratio_floor: None,
+    }
+}
+
+/// The large-column pricing workload: many jobs with wide windows, so the
+/// LP has enough nonbasic columns per iteration for partial pricing to
+/// matter. Pins a 3x floor on Dantzig-vs-devex columns scanned.
+fn wide_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        pricing_ratio_floor: Some(3),
+        ..spec("long_wide", "long_only", 200, 4, 12, 900, 23)
     }
 }
 
 /// The pinned suite. `quick` drops the largest workload so the CI check
 /// stays fast; names are stable so [`compare`] matches on the
-/// intersection.
+/// intersection. The wide pricing workload runs in both modes — it is
+/// the one that gates the devex-vs-Dantzig scan ratio.
 pub fn suite(quick: bool) -> Vec<WorkloadSpec> {
     let mut specs = vec![
         spec("long_small", "long_only", 24, 2, 10, 160, 7),
@@ -102,6 +125,7 @@ pub fn suite(quick: bool) -> Vec<WorkloadSpec> {
     if !quick {
         specs.push(spec("long_large", "long_only", 72, 3, 12, 420, 13));
     }
+    specs.push(wide_spec());
     specs
 }
 
@@ -114,6 +138,9 @@ pub struct PathMeasurement {
     pub iterations: usize,
     /// Basis refactorizations during the solve.
     pub refactorizations: usize,
+    /// Nonbasic columns priced across the solve (deterministic) — the
+    /// measure partial pricing exists to shrink.
+    pub cols_scanned: u64,
 }
 
 /// Everything measured for one workload.
@@ -131,10 +158,15 @@ pub struct WorkloadResult {
     pub lp_objective: f64,
     /// Calibrations in the end-to-end schedule (deterministic).
     pub calibrations: usize,
-    /// Sparse (eta-file) simplex, cold start — the default path.
+    /// Sparse (eta-file) simplex under devex pricing, cold start — the
+    /// default path.
     pub sparse: PathMeasurement,
-    /// Dense-inverse oracle, cold start.
-    pub dense: PathMeasurement,
+    /// Sparse simplex under Dantzig (full-scan) pricing, cold start — the
+    /// pricing baseline devex is compared against.
+    pub dantzig: PathMeasurement,
+    /// Dense-inverse oracle, cold start. `None` on workloads whose LP is
+    /// too wide for the explicit inverse to be worth timing.
+    pub dense: Option<PathMeasurement>,
     /// Sparse simplex warm-started from the cold solve's basis, at a
     /// machine budget perturbed by +1 (phase 1 skipped).
     pub warm: PathMeasurement,
@@ -176,9 +208,15 @@ fn time_solves(
         ns_per_solve: best,
         iterations: sol.iterations,
         refactorizations: sol.refactorizations,
+        cols_scanned: sol.pricing.cols_scanned,
     };
     Ok((m, sol))
 }
+
+/// Column count above which the dense explicit-inverse oracle is skipped:
+/// its per-iteration cost is quadratic in the basis size, so timing it on
+/// the wide pricing workload would dominate the whole suite.
+pub const DENSE_COL_CAP: usize = 4000;
 
 /// Measure one workload: LP shape, cold sparse/dense solves, a warm
 /// re-solve at budget `3m + 1`, and the end-to-end calibration count.
@@ -192,19 +230,40 @@ pub fn measure_workload(spec: &WorkloadSpec, reps: usize) -> Result<WorkloadResu
     let tise = build(&jobs, instance.calib_len(), budget);
 
     let sparse_opts = LpOptions::default();
+    let dantzig_opts = LpOptions {
+        pricing: ise_simplex::Pricing::Dantzig,
+        ..LpOptions::default()
+    };
     let dense_opts = LpOptions {
         dense: true,
+        pricing: ise_simplex::Pricing::Dantzig,
         ..LpOptions::default()
     };
 
     let (sparse, cold_sol) = time_solves(&tise, &sparse_opts, None, reps)?;
-    let (dense, dense_sol) = time_solves(&tise, &dense_opts, None, reps)?;
-    if (cold_sol.objective - dense_sol.objective).abs() > 1e-6 * (1.0 + cold_sol.objective.abs()) {
+    let (dantzig, dantzig_sol) = time_solves(&tise, &dantzig_opts, None, reps)?;
+    if (cold_sol.objective - dantzig_sol.objective).abs() > 1e-6 * (1.0 + cold_sol.objective.abs())
+    {
         return Err(format!(
-            "workload {}: sparse/dense objectives disagree ({} vs {})",
-            spec.name, cold_sol.objective, dense_sol.objective
+            "workload {}: devex/Dantzig objectives disagree ({} vs {})",
+            spec.name, cold_sol.objective, dantzig_sol.objective
         ));
     }
+
+    let dense = if tise.lp.num_vars() <= DENSE_COL_CAP {
+        let (dense, dense_sol) = time_solves(&tise, &dense_opts, None, reps)?;
+        if (cold_sol.objective - dense_sol.objective).abs()
+            > 1e-6 * (1.0 + cold_sol.objective.abs())
+        {
+            return Err(format!(
+                "workload {}: sparse/dense objectives disagree ({} vs {})",
+                spec.name, cold_sol.objective, dense_sol.objective
+            ));
+        }
+        Some(dense)
+    } else {
+        None
+    };
 
     // Warm re-solve: same jobs, machine budget perturbed by +1 — the
     // rhs-only change the basis cache is built for.
@@ -232,6 +291,7 @@ pub fn measure_workload(spec: &WorkloadSpec, reps: usize) -> Result<WorkloadResu
         lp_objective: cold_sol.objective,
         calibrations: outcome.schedule.num_calibrations(),
         sparse,
+        dantzig,
         dense,
         warm,
     })
@@ -302,11 +362,21 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) ->
         check_path(
             &mut problems,
             name,
-            "dense",
-            &cur.dense,
-            &base.dense,
+            "dantzig",
+            &cur.dantzig,
+            &base.dantzig,
             threshold,
         );
+        if let (Some(cur_dense), Some(base_dense)) = (&cur.dense, &base.dense) {
+            check_path(
+                &mut problems,
+                name,
+                "dense",
+                cur_dense,
+                base_dense,
+                threshold,
+            );
+        }
         check_path(
             &mut problems,
             name,
@@ -315,6 +385,16 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) ->
             &base.warm,
             threshold,
         );
+        if let Some(floor) = cur.spec.pricing_ratio_floor {
+            // Deterministic pricing-work gate: devex partial pricing must
+            // keep scanning at least `floor`x fewer columns than Dantzig.
+            if cur.dantzig.cols_scanned < floor * cur.sparse.cols_scanned.max(1) {
+                problems.push(format!(
+                    "{name}: devex scanned {} cols vs Dantzig {} — below the {floor}x floor",
+                    cur.sparse.cols_scanned, cur.dantzig.cols_scanned
+                ));
+            }
+        }
         if cur.calibrations != base.calibrations {
             problems.push(format!(
                 "{name}: calibrations changed {} -> {} (deterministic output drifted)",
@@ -344,6 +424,8 @@ mod tests {
             assert!(w.lp_rows > 0 && w.lp_cols > 0 && w.lp_nnz > 0);
             assert!(w.sparse.iterations > 0);
             assert!(w.warm.iterations <= w.sparse.iterations);
+            assert!(w.sparse.cols_scanned > 0);
+            assert!(w.dantzig.cols_scanned > 0);
         }
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
@@ -367,5 +449,41 @@ mod tests {
         for s in suite(false) {
             assert_eq!(s.instance().unwrap(), s.instance().unwrap());
         }
+    }
+
+    #[test]
+    fn wide_workload_meets_pricing_ratio_floor() {
+        let spec = wide_spec();
+        let w = measure_workload(&spec, 1).unwrap();
+        let floor = spec.pricing_ratio_floor.unwrap();
+        assert!(
+            w.dantzig.cols_scanned >= floor * w.sparse.cols_scanned,
+            "devex scanned {} cols, Dantzig {} — below {floor}x",
+            w.sparse.cols_scanned,
+            w.dantzig.cols_scanned
+        );
+        // Wide LP skips the dense oracle on purpose.
+        assert!(w.lp_cols > DENSE_COL_CAP);
+        assert!(w.dense.is_none());
+        // A run containing the gate compares cleanly against itself.
+        let report = BenchReport {
+            version: BENCH_VERSION,
+            workloads: vec![w],
+        };
+        assert!(compare(&report, &report, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_pricing_ratio_violation() {
+        let spec = wide_spec();
+        let w = measure_workload(&spec, 1).unwrap();
+        let report = BenchReport {
+            version: BENCH_VERSION,
+            workloads: vec![w],
+        };
+        let mut bad = report.clone();
+        bad.workloads[0].sparse.cols_scanned = bad.workloads[0].dantzig.cols_scanned;
+        let problems = compare(&bad, &report, DEFAULT_THRESHOLD);
+        assert!(problems.iter().any(|p| p.contains("floor")), "{problems:?}");
     }
 }

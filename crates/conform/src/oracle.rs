@@ -404,11 +404,15 @@ fn check_exact(instance: &Instance, base: &Base, opts: &OracleOptions) -> Result
     Ok(())
 }
 
-/// Solve with the dense explicit-inverse simplex kernel.
+/// Solve with the dense explicit-inverse simplex kernel under Dantzig
+/// pricing — the oracle differs from the base solve on both the basis
+/// representation axis and the pricing-rule axis, so agreement
+/// cross-checks devex partial pricing too.
 fn dense_options() -> SolverOptions {
     let mut opts = SolverOptions::default();
     opts.long.lp = ise_simplex::SolveOptions {
         dense: true,
+        pricing: ise_simplex::Pricing::Dantzig,
         ..ise_simplex::SolveOptions::default()
     };
     opts

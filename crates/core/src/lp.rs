@@ -29,8 +29,8 @@ use crate::error::SchedError;
 use crate::points::{calibration_points, feasible_range};
 use ise_model::{Dur, Job, Time};
 use ise_simplex::{
-    check_dual, check_solution, solve_with_presolve_warm, Basis, Cmp, LinearProgram, SolveOptions,
-    SolveStatus,
+    check_dual, check_solution, solve_with_presolve_warm, Basis, Cmp, LinearProgram, PricingStats,
+    SolveOptions, SolveStatus,
 };
 use std::time::Instant;
 
@@ -73,6 +73,9 @@ pub struct FractionalSolution {
     pub refactorizations: usize,
     /// Whether a supplied warm-start basis was accepted (phase 1 skipped).
     pub warm_used: bool,
+    /// Deterministic pricing-effort counters from the simplex (columns
+    /// scanned, window hits, full rescans, Bland activations).
+    pub pricing: PricingStats,
     /// The optimal basis of the (presolved) LP; feed it back via
     /// [`relax_and_solve_warm`] when re-solving the same jobs with a
     /// perturbed machine budget.
@@ -224,6 +227,7 @@ pub fn solve_lp_warm(
         iterations: sol.iterations,
         refactorizations: sol.refactorizations,
         warm_used: sol.warm_used,
+        pricing: sol.pricing,
         basis: sol.basis,
         build_us: 0,
         solve_us,
@@ -476,6 +480,16 @@ mod tests {
         // The cold estimate never under-reports the actual work.
         assert!(cold_iteration_estimate(&cold) >= cold.iterations);
         assert!(cold_iteration_estimate(&warm) >= warm.iterations);
+    }
+
+    #[test]
+    fn pricing_stats_flow_through() {
+        let jobs = vec![Job::new(0, 0, 40, 7), Job::new(1, 0, 45, 6)];
+        let sol = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        assert!(sol.pricing.cols_scanned > 0, "pricing effort must surface");
+        // Deterministic: an identical solve reports identical counters.
+        let again = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        assert_eq!(sol.pricing, again.pricing);
     }
 
     #[test]

@@ -27,6 +27,20 @@ pub struct LpTelemetry {
     /// Whether the solve was warm-started from a cached basis (phase 1
     /// skipped).
     pub warm_started: bool,
+    /// Nonbasic columns whose reduced cost was computed across the solve —
+    /// the deterministic measure of total pricing work.
+    pub cols_scanned: u64,
+    /// Iterations where the devex candidate window produced the entering
+    /// column without a wider scan.
+    pub window_hits: u64,
+    /// Iterations that scanned past the candidate window (every Dantzig or
+    /// Bland iteration counts here, as does the terminal optimality wrap).
+    pub full_rescans: u64,
+    /// Times the anti-cycling switch escalated to Bland's rule.
+    pub bland_activations: u64,
+    /// Average pivots between basis rebuilds
+    /// (`iterations / max(1, refactorizations)`).
+    pub pivots_per_refactor: u64,
 }
 
 impl LpTelemetry {
@@ -39,6 +53,12 @@ impl LpTelemetry {
             build_us: l.fractional.build_us,
             solve_us: l.fractional.solve_us,
             warm_started: l.fractional.warm_used,
+            cols_scanned: l.fractional.pricing.cols_scanned,
+            window_hits: l.fractional.pricing.window_hits,
+            full_rescans: l.fractional.pricing.full_rescans,
+            bland_activations: l.fractional.pricing.bland_activations,
+            pivots_per_refactor: l.fractional.iterations as u64
+                / (l.fractional.refactorizations.max(1) as u64),
         })
     }
 }
@@ -128,6 +148,16 @@ impl fmt::Display for SolveReport {
                 t.solve_us,
                 if t.warm_started { ", warm-started" } else { "" }
             )?;
+            writeln!(
+                f,
+                "LP pricing: {} cols scanned, {} window hits, {} full rescans, \
+                 {} bland activations, {} pivots/refactor",
+                t.cols_scanned,
+                t.window_hits,
+                t.full_rescans,
+                t.bland_activations,
+                t.pivots_per_refactor
+            )?;
         }
         if self.short_jobs > 0 {
             writeln!(f, "crossing jobs: {}", self.crossing_jobs)?;
@@ -170,6 +200,10 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("calibrations"));
         assert!(text.contains("bounds: work"));
+        assert!(text.contains("LP pricing:"), "pricing stats line: {text}");
+        let lp = report.lp.expect("long pipeline ran");
+        assert!(lp.cols_scanned > 0);
+        assert!(lp.pivots_per_refactor > 0);
     }
 
     #[test]

@@ -176,6 +176,10 @@ pub struct SolveReuse {
     pub warm_basis: Option<Basis>,
     /// Per-interval MM memo for the short-window pipeline.
     pub memo: ShortWindowMemo,
+    /// Shared simplex scratch: successive solves through the same reuse
+    /// state recycle all pivot-loop buffers (steady-state re-solves are
+    /// allocation-free in the simplex loop).
+    pub workspace: ise_simplex::WorkspaceHandle,
 }
 
 impl SolveReuse {
@@ -198,6 +202,7 @@ pub fn solve_incremental(
 ) -> Result<SolveOutcome, SchedError> {
     let mut warm_opts = opts.clone();
     warm_opts.long.warm_basis = reuse.warm_basis.clone();
+    warm_opts.long.lp.workspace = Some(reuse.workspace.clone());
     // Reset the per-solve memo counters here: the short-window half may not
     // run at all (no short jobs), and its stats must not carry over.
     reuse.memo.begin_solve();

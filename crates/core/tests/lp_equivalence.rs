@@ -8,13 +8,20 @@
 //! certificate, on the exact LP family the production pipeline solves.
 
 use ise_sched::lp::{build, solve_lp};
-use ise_simplex::SolveOptions;
+use ise_simplex::{Pricing, SolveOptions};
 use ise_workloads::{long_only, uniform, WorkloadParams};
 use proptest::prelude::*;
 
 fn dense_opts() -> SolveOptions {
     SolveOptions {
         dense: true,
+        ..SolveOptions::default()
+    }
+}
+
+fn dantzig_opts() -> SolveOptions {
+    SolveOptions {
+        pricing: Pricing::Dantzig,
         ..SolveOptions::default()
     }
 }
@@ -114,5 +121,77 @@ proptest! {
             "warm {} != cold {}", warm_b.objective, cold_b.objective
         );
         prop_assert!(warm_b.iterations <= cold_b.iterations + 5);
+    }
+
+    /// Devex partial pricing must reproduce the Dantzig optimum on the
+    /// production LP family — same feasibility verdict, same objective,
+    /// both dual-certified.
+    #[test]
+    fn tise_lp_devex_matches_dantzig((p, seed, mixed) in params()) {
+        let instance = if mixed { uniform(&p, seed) } else { long_only(&p, seed) };
+        let jobs = instance.partition_long_short().0;
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let tise = build(&jobs, instance.calib_len(), 3 * instance.machines());
+
+        let devex = solve_lp(&tise, &SolveOptions::default());
+        let dantzig = solve_lp(&tise, &dantzig_opts());
+        match (devex, dantzig) {
+            (Ok(s), Ok(d)) => {
+                let scale = 1.0 + s.objective.abs();
+                prop_assert!(
+                    (s.objective - d.objective).abs() <= 1e-6 * scale,
+                    "objectives diverge: devex {} dantzig {}", s.objective, d.objective
+                );
+                let sd = s.certified_dual_bound.expect("devex dual certificate");
+                let dd = d.certified_dual_bound.expect("dantzig dual certificate");
+                prop_assert!((sd - s.objective).abs() <= 1e-5 * scale);
+                prop_assert!((dd - d.objective).abs() <= 1e-5 * scale);
+                prop_assert_eq!(d.pricing.window_hits, 0);
+            }
+            (Err(s), Err(d)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(&s),
+                    std::mem::discriminant(&d),
+                    "error kinds diverge: devex {:?} dantzig {:?}", s, d
+                );
+            }
+            (s, d) => {
+                return Err(TestCaseError::fail(format!(
+                    "verdicts diverge: devex {s:?} dantzig {d:?}"
+                )));
+            }
+        }
+    }
+
+    /// A warm re-solve under each pricing rule reaches the same optimum —
+    /// pricing choice cannot interact with warm-start correctness.
+    #[test]
+    fn tise_lp_warm_resolve_agrees_across_pricing((p, seed, _) in params()) {
+        let instance = long_only(&p, seed);
+        let jobs = instance.partition_long_short().0;
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let budget = 3 * instance.machines();
+        let Ok(cold) = solve_lp(&build(&jobs, instance.calib_len(), budget), &SolveOptions::default())
+        else {
+            return Ok(());
+        };
+        let basis = cold.basis.expect("optimal solve carries a basis");
+        let perturbed = build(&jobs, instance.calib_len(), budget + 1);
+        let warm_devex = ise_sched::lp::solve_lp_warm(&perturbed, &SolveOptions::default(), Some(&basis))
+            .expect("feasible at larger budget");
+        let warm_dantzig = ise_sched::lp::solve_lp_warm(&perturbed, &dantzig_opts(), Some(&basis))
+            .expect("feasible at larger budget");
+        let scale = 1.0 + warm_devex.objective.abs();
+        prop_assert!(
+            (warm_devex.objective - warm_dantzig.objective).abs() <= 1e-6 * scale,
+            "warm devex {} != warm dantzig {}", warm_devex.objective, warm_dantzig.objective
+        );
+        // Both rules see the same basis: warm acceptance is a property of
+        // the basis/LP pair, not of the pricing rule.
+        prop_assert_eq!(warm_devex.warm_used, warm_dantzig.warm_used);
     }
 }

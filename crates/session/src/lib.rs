@@ -455,10 +455,17 @@ impl Session {
         };
         let mut reuse = match tier {
             ReuseTier::Cold => {
-                // Structural commit: invalidate the basis and the memo.
+                // Structural commit: invalidate the basis and the memo, but
+                // keep the simplex workspace — its scratch buffers are
+                // content-free, so recycling them is always sound and keeps
+                // even cold re-solves allocation-light.
                 let _span = ise_obs::Span::enter("session.invalidate");
+                let workspace = std::mem::take(&mut self.reuse).workspace;
                 self.reuse = SolveReuse::new();
-                SolveReuse::new()
+                SolveReuse {
+                    workspace,
+                    ..SolveReuse::new()
+                }
             }
             _ => std::mem::take(&mut self.reuse),
         };

@@ -26,6 +26,16 @@
 //!   magnitude among the still-unassigned rows; that sweep may permute
 //!   which basis position a variable occupies, so `refactor` receives the
 //!   basis array mutably and keeps `xb` consistent.
+//!
+//! All hot-path operations come in `_into` form writing into
+//! caller-provided buffers, so the pivot loop performs no heap allocation
+//! once the buffers have grown to their steady-state sizes. Growth is
+//! observable: every operation that might reallocate takes an `events`
+//! counter bumped once per actual capacity change, which is how the
+//! zero-allocation property of warm re-solves is asserted in tests. The
+//! eta file itself is an **arena** — one shared `(row, value)` vec plus a
+//! header per eta — truncated rather than freed on refactorization, so
+//! steady-state pivots reuse its capacity too.
 
 use crate::solver::SolverError;
 
@@ -33,84 +43,101 @@ use crate::solver::SolverError;
 /// singular. Matches the dense Gauss–Jordan kernel's historical value.
 const SINGULAR_TOL: f64 = 1e-12;
 
-/// One eta matrix: identity except column `row`, recorded as the pivot
-/// direction `w` it was derived from (`E[row][row] = 1/w_row`,
-/// `E[i][row] = -w_i/w_row`).
-struct Eta {
+/// Grow `v` to exactly `n` elements of `fill`, counting an allocation
+/// event if the capacity had to change.
+#[inline]
+pub(crate) fn ensure_filled<T: Copy>(v: &mut Vec<T>, n: usize, fill: T, events: &mut u64) {
+    if v.capacity() < n {
+        *events += 1;
+    }
+    v.clear();
+    v.resize(n, fill);
+}
+
+/// One eta matrix header: identity except column `row`, with the pivot
+/// element `diag` and off-diagonal entries stored in the shared arena at
+/// `data[start..start + len]`.
+struct EtaHdr {
     row: usize,
     /// `w_row` — the pivot element.
     diag: f64,
-    /// `(i, w_i)` for `i != row`, `w_i != 0`.
-    off: Vec<(usize, f64)>,
+    start: usize,
+    len: usize,
 }
 
-impl Eta {
-    fn from_direction(row: usize, w: &[f64]) -> Eta {
-        let mut off = Vec::new();
-        for (i, &wi) in w.iter().enumerate() {
-            if i != row && wi.abs() > SINGULAR_TOL {
-                off.push((i, wi));
-            }
-        }
-        Eta {
-            row,
-            diag: w[row],
-            off,
-        }
-    }
-
-    /// `v := E v` (FTRAN step).
-    #[inline]
-    fn apply_ftran(&self, v: &mut [f64]) {
-        let t = v[self.row];
-        if t == 0.0 {
-            return;
-        }
-        let f = t / self.diag;
-        v[self.row] = f;
-        for &(i, wi) in &self.off {
-            v[i] -= wi * f;
-        }
-    }
-
-    /// `y := yᵀ E` (BTRAN step).
-    #[inline]
-    fn apply_btran(&self, y: &mut [f64]) {
-        let mut s = y[self.row];
-        for &(i, wi) in &self.off {
-            s -= y[i] * wi;
-        }
-        y[self.row] = s / self.diag;
-    }
-}
-
-/// Product-form (eta-file) representation of `B⁻¹`.
+/// Product-form (eta-file) representation of `B⁻¹`, stored as an arena:
+/// headers plus one shared off-diagonal vec. Clearing truncates both vecs
+/// in place, so repeated refactorizations reuse capacity.
 #[derive(Default)]
 pub struct EtaFile {
-    etas: Vec<Eta>,
+    hdr: Vec<EtaHdr>,
+    /// `(i, w_i)` entries for all etas, concatenated.
+    data: Vec<(usize, f64)>,
 }
 
 impl EtaFile {
+    /// Append the eta derived from pivot direction `w` leaving at `row`
+    /// (`E[row][row] = 1/w_row`, `E[i][row] = -w_i/w_row`).
+    fn push_direction(&mut self, row: usize, w: &[f64], events: &mut u64) {
+        let start = self.data.len();
+        let data_cap = self.data.capacity();
+        for (i, &wi) in w.iter().enumerate() {
+            if i != row && wi.abs() > SINGULAR_TOL {
+                self.data.push((i, wi));
+            }
+        }
+        if self.data.capacity() != data_cap {
+            *events += 1;
+        }
+        let hdr_cap = self.hdr.capacity();
+        self.hdr.push(EtaHdr {
+            row,
+            diag: w[row],
+            start,
+            len: self.data.len() - start,
+        });
+        if self.hdr.capacity() != hdr_cap {
+            *events += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.hdr.clear();
+        self.data.clear();
+    }
+
     fn apply_all_ftran(&self, v: &mut [f64]) {
-        for eta in &self.etas {
-            eta.apply_ftran(v);
+        for eta in &self.hdr {
+            let t = v[eta.row];
+            if t == 0.0 {
+                continue;
+            }
+            let f = t / eta.diag;
+            v[eta.row] = f;
+            for &(i, wi) in &self.data[eta.start..eta.start + eta.len] {
+                v[i] -= wi * f;
+            }
         }
     }
 
     fn apply_all_btran(&self, y: &mut [f64]) {
-        for eta in self.etas.iter().rev() {
-            eta.apply_btran(y);
+        for eta in self.hdr.iter().rev() {
+            let mut s = y[eta.row];
+            for &(i, wi) in &self.data[eta.start..eta.start + eta.len] {
+                s -= y[i] * wi;
+            }
+            y[eta.row] = s / eta.diag;
         }
     }
 
     /// Number of eta terms currently in the file (diagnostic).
     pub fn len(&self) -> usize {
-        self.etas.len()
+        self.hdr.len()
     }
 
     /// Whether the file is empty (represents the identity).
     pub fn is_empty(&self) -> bool {
-        self.etas.is_empty()
+        self.hdr.is_empty()
     }
 }
 
@@ -120,12 +147,32 @@ pub struct DenseInverse {
     binv: Vec<f64>,
 }
 
+/// Reusable scratch for [`Factor::refactor_with`]: the reinversion order,
+/// permutation bookkeeping, one dense column buffer, and the dense kernel's
+/// working matrix. Owned by the solver's
+/// [`Workspace`](crate::solver::Workspace) so refactorizations stop
+/// allocating once warm.
+#[derive(Default)]
+pub struct FactorScratch {
+    dense_a: Vec<f64>,
+    order: Vec<usize>,
+    new_basis: Vec<usize>,
+    assigned: Vec<bool>,
+    col: Vec<f64>,
+}
+
 /// A basis representation: dense explicit inverse or sparse eta file.
 pub enum Factor {
     /// Dense explicit inverse (cross-check oracle).
     Dense(DenseInverse),
     /// Product-form inverse (default).
     Eta(EtaFile),
+}
+
+impl Default for Factor {
+    fn default() -> Factor {
+        Factor::Eta(EtaFile::default())
+    }
 }
 
 impl Factor {
@@ -142,70 +189,149 @@ impl Factor {
         }
     }
 
-    /// FTRAN against a sparse column: `w = B⁻¹ a`.
-    pub fn ftran_col(&self, m: usize, col: &[(usize, f64)]) -> Vec<f64> {
+    /// Turn a cached factor (e.g. one kept in a solver workspace between
+    /// solves) into the identity for an `m`-row basis, reusing its storage
+    /// whenever the representation matches. This is what makes repeat
+    /// solves through a shared workspace allocation-free: the eta arena /
+    /// dense inverse from the previous solve is recycled instead of
+    /// rebuilt.
+    pub fn prepare(cached: Factor, m: usize, dense: bool, events: &mut u64) -> Factor {
+        match (cached, dense) {
+            (Factor::Eta(mut e), false) => {
+                e.clear();
+                Factor::Eta(e)
+            }
+            (Factor::Dense(mut d), true) => {
+                if d.binv.capacity() < m * m {
+                    *events += 1;
+                }
+                d.binv.clear();
+                d.binv.resize(m * m, 0.0);
+                for i in 0..m {
+                    d.binv[i * m + i] = 1.0;
+                }
+                d.m = m;
+                Factor::Dense(d)
+            }
+            (_, true) => {
+                *events += 1;
+                Factor::identity(m, true)
+            }
+            // The empty eta file allocates nothing; arena growth is
+            // counted at push time.
+            (_, false) => Factor::Eta(EtaFile::default()),
+        }
+    }
+
+    /// Reset to the identity in place, keeping all capacity.
+    pub fn reset_identity(&mut self) {
         match self {
             Factor::Dense(d) => {
-                let mut w = vec![0.0; m];
+                d.binv.fill(0.0);
+                for i in 0..d.m {
+                    d.binv[i * d.m + i] = 1.0;
+                }
+            }
+            Factor::Eta(e) => e.clear(),
+        }
+    }
+
+    /// FTRAN against a sparse column: `out = B⁻¹ a`.
+    pub fn ftran_col_into(
+        &self,
+        m: usize,
+        col: &[(usize, f64)],
+        out: &mut Vec<f64>,
+        events: &mut u64,
+    ) {
+        ensure_filled(out, m, 0.0, events);
+        match self {
+            Factor::Dense(d) => {
                 for &(r, a) in col {
-                    for (i, wi) in w.iter_mut().enumerate() {
+                    for (i, wi) in out.iter_mut().enumerate() {
                         *wi += a * d.binv[i * m + r];
                     }
                 }
-                w
             }
             Factor::Eta(e) => {
-                let mut w = vec![0.0; m];
                 for &(r, a) in col {
-                    w[r] = a;
+                    out[r] = a;
                 }
-                e.apply_all_ftran(&mut w);
-                w
+                e.apply_all_ftran(out);
             }
         }
     }
 
-    /// BTRAN against a dense row vector: returns `yᵀ = vᵀ B⁻¹`.
-    pub fn btran(&self, m: usize, v: Vec<f64>) -> Vec<f64> {
+    /// Allocating convenience wrapper around [`Factor::ftran_col_into`].
+    pub fn ftran_col(&self, m: usize, col: &[(usize, f64)]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.ftran_col_into(m, col, &mut out, &mut 0);
+        out
+    }
+
+    /// BTRAN against a dense row vector: `out = vᵀ B⁻¹`.
+    pub fn btran_into(&self, m: usize, v: &[f64], out: &mut Vec<f64>, events: &mut u64) {
         match self {
             Factor::Dense(d) => {
-                let mut y = vec![0.0; m];
+                ensure_filled(out, m, 0.0, events);
                 for (i, &vi) in v.iter().enumerate() {
                     if vi != 0.0 {
                         let row = &d.binv[i * m..(i + 1) * m];
-                        for (yk, &bk) in y.iter_mut().zip(row) {
+                        for (yk, &bk) in out.iter_mut().zip(row) {
                             *yk += vi * bk;
                         }
                     }
                 }
-                y
             }
             Factor::Eta(e) => {
-                let mut y = v;
-                e.apply_all_btran(&mut y);
-                y
+                if out.capacity() < v.len() {
+                    *events += 1;
+                }
+                out.clear();
+                out.extend_from_slice(v);
+                e.apply_all_btran(out);
             }
         }
     }
 
+    /// Allocating convenience wrapper around [`Factor::btran_into`]:
+    /// returns `yᵀ = vᵀ B⁻¹`.
+    pub fn btran(&self, m: usize, v: Vec<f64>) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.btran_into(m, &v, &mut out, &mut 0);
+        out
+    }
+
     /// Row `row` of `B⁻¹` (`e_rowᵀ B⁻¹`), used to probe pivot elements when
-    /// driving artificials out of the basis.
-    pub fn row_of_inverse(&self, m: usize, row: usize) -> Vec<f64> {
+    /// driving artificials out of the basis and for devex weight updates.
+    pub fn row_of_inverse_into(&self, m: usize, row: usize, out: &mut Vec<f64>, events: &mut u64) {
         match self {
-            Factor::Dense(d) => d.binv[row * m..(row + 1) * m].to_vec(),
+            Factor::Dense(d) => {
+                if out.capacity() < m {
+                    *events += 1;
+                }
+                out.clear();
+                out.extend_from_slice(&d.binv[row * m..(row + 1) * m]);
+            }
             Factor::Eta(e) => {
-                let mut y = vec![0.0; m];
-                y[row] = 1.0;
-                e.apply_all_btran(&mut y);
-                y
+                ensure_filled(out, m, 0.0, events);
+                out[row] = 1.0;
+                e.apply_all_btran(out);
             }
         }
+    }
+
+    /// Allocating convenience wrapper around [`Factor::row_of_inverse_into`].
+    pub fn row_of_inverse(&self, m: usize, row: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.row_of_inverse_into(m, row, &mut out, &mut 0);
+        out
     }
 
     /// Account for a pivot with direction `w` leaving at `leaving_row`.
     /// The caller guarantees `|w[leaving_row]|` is above its pivot
-    /// tolerance.
-    pub fn update(&mut self, leaving_row: usize, w: &[f64]) {
+    /// tolerance. `events` counts eta-arena growth.
+    pub fn update_counted(&mut self, leaving_row: usize, w: &[f64], events: &mut u64) {
         match self {
             Factor::Dense(d) => {
                 let m = d.m;
@@ -233,32 +359,42 @@ impl Factor {
                     }
                 }
             }
-            Factor::Eta(e) => e.etas.push(Eta::from_direction(leaving_row, w)),
+            Factor::Eta(e) => e.push_direction(leaving_row, w, events),
         }
     }
 
+    /// [`Factor::update_counted`] without allocation accounting.
+    pub fn update(&mut self, leaving_row: usize, w: &[f64]) {
+        self.update_counted(leaving_row, w, &mut 0);
+    }
+
     /// Rebuild the representation from the basis columns and recompute
-    /// `xb = B⁻¹ b`. The eta reinversion may permute which row position
-    /// each basic variable occupies; `basis` is updated accordingly so the
-    /// caller's row-indexed state stays consistent.
-    pub fn refactor(
+    /// `xb = B⁻¹ b`, using `scratch` for every intermediate buffer. The
+    /// eta reinversion may permute which row position each basic variable
+    /// occupies; `basis` is updated accordingly so the caller's
+    /// row-indexed state stays consistent.
+    pub fn refactor_with(
         &mut self,
         cols: &[Vec<(usize, f64)>],
         basis: &mut [usize],
         b: &[f64],
         xb: &mut [f64],
+        scratch: &mut FactorScratch,
+        events: &mut u64,
     ) -> Result<(), SolverError> {
         let m = basis.len();
         match self {
             Factor::Dense(d) => {
                 debug_assert_eq!(d.m, m);
-                let mut a = vec![0.0; m * m];
+                let a = &mut scratch.dense_a;
+                ensure_filled(a, m * m, 0.0, events);
                 for (col, &bv) in basis.iter().enumerate() {
                     for &(r, v) in &cols[bv] {
                         a[r * m + col] = v;
                     }
                 }
-                let mut inv = vec![0.0; m * m];
+                let inv = &mut d.binv;
+                inv.fill(0.0);
                 for i in 0..m {
                     inv[i * m + i] = 1.0;
                 }
@@ -298,7 +434,6 @@ impl Factor {
                         }
                     }
                 }
-                d.binv = inv;
                 for (i, x) in xb.iter_mut().enumerate().take(m) {
                     let row = &d.binv[i * m..(i + 1) * m];
                     *x = row.iter().zip(b).map(|(v, bi)| v * bi).sum();
@@ -306,21 +441,32 @@ impl Factor {
                 Ok(())
             }
             Factor::Eta(e) => {
-                e.etas.clear();
+                e.clear();
                 // Reinversion sweep: process the sparsest columns first so
                 // early etas stay short, assign each column the unpivoted
-                // row where its transformed value is largest.
-                let mut order: Vec<usize> = (0..m).collect();
-                order.sort_by_key(|&i| (cols[basis[i]].len(), basis[i]));
-                let mut new_basis = vec![usize::MAX; m];
-                let mut assigned = vec![false; m];
-                for &pos in &order {
+                // row where its transformed value is largest. Keys are
+                // distinct (basis entries are distinct), so the unstable
+                // sort is deterministic.
+                let order = &mut scratch.order;
+                if order.capacity() < m {
+                    *events += 1;
+                }
+                order.clear();
+                order.extend(0..m);
+                order.sort_unstable_by_key(|&i| (cols[basis[i]].len(), basis[i]));
+                let new_basis = &mut scratch.new_basis;
+                ensure_filled(new_basis, m, usize::MAX, events);
+                let assigned = &mut scratch.assigned;
+                ensure_filled(assigned, m, false, events);
+                let v = &mut scratch.col;
+                ensure_filled(v, m, 0.0, events);
+                for &pos in order.iter() {
                     let var = basis[pos];
-                    let mut v = vec![0.0; m];
+                    v.fill(0.0);
                     for &(r, a) in &cols[var] {
                         v[r] = a;
                     }
-                    e.apply_all_ftran(&mut v);
+                    e.apply_all_ftran(v);
                     let mut best = usize::MAX;
                     let mut best_val = SINGULAR_TOL;
                     for (r, &vr) in v.iter().enumerate() {
@@ -332,17 +478,30 @@ impl Factor {
                     if best == usize::MAX {
                         return Err(SolverError::SingularBasis);
                     }
-                    e.etas.push(Eta::from_direction(best, &v));
+                    e.push_direction(best, v, events);
                     assigned[best] = true;
                     new_basis[best] = var;
                 }
-                basis.copy_from_slice(&new_basis);
-                let mut v = b.to_vec();
-                e.apply_all_ftran(&mut v);
-                xb.copy_from_slice(&v);
+                basis.copy_from_slice(new_basis);
+                v.copy_from_slice(b);
+                e.apply_all_ftran(v);
+                xb.copy_from_slice(v);
                 Ok(())
             }
         }
+    }
+
+    /// [`Factor::refactor_with`] against throwaway scratch — the original
+    /// allocating entry point, kept for tests and one-shot callers.
+    pub fn refactor(
+        &mut self,
+        cols: &[Vec<(usize, f64)>],
+        basis: &mut [usize],
+        b: &[f64],
+        xb: &mut [f64],
+    ) -> Result<(), SolverError> {
+        let mut scratch = FactorScratch::default();
+        self.refactor_with(cols, basis, b, xb, &mut scratch, &mut 0)
     }
 }
 
@@ -462,6 +621,60 @@ mod tests {
             f.update(0, &w); // column 2 replaces position 0
             let basis = vec![2usize, 1];
             check_inverse(&f, &cols, &basis);
+        }
+    }
+
+    #[test]
+    fn reset_identity_keeps_capacity_and_semantics() {
+        let cols = cols3();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut xb = vec![0.0; 3];
+        for dense in [false, true] {
+            let mut f = Factor::identity(3, dense);
+            let mut basis = vec![0usize, 1, 2];
+            f.refactor(&cols, &mut basis, &b, &mut xb).unwrap();
+            f.reset_identity();
+            // Identity: FTRAN of a unit column is that unit column.
+            let w = f.ftran_col(3, &[(1, 1.0)]);
+            assert_eq!(w, vec![0.0, 1.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn into_ops_match_allocating_ops_and_stop_counting_when_warm() {
+        let cols = cols3();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut xb = vec![0.0; 3];
+        for dense in [false, true] {
+            let mut f = Factor::identity(3, dense);
+            let mut basis = vec![0usize, 1, 2];
+            let mut scratch = FactorScratch::default();
+            let mut events = 0u64;
+            f.refactor_with(&cols, &mut basis, &b, &mut xb, &mut scratch, &mut events)
+                .unwrap();
+            assert!(events > 0, "cold refactor must grow scratch");
+
+            let mut w = Vec::new();
+            let mut y = Vec::new();
+            let mut r0 = Vec::new();
+            f.ftran_col_into(3, &cols[0], &mut w, &mut events);
+            f.btran_into(3, &[1.0, 0.0, 0.5], &mut y, &mut events);
+            f.row_of_inverse_into(3, 1, &mut r0, &mut events);
+            assert_eq!(w, f.ftran_col(3, &cols[0]));
+            assert_eq!(y, f.btran(3, vec![1.0, 0.0, 0.5]));
+            assert_eq!(r0, f.row_of_inverse(3, 1));
+
+            // Second pass over warmed buffers: no further events.
+            let warm_events = events;
+            f.refactor_with(&cols, &mut basis, &b, &mut xb, &mut scratch, &mut events)
+                .unwrap();
+            f.ftran_col_into(3, &cols[0], &mut w, &mut events);
+            f.btran_into(3, &[1.0, 0.0, 0.5], &mut y, &mut events);
+            f.row_of_inverse_into(3, 1, &mut r0, &mut events);
+            assert_eq!(
+                events, warm_events,
+                "warm factor ops must not allocate (dense={dense})"
+            );
         }
     }
 }

@@ -17,8 +17,17 @@
 //! * cooperative interruption ([`Interrupt`]/[`InterruptHandle`]) polled
 //!   inside the pivot loop, so deadlines can abort a long solve
 //!   mid-iteration,
-//! * Dantzig pricing with an automatic switch to Bland's rule when the
-//!   iteration stalls on degenerate pivots (anti-cycling),
+//! * **devex partial pricing** ([`Pricing::Devex`], the default): reference
+//!   weights plus a rotating candidate window, falling back to a full
+//!   rescan only when the window yields nothing — with the original full
+//!   Dantzig scan behind [`Pricing::Dantzig`] as a cross-check oracle, and
+//!   an automatic switch to Bland's rule under either when the iteration
+//!   stalls on degenerate pivots (anti-cycling),
+//! * a reusable [`Workspace`] of pivot-loop scratch buffers, shareable
+//!   across solves through [`SolveOptions::workspace`] /
+//!   [`WorkspaceHandle`], making steady-state re-solves allocation-free
+//!   (observable via [`Workspace::alloc_events`]); pricing effort is
+//!   reported per solve in [`PricingStats`],
 //! * a zero-ratio leaving rule that immediately evicts artificial variables
 //!   that remain basic at level zero after phase 1.
 //!
@@ -40,7 +49,7 @@ pub mod verify;
 pub use presolve::{presolve, solve_with_presolve, solve_with_presolve_warm, Presolved};
 pub use problem::{Cmp, LinearProgram, Row};
 pub use solver::{
-    solve, solve_warm, Basis, Interrupt, InterruptHandle, Solution, SolveOptions, SolveStatus,
-    SolverError,
+    solve, solve_warm, solve_warm_ws, Basis, Interrupt, InterruptHandle, Pricing, PricingStats,
+    Solution, SolveOptions, SolveStatus, SolverError, Workspace, WorkspaceHandle,
 };
 pub use verify::{check_dual, check_solution, Violation};

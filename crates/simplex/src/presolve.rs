@@ -188,6 +188,7 @@ pub fn solve_with_presolve_warm(
             refactorizations: 0,
             basis: None,
             warm_used: false,
+            pricing: crate::solver::PricingStats::default(),
         });
     }
     let mut sol = solve_warm(&pre.lp, opts, warm)?;

@@ -7,9 +7,28 @@
 //! pivots or when a pivot looks numerically unsafe. Setting
 //! [`SolveOptions::dense`] switches to the original explicit dense `B⁻¹`
 //! (row major, Gauss–Jordan refactorization), retained as a cross-check
-//! oracle. Pricing is Dantzig (most negative reduced cost) and switches to
-//! Bland's least-index rule while the iteration is stuck on degenerate
-//! pivots, which guarantees termination.
+//! oracle.
+//!
+//! Pricing is **devex partial pricing** by default
+//! ([`Pricing::Devex`]): reference weights `γ_j` approximate the steepest-
+//! edge norms, a rotating candidate window prices only a slice of the
+//! nonbasic columns per iteration, and the entering variable maximizes
+//! `d_j² / γ_j` among the improving candidates. When the window yields no
+//! improving column the scan keeps extending — a wrap over every column
+//! with nothing found certifies optimality. [`Pricing::Dantzig`] keeps the
+//! original full most-negative-reduced-cost scan as a cross-check oracle.
+//! Either rule switches to Bland's least-index rule while the iteration is
+//! stuck on degenerate pivots, which guarantees termination; the
+//! degenerate-pivot streak and the devex weights reset on refactorization
+//! and at phase transitions.
+//!
+//! All per-iteration scratch (multipliers, pivot direction, candidate
+//! list, devex weights, factorization staging) lives in a [`Workspace`]
+//! that survives iterations, phases, refactorizations, and — through
+//! [`SolveOptions::workspace`] — whole solves, so steady-state re-solves
+//! run without heap allocation in the pivot loop. The workspace counts its
+//! own buffer growth ([`Workspace::alloc_events`]), which is how that
+//! property is asserted.
 //!
 //! Phase 1 minimizes the sum of artificial variables; artificial variables
 //! that remain basic at level zero afterwards are driven out by zero-ratio
@@ -26,10 +45,11 @@
 // row; iterator rewrites obscure the numerics for no gain.
 #![allow(clippy::needless_range_loop)]
 
-use crate::factor::Factor;
+use crate::factor::{ensure_filled, Factor, FactorScratch};
 use crate::problem::{Cmp, LinearProgram};
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Outcome classification of a solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,6 +133,8 @@ pub struct Solution {
     pub basis: Option<Basis>,
     /// Whether a supplied warm basis was accepted (phase 1 skipped).
     pub warm_used: bool,
+    /// How pricing spent its effort across both phases.
+    pub pricing: PricingStats,
 }
 
 /// Hard solver failures (distinct from infeasible/unbounded outcomes).
@@ -140,6 +162,110 @@ impl std::fmt::Display for SolverError {
 
 impl std::error::Error for SolverError {}
 
+/// Entering-variable selection rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Pricing {
+    /// Full scan, most negative reduced cost. The original rule, kept as a
+    /// cross-check oracle.
+    Dantzig,
+    /// Devex partial pricing: rotating candidate window, entering variable
+    /// by `d_j² / γ_j` against reference weights `γ`.
+    #[default]
+    Devex,
+}
+
+/// Deterministic counters describing how pricing spent its effort during a
+/// solve. Reported on [`Solution::pricing`] and surfaced through the LP
+/// telemetry layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PricingStats {
+    /// Total nonbasic columns whose reduced cost was computed.
+    pub cols_scanned: u64,
+    /// Iterations where the candidate window produced the entering column.
+    pub window_hits: u64,
+    /// Iterations that scanned past the window (including the terminal
+    /// full wrap that certifies optimality, and every Dantzig/Bland scan).
+    pub full_rescans: u64,
+    /// Times the anti-cycling switch flipped from normal pricing to
+    /// Bland's rule.
+    pub bland_activations: u64,
+}
+
+/// Preallocated per-solve scratch: simplex multipliers, basic costs, the
+/// pivot direction, devex state, and factorization staging. Reused across
+/// iterations, phases, and refactorizations; hand the same workspace to
+/// successive solves via [`SolveOptions::workspace`] (see
+/// [`WorkspaceHandle`]) and steady-state re-solves stop allocating
+/// entirely.
+#[derive(Default)]
+pub struct Workspace {
+    /// Basic-cost vector (BTRAN input).
+    cb: Vec<f64>,
+    /// Simplex multipliers (BTRAN output).
+    y: Vec<f64>,
+    /// Pivot direction (FTRAN output).
+    w: Vec<f64>,
+    /// Row of `B⁻¹` for devex updates and driving out artificials.
+    rho: Vec<f64>,
+    /// Devex reference weights, indexed by standard-form column.
+    weights: Vec<f64>,
+    /// Improving candidates of the current pricing pass: `(column, d_j)`.
+    candidates: Vec<(usize, f64)>,
+    /// Refactorization staging buffers (see [`FactorScratch`]).
+    factor: FactorScratch,
+    /// Basis representation recycled between solves (eta arena / dense
+    /// inverse storage).
+    factor_cache: Factor,
+    /// Buffer-growth events; stable once every buffer reached steady state.
+    alloc_events: u64,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// How many times any workspace-owned buffer had to grow. A warm
+    /// re-solve that leaves this unchanged performed zero heap allocations
+    /// inside the simplex loop.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+/// A cloneable, thread-safe handle to a shared [`Workspace`], carried by
+/// [`SolveOptions::workspace`]. The solver holds the lock for the duration
+/// of a solve, so a handle serializes solves that share it — use one
+/// handle per worker.
+#[derive(Clone, Default)]
+pub struct WorkspaceHandle(Arc<Mutex<Workspace>>);
+
+impl WorkspaceHandle {
+    /// A handle owning a fresh workspace.
+    pub fn new() -> WorkspaceHandle {
+        WorkspaceHandle::default()
+    }
+
+    /// Current [`Workspace::alloc_events`] of the shared workspace.
+    pub fn alloc_events(&self) -> u64 {
+        self.lock().alloc_events
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Workspace> {
+        // A panic mid-solve (callers wrap solves in catch_unwind) leaves
+        // only stale scratch behind; the buffers are reinitialized on
+        // every use, so a poisoned workspace is safe to adopt.
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl std::fmt::Debug for WorkspaceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WorkspaceHandle(..)")
+    }
+}
+
 /// Tunable solver parameters. The defaults suit the LPs in this workspace.
 #[derive(Clone, Debug)]
 pub struct SolveOptions {
@@ -157,6 +283,15 @@ pub struct SolveOptions {
     /// product-form default. Kept as a cross-check oracle; the two paths
     /// must agree on status and objective.
     pub dense: bool,
+    /// Entering-variable selection rule.
+    pub pricing: Pricing,
+    /// Candidate-window size for [`Pricing::Devex`]: how many eligible
+    /// columns are priced per iteration before the best candidate is
+    /// taken. `0` selects `clamp(cols / 8, 32, 256)`.
+    pub pricing_window: usize,
+    /// Shared scratch reused across solves; `None` uses a private
+    /// throwaway workspace.
+    pub workspace: Option<WorkspaceHandle>,
     /// Optional cooperative-interruption hook polled inside the pivot loop.
     pub interrupt: Option<InterruptHandle>,
 }
@@ -170,6 +305,9 @@ impl Default for SolveOptions {
             max_iters: 0,
             refactor_every: 512,
             dense: false,
+            pricing: Pricing::default(),
+            pricing_window: 0,
+            workspace: None,
             interrupt: None,
         }
     }
@@ -208,7 +346,35 @@ pub fn solve_warm(
     opts: &SolveOptions,
     warm: Option<&Basis>,
 ) -> Result<Solution, SolverError> {
-    Tableau::build(lp, opts.clone()).run(warm)
+    match opts.workspace.clone() {
+        Some(handle) => {
+            let mut guard = handle.lock();
+            solve_warm_ws(lp, opts, warm, &mut guard)
+        }
+        None => {
+            let mut ws = Workspace::default();
+            solve_warm_ws(lp, opts, warm, &mut ws)
+        }
+    }
+}
+
+/// Like [`solve_warm`] but borrowing an explicit [`Workspace`] instead of
+/// going through [`SolveOptions::workspace`]. The workspace is returned to
+/// the caller (with all its grown buffers) on every exit path, including
+/// errors.
+pub fn solve_warm_ws(
+    lp: &LinearProgram,
+    opts: &SolveOptions,
+    warm: Option<&Basis>,
+    ws: &mut Workspace,
+) -> Result<Solution, SolverError> {
+    let mut tableau = Tableau::build(lp, opts.clone(), std::mem::take(ws));
+    let out = tableau.run(warm);
+    // Hand the workspace back — including the factor's storage, recycled
+    // by the next solve — on every exit path.
+    tableau.ws.factor_cache = std::mem::take(&mut tableau.factor);
+    *ws = std::mem::take(&mut tableau.ws);
+    out
 }
 
 /// Variable classes in the standard-form program.
@@ -244,10 +410,20 @@ struct Tableau {
     has_artificials: bool,
     /// +1 per row, or -1 where normalization multiplied the row by -1.
     row_sign: Vec<f64>,
+    /// Preallocated scratch; taken from (and returned to) the caller.
+    ws: Workspace,
+    stats: PricingStats,
+    /// Rotating start of the devex candidate window.
+    cursor: usize,
+    /// Consecutive zero-step pivots; resets on progress, refactorization,
+    /// and phase transitions.
+    degenerate_streak: usize,
+    /// Whether the anti-cycling least-index rule is active.
+    bland: bool,
 }
 
 impl Tableau {
-    fn build(lp: &LinearProgram, opts: SolveOptions) -> Tableau {
+    fn build(lp: &LinearProgram, opts: SolveOptions, ws: Workspace) -> Tableau {
         let m = lp.num_rows();
         let n = lp.num_vars();
         let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
@@ -310,8 +486,15 @@ impl Tableau {
             in_basis[v] = true;
         }
         // Initial basis is the identity (slacks + artificials), so the
-        // factor is the identity and xb = b.
-        let factor = Factor::identity(m, opts.dense);
+        // factor is the identity and xb = b. Recycle the storage of the
+        // workspace's cached factor from the previous solve.
+        let mut ws = ws;
+        let factor = Factor::prepare(
+            std::mem::take(&mut ws.factor_cache),
+            m,
+            opts.dense,
+            &mut ws.alloc_events,
+        );
         Tableau {
             opts,
             m,
@@ -329,6 +512,11 @@ impl Tableau {
             num_structural: n,
             has_artificials,
             row_sign,
+            ws,
+            stats: PricingStats::default(),
+            cursor: 0,
+            degenerate_streak: 0,
+            bland: false,
         }
     }
 
@@ -382,7 +570,14 @@ impl Tableau {
         self.basis.copy_from_slice(&warm.vars);
         let installed =
             self.factor
-                .refactor(&self.cols, &mut self.basis, &self.b, &mut self.xb)
+                .refactor_with(
+                    &self.cols,
+                    &mut self.basis,
+                    &self.b,
+                    &mut self.xb,
+                    &mut self.ws.factor,
+                    &mut self.ws.alloc_events,
+                )
                 .is_ok()
                 && {
                     let scale = 1.0 + self.b.iter().map(|v| v.abs()).sum::<f64>();
@@ -400,9 +595,10 @@ impl Tableau {
                 }
             }
         } else {
-            // Cold restart: identity factor over the slack/artificial basis.
+            // Cold restart: identity factor over the slack/artificial basis,
+            // reset in place to keep the factor's capacity.
             self.basis = cold_basis;
-            self.factor = Factor::identity(self.m, self.opts.dense);
+            self.factor.reset_identity();
             self.xb.copy_from_slice(&self.b);
             self.pivots_since_refactor = 0;
         }
@@ -413,7 +609,7 @@ impl Tableau {
         installed
     }
 
-    fn run(mut self, warm: Option<&Basis>) -> Result<Solution, SolverError> {
+    fn run(&mut self, warm: Option<&Basis>) -> Result<Solution, SolverError> {
         let warm_used = match warm {
             Some(basis) => self.try_install_warm(basis),
             None => false,
@@ -445,6 +641,7 @@ impl Tableau {
                     refactorizations: self.refactorizations,
                     basis: None,
                     warm_used,
+                    pricing: self.stats,
                 });
             }
             self.drive_out_artificials()?;
@@ -457,7 +654,7 @@ impl Tableau {
         let x = self.extract();
         let objective = cost2[..]
             .iter()
-            .zip(&x_full(&self, &x))
+            .zip(&x_full(self, &x))
             .map(|(c, v)| c * v)
             .sum();
         let (duals, basis) = if status == SolveStatus::Optimal {
@@ -478,6 +675,7 @@ impl Tableau {
             refactorizations: self.refactorizations,
             basis,
             warm_used,
+            pricing: self.stats,
         })
     }
 
@@ -511,9 +709,24 @@ impl Tableau {
     /// The main simplex loop for a given cost vector. Returns `Optimal` or
     /// `Unbounded`.
     fn optimize(&mut self, cost: &[f64], phase1: bool) -> Result<SolveStatus, SolverError> {
+        // Phase transition: pricing state from the previous phase is
+        // meaningless against the new objective — reset the degenerate
+        // streak, the Bland switch, the window cursor, and the devex
+        // reference weights together.
+        self.reset_pricing_state();
+        let mut pricing_time = Duration::ZERO;
+        let result = self.optimize_inner(cost, phase1, &mut pricing_time);
+        ise_obs::Span::record("simplex.pricing", pricing_time);
+        result
+    }
+
+    fn optimize_inner(
+        &mut self,
+        cost: &[f64],
+        phase1: bool,
+        pricing_time: &mut Duration,
+    ) -> Result<SolveStatus, SolverError> {
         let limit = self.iter_limit();
-        let mut degenerate_streak = 0usize;
-        let mut bland = false;
         loop {
             if self.iterations >= limit {
                 return Err(SolverError::IterationLimit { limit });
@@ -525,43 +738,32 @@ impl Tableau {
             }
 
             // Simplex multipliers y = c_Bᵀ B⁻¹ via BTRAN.
-            let mut cb = vec![0.0; self.m];
+            ensure_filled(&mut self.ws.cb, self.m, 0.0, &mut self.ws.alloc_events);
             for (i, &bv) in self.basis.iter().enumerate() {
-                cb[i] = cost[bv];
+                self.ws.cb[i] = cost[bv];
             }
-            let y = self.factor.btran(self.m, cb);
+            self.factor.btran_into(
+                self.m,
+                &self.ws.cb,
+                &mut self.ws.y,
+                &mut self.ws.alloc_events,
+            );
 
             // Pricing.
-            let mut entering = usize::MAX;
-            let mut best = -self.opts.opt_tol;
-            for j in 0..self.cols.len() {
-                if self.in_basis[j] {
-                    continue;
-                }
-                // Artificials may never (re-)enter.
-                if self.kind[j] == VarKind::Artificial && (!phase1 || cost[j] == 0.0) {
-                    continue;
-                }
-                let mut d = cost[j];
-                for &(r, a) in &self.cols[j] {
-                    d -= y[r] * a;
-                }
-                if bland {
-                    if d < -self.opts.opt_tol {
-                        entering = j;
-                        break;
-                    }
-                } else if d < best {
-                    best = d;
-                    entering = j;
-                }
-            }
-            if entering == usize::MAX {
+            let pricing_start = Instant::now();
+            let entering = self.price(cost, phase1);
+            *pricing_time += pricing_start.elapsed();
+            let Some(entering) = entering else {
                 return Ok(SolveStatus::Optimal);
-            }
+            };
 
             // Direction w = B⁻¹ A_j via FTRAN.
-            let w = self.factor.ftran_col(self.m, &self.cols[entering]);
+            self.factor.ftran_col_into(
+                self.m,
+                &self.cols[entering],
+                &mut self.ws.w,
+                &mut self.ws.alloc_events,
+            );
 
             // Ratio test. Artificial basics at level ~0 leave at ratio 0 on
             // any significant movement (either direction) so they can never
@@ -570,7 +772,7 @@ impl Tableau {
             let mut theta = f64::INFINITY;
             let mut best_piv = 0.0f64;
             for i in 0..self.m {
-                let wi = w[i];
+                let wi = self.ws.w[i];
                 let basic_is_artificial = self.kind[self.basis[i]] == VarKind::Artificial;
                 let artificial_at_zero = basic_is_artificial && self.xb[i] <= self.opts.feas_tol;
                 let candidate = if artificial_at_zero && wi.abs() > self.opts.pivot_tol {
@@ -581,7 +783,7 @@ impl Tableau {
                     None
                 };
                 let Some(ratio) = candidate else { continue };
-                let better = if bland {
+                let better = if self.bland {
                     ratio < theta - 1e-12
                         || (ratio < theta + 1e-12
                             && (leaving == usize::MAX || self.basis[i] < self.basis[leaving]))
@@ -607,27 +809,213 @@ impl Tableau {
 
             // Anti-cycling: long runs of zero-step pivots switch to Bland.
             if theta <= 1e-12 {
-                degenerate_streak += 1;
-                if degenerate_streak > 64 {
-                    bland = true;
+                self.degenerate_streak += 1;
+                if self.degenerate_streak > 64 && !self.bland {
+                    self.bland = true;
+                    self.stats.bland_activations += 1;
                 }
             } else {
-                degenerate_streak = 0;
-                bland = false;
+                self.degenerate_streak = 0;
+                self.bland = false;
             }
 
-            self.pivot(entering, leaving, &w, theta)?;
+            if !self.bland && self.opts.pricing == Pricing::Devex {
+                self.update_devex_weights(entering, leaving);
+            }
+            self.pivot(entering, leaving, theta)?;
         }
     }
 
+    /// Reset the anti-cycling state and the devex reference framework
+    /// (all weights back to 1). Called at phase transitions; the weight
+    /// and streak portion also runs on every refactorization.
+    fn reset_pricing_state(&mut self) {
+        self.degenerate_streak = 0;
+        self.bland = false;
+        self.cursor = 0;
+        ensure_filled(
+            &mut self.ws.weights,
+            self.cols.len(),
+            1.0,
+            &mut self.ws.alloc_events,
+        );
+    }
+
+    /// Effective devex candidate-window size for this program.
+    fn effective_window(&self) -> usize {
+        let n = self.cols.len();
+        let w = if self.opts.pricing_window > 0 {
+            self.opts.pricing_window
+        } else {
+            (n / 8).clamp(32, 256)
+        };
+        w.min(n.max(1))
+    }
+
+    /// Whether column `j` may be priced: nonbasic, and artificials may
+    /// never (re-)enter once costed out.
+    #[inline]
+    fn eligible(&self, j: usize, cost: &[f64], phase1: bool) -> bool {
+        !self.in_basis[j] && !(self.kind[j] == VarKind::Artificial && (!phase1 || cost[j] == 0.0))
+    }
+
+    /// Reduced cost `d_j = c_j - yᵀ A_j` against the current multipliers.
+    #[inline]
+    fn reduced_cost(&self, j: usize, cost: &[f64]) -> f64 {
+        let mut d = cost[j];
+        for &(r, a) in &self.cols[j] {
+            d -= self.ws.y[r] * a;
+        }
+        d
+    }
+
+    /// Select the entering column, or `None` when the current point is
+    /// optimal. Counts pricing effort in [`Tableau::stats`].
+    fn price(&mut self, cost: &[f64], phase1: bool) -> Option<usize> {
+        let n = self.cols.len();
+        if n == 0 {
+            return None;
+        }
+        if self.bland {
+            // Least-index rule: the first improving column, scanned from 0.
+            let mut scanned = 0u64;
+            for j in 0..n {
+                if !self.eligible(j, cost, phase1) {
+                    continue;
+                }
+                scanned += 1;
+                if self.reduced_cost(j, cost) < -self.opts.opt_tol {
+                    self.stats.cols_scanned += scanned;
+                    return Some(j);
+                }
+            }
+            self.stats.cols_scanned += scanned;
+            self.stats.full_rescans += 1;
+            return None;
+        }
+        match self.opts.pricing {
+            Pricing::Dantzig => {
+                let mut entering = None;
+                let mut best = -self.opts.opt_tol;
+                let mut scanned = 0u64;
+                for j in 0..n {
+                    if !self.eligible(j, cost, phase1) {
+                        continue;
+                    }
+                    scanned += 1;
+                    let d = self.reduced_cost(j, cost);
+                    if d < best {
+                        best = d;
+                        entering = Some(j);
+                    }
+                }
+                self.stats.cols_scanned += scanned;
+                self.stats.full_rescans += 1;
+                entering
+            }
+            Pricing::Devex => {
+                let window = self.effective_window();
+                self.ws.candidates.clear();
+                let cand_cap = self.ws.candidates.capacity();
+                let start = if self.cursor >= n { 0 } else { self.cursor };
+                let mut examined = 0usize;
+                let mut last = start;
+                for k in 0..n {
+                    let mut j = start + k;
+                    if j >= n {
+                        j -= n;
+                    }
+                    last = j;
+                    if !self.eligible(j, cost, phase1) {
+                        continue;
+                    }
+                    examined += 1;
+                    let d = self.reduced_cost(j, cost);
+                    if d < -self.opts.opt_tol {
+                        self.ws.candidates.push((j, d));
+                    }
+                    // Keep scanning past the window until at least one
+                    // improving candidate has been found; a full wrap with
+                    // none certifies optimality.
+                    if examined >= window && !self.ws.candidates.is_empty() {
+                        break;
+                    }
+                }
+                if self.ws.candidates.capacity() != cand_cap {
+                    self.ws.alloc_events += 1;
+                }
+                self.stats.cols_scanned += examined as u64;
+                self.cursor = if last + 1 >= n { 0 } else { last + 1 };
+                if self.ws.candidates.is_empty() {
+                    self.stats.full_rescans += 1;
+                    return None;
+                }
+                if examined <= window {
+                    self.stats.window_hits += 1;
+                } else {
+                    self.stats.full_rescans += 1;
+                }
+                let mut entering = usize::MAX;
+                let mut best_score = 0.0f64;
+                for &(j, d) in &self.ws.candidates {
+                    let score = d * d / self.ws.weights[j];
+                    if score > best_score {
+                        best_score = score;
+                        entering = j;
+                    }
+                }
+                Some(entering)
+            }
+        }
+    }
+
+    /// Devex reference-weight update for the pivot `entering` ↔ basis row
+    /// `leaving_row` (Forrest–Goldfarb): with `ρ = e_rᵀ B⁻¹`,
+    /// `α_j = ρ · A_j`, and `α_q` the pivot element,
+    /// `γ_j ← max(γ_j, (α_j/α_q)² γ_q)` for the priced candidates, and the
+    /// leaving variable inherits `γ_t ← max(γ_q/α_q², 1)`. Only the
+    /// columns actually priced this iteration are updated — the classic
+    /// partial-pricing compromise.
+    fn update_devex_weights(&mut self, entering: usize, leaving_row: usize) {
+        let alpha_q = self.ws.w[leaving_row];
+        if alpha_q.abs() <= self.opts.pivot_tol {
+            // pivot() will refactorize instead of pivoting; the weights
+            // reset there.
+            return;
+        }
+        let gamma_q = self.ws.weights[entering].max(1.0);
+        self.factor.row_of_inverse_into(
+            self.m,
+            leaving_row,
+            &mut self.ws.rho,
+            &mut self.ws.alloc_events,
+        );
+        for &(j, _) in &self.ws.candidates {
+            if j == entering {
+                continue;
+            }
+            let mut alpha_j = 0.0;
+            for &(r, a) in &self.cols[j] {
+                alpha_j += self.ws.rho[r] * a;
+            }
+            let ratio = alpha_j / alpha_q;
+            let cand = ratio * ratio * gamma_q;
+            if cand > self.ws.weights[j] {
+                self.ws.weights[j] = cand;
+            }
+        }
+        let leaving_var = self.basis[leaving_row];
+        self.ws.weights[leaving_var] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+    }
+
+    /// Pivot on the direction currently held in `ws.w`.
     fn pivot(
         &mut self,
         entering: usize,
         leaving_row: usize,
-        w: &[f64],
         theta: f64,
     ) -> Result<(), SolverError> {
-        let piv = w[leaving_row];
+        let piv = self.ws.w[leaving_row];
         if piv.abs() < self.opts.pivot_tol {
             // Extremely small pivot: rebuild and hope pricing picks a better
             // column next round.
@@ -636,12 +1024,13 @@ impl Tableau {
         // Update basic values.
         for i in 0..self.m {
             if i != leaving_row {
-                self.xb[i] = (self.xb[i] - theta * w[i]).max(-self.opts.feas_tol);
+                self.xb[i] = (self.xb[i] - theta * self.ws.w[i]).max(-self.opts.feas_tol);
             }
         }
         self.xb[leaving_row] = theta;
 
-        self.factor.update(leaving_row, w);
+        self.factor
+            .update_counted(leaving_row, &self.ws.w, &mut self.ws.alloc_events);
 
         let old = self.basis[leaving_row];
         self.in_basis[old] = false;
@@ -652,13 +1041,29 @@ impl Tableau {
     }
 
     /// Rebuild the basis representation from scratch and recompute the
-    /// basic values from it.
+    /// basic values from it. The devex reference framework and the
+    /// degenerate-pivot streak are tied to the replaced factorization, so
+    /// both reset here (the Bland switch itself only clears on a nonzero
+    /// step).
     fn refactorize(&mut self) -> Result<(), SolverError> {
         let _span = ise_obs::Span::enter("simplex.refactor");
-        self.factor
-            .refactor(&self.cols, &mut self.basis, &self.b, &mut self.xb)?;
+        self.factor.refactor_with(
+            &self.cols,
+            &mut self.basis,
+            &self.b,
+            &mut self.xb,
+            &mut self.ws.factor,
+            &mut self.ws.alloc_events,
+        )?;
         self.pivots_since_refactor = 0;
         self.refactorizations += 1;
+        self.degenerate_streak = 0;
+        ensure_filled(
+            &mut self.ws.weights,
+            self.cols.len(),
+            1.0,
+            &mut self.ws.alloc_events,
+        );
         Ok(())
     }
 
@@ -669,7 +1074,12 @@ impl Tableau {
             if self.kind[self.basis[row]] != VarKind::Artificial {
                 continue;
             }
-            let binv_row = self.factor.row_of_inverse(self.m, row);
+            self.factor.row_of_inverse_into(
+                self.m,
+                row,
+                &mut self.ws.rho,
+                &mut self.ws.alloc_events,
+            );
             let mut found = None;
             'search: for j in 0..self.cols.len() {
                 if self.in_basis[j] || self.kind[j] == VarKind::Artificial {
@@ -678,7 +1088,7 @@ impl Tableau {
                 // w_row = (B⁻¹ A_j)[row]
                 let mut w_row = 0.0;
                 for &(r, a) in &self.cols[j] {
-                    w_row += a * binv_row[r];
+                    w_row += a * self.ws.rho[r];
                 }
                 if w_row.abs() > 1e-6 {
                     found = Some(j);
@@ -686,8 +1096,13 @@ impl Tableau {
                 }
             }
             if let Some(j) = found {
-                let w = self.factor.ftran_col(self.m, &self.cols[j]);
-                self.pivot(j, row, &w, 0.0)?;
+                self.factor.ftran_col_into(
+                    self.m,
+                    &self.cols[j],
+                    &mut self.ws.w,
+                    &mut self.ws.alloc_events,
+                );
+                self.pivot(j, row, 0.0)?;
             }
             // If no pivot exists the row is linearly dependent; the
             // artificial stays basic at zero and is evicted by the
@@ -733,6 +1148,20 @@ mod tests {
                 dense,
                 ..SolveOptions::default()
             });
+        }
+    }
+
+    /// Run a test body against every (basis representation × pricing rule)
+    /// combination.
+    fn all_modes(f: impl Fn(SolveOptions)) {
+        for dense in [false, true] {
+            for pricing in [Pricing::Dantzig, Pricing::Devex] {
+                f(SolveOptions {
+                    dense,
+                    pricing,
+                    ..SolveOptions::default()
+                });
+            }
         }
     }
 
@@ -810,7 +1239,11 @@ mod tests {
     #[test]
     fn degenerate_lp_terminates() {
         // Classic degeneracy: many redundant constraints through the origin.
-        both_paths(|opts| {
+        // Runs under every (factor × pricing) mode — the Beale example is
+        // the regression test for the anti-cycling bookkeeping (the
+        // degenerate streak and devex weights reset on refactorization and
+        // phase transitions; Bland clears only on a nonzero step).
+        all_modes(|opts| {
             let mut lp = LinearProgram::new();
             let x = lp.add_var(-0.75);
             let y = lp.add_var(150.0);
@@ -988,5 +1421,170 @@ mod tests {
         };
         assert_eq!(solve(&lp, &opts).unwrap_err(), SolverError::Interrupted);
         assert!(hook.0.load(Ordering::Relaxed) >= 1, "hook must be polled");
+    }
+
+    /// A ring of `n` coupled `>=` rows: enough pivots to exercise phase 1,
+    /// pricing rotation, and the eta file.
+    fn ring_lp(n: usize) -> LinearProgram {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<usize> = (0..n).map(|i| lp.add_var(1.0 + (i % 7) as f64)).collect();
+        for i in 0..n {
+            lp.add_row(
+                [(vars[i], 1.0), (vars[(i + 1) % n], 2.0)],
+                Cmp::Ge,
+                3.0 + (i % 5) as f64,
+            );
+        }
+        lp
+    }
+
+    #[test]
+    fn beale_terminates_with_forced_refactorizations() {
+        // refactor_every = 1 forces the devex weights and the degenerate
+        // streak through their refactorization reset on every single pivot;
+        // the solve must still terminate at Beale's optimum.
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            let opts = SolveOptions {
+                pricing,
+                refactor_every: 1,
+                ..SolveOptions::default()
+            };
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(-0.75);
+            let y = lp.add_var(150.0);
+            let z = lp.add_var(-0.02);
+            let w = lp.add_var(6.0);
+            lp.add_row([(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Cmp::Le, 0.0);
+            lp.add_row([(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Cmp::Le, 0.0);
+            lp.add_row([(z, 1.0)], Cmp::Le, 1.0);
+            let sol = solve(&lp, &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert_close(sol.objective, -0.05, 1e-6);
+        }
+    }
+
+    #[test]
+    fn tiny_pricing_window_still_reaches_optimum() {
+        // A one-column window degenerates devex into pure rotation; the
+        // full-wrap fallback must still certify the true optimum.
+        let opts = SolveOptions {
+            pricing_window: 1,
+            ..SolveOptions::default()
+        };
+        let sol = solve(&ring_lp(24), &opts).unwrap();
+        let reference = solve(&ring_lp(24), &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.objective, reference.objective, 1e-6);
+        assert!(sol.pricing.window_hits > 0 || sol.pricing.full_rescans > 0);
+    }
+
+    #[test]
+    fn devex_scans_fewer_columns_than_dantzig() {
+        let lp = ring_lp(120);
+        let devex = solve(&lp, &SolveOptions::default()).unwrap();
+        let dantzig = solve(
+            &lp,
+            &SolveOptions {
+                pricing: Pricing::Dantzig,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(devex.status, SolveStatus::Optimal);
+        assert_eq!(dantzig.status, SolveStatus::Optimal);
+        assert_close(devex.objective, dantzig.objective, 1e-6);
+        assert!(
+            devex.pricing.cols_scanned < dantzig.pricing.cols_scanned,
+            "devex ({}) must price fewer columns than dantzig ({})",
+            devex.pricing.cols_scanned,
+            dantzig.pricing.cols_scanned
+        );
+        assert!(devex.pricing.window_hits > 0, "window must produce pivots");
+        assert!(dantzig.pricing.window_hits == 0);
+        assert!(dantzig.pricing.full_rescans as usize >= dantzig.iterations - 1);
+    }
+
+    #[test]
+    fn pricing_stats_are_deterministic() {
+        let lp = ring_lp(60);
+        let a = solve(&lp, &SolveOptions::default()).unwrap();
+        let b = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(a.pricing, b.pricing);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn shared_workspace_makes_resolves_allocation_free() {
+        let ws = WorkspaceHandle::new();
+        let opts = SolveOptions {
+            workspace: Some(ws.clone()),
+            ..SolveOptions::default()
+        };
+        let lp = ring_lp(40);
+        let first = solve(&lp, &opts).unwrap();
+        assert_eq!(first.status, SolveStatus::Optimal);
+        assert!(ws.alloc_events() > 0, "cold solve must grow the workspace");
+
+        // An identical cold re-solve replays the same pivot sequence into
+        // the warmed buffers: zero further allocation events.
+        let before = ws.alloc_events();
+        let second = solve(&lp, &opts).unwrap();
+        assert_eq!(second.iterations, first.iterations);
+        assert_eq!(
+            ws.alloc_events(),
+            before,
+            "steady-state cold re-solve must not allocate in the pivot loop"
+        );
+
+        // Warm re-solves against a perturbed rhs: the first one primes the
+        // refactorization scratch (cold solves above never refactorized),
+        // after which further warm solves are allocation-free.
+        let basis = second.basis.expect("optimal solve returns a basis");
+        let scaled_ring = |scale: f64| {
+            let mut lp = LinearProgram::new();
+            let n = 40;
+            let vars: Vec<usize> = (0..n).map(|i| lp.add_var(1.0 + (i % 7) as f64)).collect();
+            for i in 0..n {
+                lp.add_row(
+                    [(vars[i], 1.0), (vars[(i + 1) % n], 2.0)],
+                    Cmp::Ge,
+                    scale * (3.0 + (i % 5) as f64),
+                );
+            }
+            lp
+        };
+        let prime = solve_warm(&scaled_ring(0.9), &opts, Some(&basis)).unwrap();
+        assert!(prime.warm_used, "scaled rhs keeps the basis feasible");
+        let steady = ws.alloc_events();
+        for scale in [0.8, 0.7, 0.95] {
+            let warm = solve_warm(&scaled_ring(scale), &opts, Some(&basis)).unwrap();
+            assert_eq!(warm.status, SolveStatus::Optimal);
+            assert!(warm.warm_used);
+            assert_eq!(
+                ws.alloc_events(),
+                steady,
+                "warm re-solve must not allocate in the pivot loop"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_change_results() {
+        let ws = WorkspaceHandle::new();
+        let with_ws = SolveOptions {
+            workspace: Some(ws.clone()),
+            ..SolveOptions::default()
+        };
+        let without = SolveOptions::default();
+        let lp = ring_lp(40);
+        // Prime the workspace with an unrelated solve first: stale contents
+        // must never leak into a later solve.
+        let _ = solve(&budget_lp(3.0), &with_ws).unwrap();
+        let a = solve(&lp, &with_ws).unwrap();
+        let b = solve(&lp, &without).unwrap();
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.pricing, b.pricing);
     }
 }

@@ -11,7 +11,8 @@
 //! `lp_equivalence.rs` covers the TISE LP family.)
 
 use ise_simplex::{
-    check_dual, check_solution, solve_with_presolve, Cmp, LinearProgram, SolveOptions, SolveStatus,
+    check_dual, check_solution, solve_with_presolve, Cmp, LinearProgram, Pricing, SolveOptions,
+    SolveStatus,
 };
 use proptest::prelude::*;
 
@@ -22,6 +23,13 @@ fn sparse_opts() -> SolveOptions {
 fn dense_opts() -> SolveOptions {
     SolveOptions {
         dense: true,
+        ..SolveOptions::default()
+    }
+}
+
+fn dantzig_opts() -> SolveOptions {
+    SolveOptions {
+        pricing: Pricing::Dantzig,
         ..SolveOptions::default()
     }
 }
@@ -88,5 +96,28 @@ proptest! {
             .map_err(|v| TestCaseError::fail(format!("dense dual infeasible: {v:?}")))?;
         prop_assert!((sparse_dual - sparse.objective).abs() <= 1e-5 * scale);
         prop_assert!((dense_dual - dense.objective).abs() <= 1e-5 * scale);
+    }
+
+    /// Devex partial pricing and Dantzig full pricing choose different
+    /// pivot sequences but must agree on the verdict, and on optimal
+    /// programs both solutions must verify and reach the same objective.
+    #[test]
+    fn devex_and_dantzig_agree_on_random_lps(lp in random_lp()) {
+        let devex = solve_with_presolve(&lp, &sparse_opts()).expect("devex solve");
+        let dantzig = solve_with_presolve(&lp, &dantzig_opts()).expect("dantzig solve");
+        prop_assert_eq!(devex.status, dantzig.status);
+        if devex.status != SolveStatus::Optimal {
+            return Ok(());
+        }
+        let scale = 1.0 + devex.objective.abs();
+        prop_assert!(
+            (devex.objective - dantzig.objective).abs() <= 1e-6 * scale,
+            "objectives diverge: devex {} dantzig {}", devex.objective, dantzig.objective
+        );
+        prop_assert!(check_solution(&lp, &devex.x, 1e-6).is_empty());
+        prop_assert!(check_solution(&lp, &dantzig.x, 1e-6).is_empty());
+        // Dantzig's full scan never uses the candidate window, so it can
+        // never record a window hit.
+        prop_assert_eq!(dantzig.pricing.window_hits, 0);
     }
 }

@@ -465,17 +465,23 @@ fn cmd_bench(args: &[&String]) -> Result<(), String> {
 
     let report = ise_bench::perf::run_suite(quick, reps)?;
     for w in &report.workloads {
+        let dense = w.dense.as_ref().map_or("skipped".to_string(), |d| {
+            format!("{} ns ({} iters)", d.ns_per_solve, d.iterations)
+        });
         eprintln!(
-            "{}: {} rows x {} cols ({} nnz); sparse {} ns ({} iters), dense {} ns \
-             ({} iters), warm {} ns ({} iters)",
+            "{}: {} rows x {} cols ({} nnz); devex {} ns ({} iters, {} cols scanned), \
+             dantzig {} ns ({} iters, {} cols scanned), dense {dense}, \
+             warm {} ns ({} iters)",
             w.spec.name,
             w.lp_rows,
             w.lp_cols,
             w.lp_nnz,
             w.sparse.ns_per_solve,
             w.sparse.iterations,
-            w.dense.ns_per_solve,
-            w.dense.iterations,
+            w.sparse.cols_scanned,
+            w.dantzig.ns_per_solve,
+            w.dantzig.iterations,
+            w.dantzig.cols_scanned,
             w.warm.ns_per_solve,
             w.warm.iterations
         );
