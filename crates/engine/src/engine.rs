@@ -158,6 +158,12 @@ pub mod status {
     pub const INFEASIBLE: &str = "infeasible";
 }
 
+/// Session scope of streams that are not connection-pinned (the stdin /
+/// file serve path and direct [`Engine::session_command`] callers).
+/// Sessions opened under the global scope are never force-closed by
+/// [`Engine::close_scope`].
+pub const GLOBAL_SCOPE: u64 = 0;
+
 /// First session id the engine assigns (`2^62`). Session ids live in
 /// `[2^62, 2^63)` — disjoint from both explicit request ids (`< 2^63` but
 /// chosen by callers, who should stay below this too only if they want to
@@ -287,8 +293,17 @@ pub struct Engine {
     /// Open incremental sessions, keyed by sid. Session commands run on
     /// the caller's thread (they are ordered stream state, not pooled
     /// work), serialized by this lock.
-    sessions: Mutex<HashMap<u64, Session>>,
+    sessions: Mutex<HashMap<u64, ScopedSession>>,
     next_session: std::sync::atomic::AtomicU64,
+    next_scope: std::sync::atomic::AtomicU64,
+}
+
+/// A session plus the scope (connection) that owns it. Sessions are
+/// pinned: commands from another scope are refused, and closing the
+/// scope force-closes the session.
+struct ScopedSession {
+    session: Session,
+    scope: u64,
 }
 
 impl Engine {
@@ -316,6 +331,7 @@ impl Engine {
             next_id: std::sync::atomic::AtomicU64::new(0),
             sessions: Mutex::new(HashMap::new()),
             next_session: std::sync::atomic::AtomicU64::new(0),
+            next_scope: std::sync::atomic::AtomicU64::new(GLOBAL_SCOPE + 1),
         }
     }
 
@@ -365,7 +381,7 @@ impl Engine {
     /// transactional (a failed or panicking commit rolls back), so a
     /// poisoned lock does not imply corrupt sessions — recovery just
     /// clears the flag and keeps them.
-    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Session>> {
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, ScopedSession>> {
         match self.sessions.lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
@@ -375,11 +391,45 @@ impl Engine {
         }
     }
 
+    /// Allocate a fresh session scope. Network connections call this once
+    /// on accept; sessions they open are pinned to the scope and reaped by
+    /// [`Engine::close_scope`] on disconnect.
+    pub fn new_scope(&self) -> u64 {
+        self.next_scope
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Force-close every session owned by `scope`, returning how many were
+    /// closed. A no-op for [`GLOBAL_SCOPE`]: globally-scoped sessions have
+    /// no connection to die with.
+    pub fn close_scope(&self, scope: u64) -> usize {
+        if scope == GLOBAL_SCOPE {
+            return 0;
+        }
+        let mut sessions = self.lock_sessions();
+        let before = sessions.len();
+        sessions.retain(|_, s| s.scope != scope);
+        before - sessions.len()
+    }
+
+    /// [`Engine::session_command_scoped`] under the global scope.
+    pub fn session_command(&self, id: u64, request: &EngineRequest) -> EngineResponse {
+        self.session_command_scoped(id, request, GLOBAL_SCOPE)
+    }
+
     /// Execute a session command (`open`/`delta`/`solve`/`close`) on the
     /// calling thread. Session state is ordered — a delta must precede the
     /// solve that should see it — so these commands bypass the worker pool
-    /// and run synchronously.
-    pub fn session_command(&self, id: u64, request: &EngineRequest) -> EngineResponse {
+    /// and run synchronously. Sessions opened under `scope` belong to it:
+    /// commands naming a sid owned by a different scope get an error
+    /// response, so one TCP connection can never read or mutate another
+    /// connection's session state.
+    pub fn session_command_scoped(
+        &self,
+        id: u64,
+        request: &EngineRequest,
+        scope: u64,
+    ) -> EngineResponse {
         let error = |message: String, session: Option<SessionInfo>| {
             EngineMetrics::inc(&self.shared.metrics.errors);
             let mut r = session_response(id, status::ERROR, session);
@@ -422,7 +472,8 @@ impl Engine {
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let session = Session::with_options(instance.clone(), opts);
                 let i = info(sid, &session);
-                self.lock_sessions().insert(sid, session);
+                self.lock_sessions()
+                    .insert(sid, ScopedSession { session, scope });
                 session_response(id, status::OK, Some(i))
             }
             "delta" => {
@@ -437,9 +488,16 @@ impl Engine {
                     Err(e) => return error(e.to_string(), None),
                 };
                 let mut sessions = self.lock_sessions();
-                let Some(session) = sessions.get_mut(&sid) else {
+                let Some(entry) = sessions.get_mut(&sid) else {
                     return error(format!("unknown session id {sid}"), None);
                 };
+                if entry.scope != scope {
+                    return error(
+                        format!("session {sid} is pinned to another connection"),
+                        None,
+                    );
+                }
+                let session = &mut entry.session;
                 match session.apply(&delta) {
                     Ok(()) => {
                         let i = info(sid, session);
@@ -456,9 +514,16 @@ impl Engine {
                     return error("session solve requires `sid`".to_string(), None);
                 };
                 let mut sessions = self.lock_sessions();
-                let Some(session) = sessions.get_mut(&sid) else {
+                let Some(entry) = sessions.get_mut(&sid) else {
                     return error(format!("unknown session id {sid}"), None);
                 };
+                if entry.scope != scope {
+                    return error(
+                        format!("session {sid} is pinned to another connection"),
+                        None,
+                    );
+                }
+                let session = &mut entry.session;
                 match session.commit() {
                     Ok(commit) => {
                         let tier_counter = match commit.telemetry.tier {
@@ -505,9 +570,15 @@ impl Engine {
                 let Some(sid) = cmd.sid else {
                     return error("session close requires `sid`".to_string(), None);
                 };
-                match self.lock_sessions().remove(&sid) {
-                    Some(session) => {
-                        let i = info(sid, &session);
+                let mut sessions = self.lock_sessions();
+                match sessions.get(&sid) {
+                    Some(entry) if entry.scope != scope => error(
+                        format!("session {sid} is pinned to another connection"),
+                        None,
+                    ),
+                    Some(_) => {
+                        let entry = sessions.remove(&sid).expect("present above");
+                        let i = info(sid, &entry.session);
                         session_response(id, status::OK, Some(i))
                     }
                     None => error(format!("unknown session id {sid}"), None),
@@ -996,6 +1067,61 @@ mod tests {
         assert_eq!(resp.status, status::ERROR);
         assert!(resp.error.unwrap().contains("unknown session op"));
         assert_eq!(engine.metrics().errors, 3);
+    }
+
+    #[test]
+    fn session_scopes_isolate_and_reap() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let scope_a = engine.new_scope();
+        let scope_b = engine.new_scope();
+        assert_ne!(scope_a, scope_b);
+        assert_ne!(scope_a, GLOBAL_SCOPE);
+
+        let mut open_req = EngineRequest::new(tiny_instance(4));
+        open_req.session = Some(SessionCmd {
+            op: "open".to_string(),
+            ..SessionCmd::default()
+        });
+        let opened = engine.session_command_scoped(1, &open_req, scope_a);
+        assert_eq!(opened.status, status::OK);
+        let sid = opened.session.as_ref().unwrap().sid;
+
+        // Another scope can neither solve, stage, nor close the session.
+        let cmd = |op: &str| EngineRequest {
+            id: Some(2),
+            instance: None,
+            timeout_ms: None,
+            mm: None,
+            trim: None,
+            speed: None,
+            session: Some(SessionCmd {
+                op: op.to_string(),
+                sid: Some(sid),
+                delta: None,
+            }),
+        };
+        for op in ["solve", "close"] {
+            let resp = engine.session_command_scoped(3, &cmd(op), scope_b);
+            assert_eq!(resp.status, status::ERROR, "{op}");
+            assert!(
+                resp.error.unwrap().contains("pinned to another connection"),
+                "{op}"
+            );
+        }
+        // The owner still can.
+        let resp = engine.session_command_scoped(4, &cmd("solve"), scope_a);
+        assert_eq!(resp.status, status::OK);
+
+        // Reaping a foreign scope leaves the session; reaping the owner
+        // scope closes it.
+        assert_eq!(engine.close_scope(scope_b), 0);
+        assert_eq!(engine.metrics().sessions_open, 1);
+        assert_eq!(engine.close_scope(scope_a), 1);
+        assert_eq!(engine.metrics().sessions_open, 0);
+        assert_eq!(engine.close_scope(GLOBAL_SCOPE), 0);
     }
 
     #[test]

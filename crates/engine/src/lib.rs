@@ -22,19 +22,27 @@
 //!   incremental-session registry (`open`/`delta`/`solve`/`close`
 //!   commands over [`ise_session::Session`]).
 //! * [`serve`] — JSONL request/response streaming.
+//! * [`net`] — the `--listen` TCP frontend: acceptor + per-connection
+//!   threads running the [`serve`] loop with connection-scoped sessions,
+//!   load shedding, idle timeouts, and graceful drain shutdown.
 
 pub mod cache;
 pub mod engine;
 pub mod fallback;
 pub mod metrics;
+pub mod net;
 pub mod queue;
 pub mod serve;
 
 pub use cache::{basis_key, cache_key, ShardedLru};
 pub use engine::{
     status, Backpressure, Engine, EngineConfig, EngineRequest, EngineResponse, ResponseSlot,
-    SessionCmd, SessionInfo, SubmitError, SESSION_ID_BASE,
+    SessionCmd, SessionInfo, SubmitError, GLOBAL_SCOPE, SESSION_ID_BASE,
 };
 pub use fallback::greedy_fallback;
-pub use metrics::{prometheus_text, EngineMetrics, MetricsSnapshot};
+pub use metrics::{
+    prometheus_text, prometheus_text_with_net, EngineMetrics, MetricsSnapshot, NetMetrics,
+    NetMetricsSnapshot,
+};
+pub use net::{NetOptions, NetServer, NetSummary};
 pub use serve::{serve, serve_with, ServeOptions, ServeSummary, FALLBACK_ID_BASE};

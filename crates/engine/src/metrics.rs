@@ -215,6 +215,76 @@ pub struct MetricsSnapshot {
     pub serialize_time: HistogramSnapshot,
 }
 
+/// Live counters for the TCP frontend (`ise serve --listen`), shared by
+/// the acceptor and every connection thread.
+#[derive(Default)]
+pub struct NetMetrics {
+    /// Connections accepted, including ones immediately shed.
+    pub connections_total: AtomicU64,
+    /// Currently open connections (gauge).
+    pub connections_open: AtomicU64,
+    /// Connections refused at accept time (connection cap or drain).
+    pub shed_total: AtomicU64,
+    /// Bytes read from clients.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to clients.
+    pub bytes_out: AtomicU64,
+    /// Lines rejected for exceeding the configured maximum length.
+    pub oversize_lines: AtomicU64,
+    /// Connections closed by the read idle timeout.
+    pub idle_timeouts: AtomicU64,
+    /// Responses written across all connections.
+    pub responses_total: AtomicU64,
+    /// Time responses spent in a per-connection write queue (behind the
+    /// head-of-line response) before being written.
+    pub write_queue_wait: LatencyHistogram,
+}
+
+impl NetMetrics {
+    /// Bump a counter by one.
+    pub fn inc_counter(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of all counters for reporting.
+    pub fn snapshot(&self) -> NetMetricsSnapshot {
+        NetMetricsSnapshot {
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            oversize_lines: self.oversize_lines.load(Ordering::Relaxed),
+            idle_timeouts: self.idle_timeouts.load(Ordering::Relaxed),
+            responses_total: self.responses_total.load(Ordering::Relaxed),
+            write_queue_wait: self.write_queue_wait.snapshot(),
+        }
+    }
+}
+
+/// Serializable TCP-frontend metrics (see [`NetMetrics`]).
+#[derive(Clone, Debug, Serialize)]
+pub struct NetMetricsSnapshot {
+    /// Connections accepted, including ones immediately shed.
+    pub connections_total: u64,
+    /// Currently open connections (gauge).
+    pub connections_open: u64,
+    /// Connections refused at accept time.
+    pub shed_total: u64,
+    /// Bytes read from clients.
+    pub bytes_in: u64,
+    /// Bytes written to clients.
+    pub bytes_out: u64,
+    /// Lines rejected for exceeding the maximum length.
+    pub oversize_lines: u64,
+    /// Connections closed by the read idle timeout.
+    pub idle_timeouts: u64,
+    /// Responses written across all connections.
+    pub responses_total: u64,
+    /// Per-connection write-queue wait histogram.
+    pub write_queue_wait: HistogramSnapshot,
+}
+
 /// Render a snapshot in the Prometheus text exposition format: one
 /// `ise_*_total` counter family per engine counter and one histogram
 /// family per latency histogram, with cumulative `_bucket{le="..."}`
@@ -323,23 +393,80 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         ),
     ];
     for (name, help, h) in histograms {
+        push_histogram(&mut out, name, help, h);
+    }
+    out
+}
+
+fn push_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!(
+        "# HELP ise_{name} {help}\n# TYPE ise_{name} histogram\n"
+    ));
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        cumulative += c;
         out.push_str(&format!(
-            "# HELP ise_{name} {help}\n# TYPE ise_{name} histogram\n"
-        ));
-        let mut cumulative = 0u64;
-        for (i, &c) in h.buckets.iter().enumerate() {
-            cumulative += c;
-            out.push_str(&format!(
-                "ise_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                bucket_upper_us(i)
-            ));
-        }
-        out.push_str(&format!(
-            "ise_{name}_bucket{{le=\"+Inf\"}} {count}\nise_{name}_sum {sum}\nise_{name}_count {count}\n",
-            count = h.count,
-            sum = h.sum_us
+            "ise_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            bucket_upper_us(i)
         ));
     }
+    out.push_str(&format!(
+        "ise_{name}_bucket{{le=\"+Inf\"}} {count}\nise_{name}_sum {sum}\nise_{name}_count {count}\n",
+        count = h.count,
+        sum = h.sum_us
+    ));
+}
+
+/// [`prometheus_text`] plus the TCP-frontend series: connection counters
+/// and gauges, byte counters, shed/oversize/idle-timeout counters, and
+/// the per-connection write-queue-wait histogram.
+pub fn prometheus_text_with_net(snap: &MetricsSnapshot, net: &NetMetricsSnapshot) -> String {
+    let mut out = prometheus_text(snap);
+    let counters: [(&str, &str, u64); 7] = [
+        (
+            "connections_total",
+            "Connections accepted, including shed ones",
+            net.connections_total,
+        ),
+        (
+            "shed_total",
+            "Connections refused at accept time",
+            net.shed_total,
+        ),
+        ("bytes_in_total", "Bytes read from clients", net.bytes_in),
+        ("bytes_out_total", "Bytes written to clients", net.bytes_out),
+        (
+            "oversize_lines_total",
+            "Lines rejected for exceeding the maximum length",
+            net.oversize_lines,
+        ),
+        (
+            "idle_timeouts_total",
+            "Connections closed by the read idle timeout",
+            net.idle_timeouts,
+        ),
+        (
+            "net_responses_total",
+            "Responses written across all connections",
+            net.responses_total,
+        ),
+    ];
+    for (name, help, value) in counters {
+        out.push_str(&format!(
+            "# HELP ise_{name} {help}\n# TYPE ise_{name} counter\nise_{name} {value}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "# HELP ise_connections_open Currently open connections\n\
+         # TYPE ise_connections_open gauge\nise_connections_open {}\n",
+        net.connections_open
+    ));
+    push_histogram(
+        &mut out,
+        "net_queue_wait_us",
+        "Response wait in the per-connection write queue",
+        &net.write_queue_wait,
+    );
     out
 }
 
@@ -420,6 +547,47 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 1);
         assert_eq!(s.p50_us, s.p99_us);
+    }
+
+    #[test]
+    fn prometheus_net_series_are_well_formed() {
+        let m = EngineMetrics::default();
+        let net = NetMetrics::default();
+        NetMetrics::inc_counter(&net.connections_total);
+        NetMetrics::inc_counter(&net.shed_total);
+        net.bytes_in.fetch_add(512, Ordering::Relaxed);
+        net.bytes_out.fetch_add(2048, Ordering::Relaxed);
+        net.write_queue_wait.record(Duration::from_micros(33));
+        let text = prometheus_text_with_net(&m.snapshot(), &net.snapshot());
+        for family in [
+            "# TYPE ise_connections_total counter",
+            "# TYPE ise_connections_open gauge",
+            "# TYPE ise_shed_total counter",
+            "# TYPE ise_bytes_in_total counter",
+            "# TYPE ise_bytes_out_total counter",
+            "# TYPE ise_oversize_lines_total counter",
+            "# TYPE ise_idle_timeouts_total counter",
+            "# TYPE ise_net_responses_total counter",
+            "# TYPE ise_net_queue_wait_us histogram",
+        ] {
+            assert!(text.contains(family), "missing {family}\n{text}");
+        }
+        assert!(text.contains("ise_connections_total 1"), "{text}");
+        assert!(text.contains("ise_shed_total 1"), "{text}");
+        assert!(text.contains("ise_bytes_in_total 512"), "{text}");
+        assert!(text.contains("ise_net_queue_wait_us_count 1"), "{text}");
+        // The engine series are still present and every line stays
+        // machine-parseable.
+        assert!(text.contains("# TYPE ise_requests_total counter"), "{text}");
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "bad line: {line}");
+            assert!(parts.next().is_some(), "bad line: {line}");
+        }
     }
 
     #[test]

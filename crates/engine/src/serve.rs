@@ -7,7 +7,10 @@
 //! Request lines are [`EngineRequest`] JSON objects; the only required
 //! field is `instance`. Malformed lines produce an `"error"` response
 //! instead of aborting the stream, so one bad record cannot poison a
-//! batch. Blank lines are skipped.
+//! batch. Blank lines are skipped. Lines longer than
+//! [`ServeOptions::max_line_len`] are discarded without buffering and
+//! answered with an inline error, so a single runaway record (or a
+//! hostile network client) cannot balloon server memory.
 //!
 //! # Sessions
 //!
@@ -18,7 +21,17 @@
 //! state is ordered, so a staged delta is always visible to the next
 //! `solve` on the stream. Session ids live in their own
 //! [`crate::engine::SESSION_ID_BASE`] (`2^62`) namespace and never
-//! collide with response ids.
+//! collide with response ids. Over TCP (see [`crate::net`]) sessions are
+//! additionally pinned to the connection that opened them.
+//!
+//! # Admin commands
+//!
+//! A line of the form `{"cmd": "shutdown"}` (optionally with an `id`)
+//! initiates a graceful drain: no further input is read, every in-flight
+//! request completes and is written in order, the shutdown line itself is
+//! acknowledged with an `"ok"` response, and the stream ends. On the TCP
+//! frontend this drains the whole server (stop accepting, drain every
+//! connection, flush, exit).
 //!
 //! # Id contract
 //!
@@ -35,10 +48,12 @@
 //! an earlier (head-of-line) response; beyond that the reader blocks on
 //! the head rather than buffering the whole input.
 
-use crate::engine::{status, Engine, EngineConfig, EngineRequest, EngineResponse, ResponseSlot};
-use crate::metrics::{prometheus_text, MetricsSnapshot};
+use crate::engine::{
+    status, Engine, EngineConfig, EngineRequest, EngineResponse, ResponseSlot, GLOBAL_SCOPE,
+};
+use crate::metrics::{prometheus_text, MetricsSnapshot, NetMetrics};
 use std::collections::VecDeque;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, ErrorKind, Write};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -51,7 +66,8 @@ enum Pending {
     /// Submitted; the worker pool will fill the slot.
     InFlight(ResponseSlot),
     /// Failed before reaching the pool (parse error, reserved id,
-    /// rejected submit).
+    /// rejected submit) or resolved synchronously (session command,
+    /// admin ack).
     Immediate(Box<EngineResponse>),
 }
 
@@ -82,12 +98,31 @@ impl Pending {
     }
 }
 
+/// A pending response plus the instant it entered the write queue, so the
+/// network frontend can histogram head-of-line wait.
+struct Entry {
+    pending: Pending,
+    queued: Instant,
+}
+
+impl Entry {
+    fn new(pending: Pending) -> Entry {
+        Entry {
+            pending,
+            queued: Instant::now(),
+        }
+    }
+}
+
 /// How [`serve_with`] streams and reports.
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Maximum responses buffered while waiting for an earlier one;
     /// reading blocks on the head-of-line response beyond this.
     pub max_pending: usize,
+    /// Maximum accepted request-line length in bytes. Longer lines are
+    /// discarded (never buffered) and answered with an inline error.
+    pub max_line_len: usize,
     /// Write engine metrics in the Prometheus text format to this path,
     /// periodically and at end of stream.
     pub metrics_out: Option<PathBuf>,
@@ -99,11 +134,16 @@ impl Default for ServeOptions {
     fn default() -> ServeOptions {
         ServeOptions {
             max_pending: 1024,
+            max_line_len: DEFAULT_MAX_LINE_LEN,
             metrics_out: None,
             metrics_interval: Duration::from_secs(1),
         }
     }
 }
+
+/// Default [`ServeOptions::max_line_len`]: 1 MiB comfortably fits any
+/// realistic instance while bounding per-line memory.
+pub const DEFAULT_MAX_LINE_LEN: usize = 1 << 20;
 
 /// Outcome of one [`serve`] run.
 pub struct ServeSummary {
@@ -113,7 +153,7 @@ pub struct ServeSummary {
     pub metrics: MetricsSnapshot,
 }
 
-fn immediate_response(id: u64, message: String) -> EngineResponse {
+pub(crate) fn immediate_response(id: u64, message: String) -> EngineResponse {
     EngineResponse {
         id,
         status: status::ERROR.to_string(),
@@ -133,6 +173,132 @@ fn immediate_error(id: u64, message: String) -> Pending {
     Pending::Immediate(Box::new(immediate_response(id, message)))
 }
 
+/// One line's worth of outcome from a bounded read.
+pub(crate) enum LineRead {
+    /// A complete line, newline (and any trailing `\r`) stripped.
+    Line(String),
+    /// The line exceeded the limit; its bytes through the next newline
+    /// (or EOF) were consumed and discarded.
+    TooLong,
+    /// End of input with no pending bytes.
+    Eof,
+}
+
+/// Incremental bounded line assembly. Partial-line state survives
+/// `WouldBlock`/`TimedOut` errors from the underlying reader, so a
+/// socket with a short read timeout can be *polled* for the next line —
+/// that is how the TCP frontend streams responses out while the peer is
+/// quiet — without ever losing bytes already pulled off the wire.
+pub(crate) struct LineReader {
+    buf: Vec<u8>,
+    overlong: bool,
+}
+
+impl LineReader {
+    pub(crate) fn new() -> LineReader {
+        LineReader {
+            buf: Vec::new(),
+            overlong: false,
+        }
+    }
+
+    /// Read one newline-terminated line from `input`, buffering at most
+    /// `max_len` bytes. An over-limit line is *consumed* (streamed past
+    /// in buffer-sized chunks, never accumulated) and reported as
+    /// [`LineRead::TooLong`], so the reader stays line-synchronized with
+    /// the peer. Invalid UTF-8 is replaced rather than treated as an I/O
+    /// error — a garbage line should produce one inline parse error, not
+    /// kill the stream.
+    pub(crate) fn poll_line<R: BufRead>(
+        &mut self,
+        input: &mut R,
+        max_len: usize,
+    ) -> std::io::Result<LineRead> {
+        loop {
+            let available = match input.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Partial-line state stays in `self` for the next poll.
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF. A partial unterminated line still counts as a line
+                // (matching `BufRead::lines`); an overlong one is
+                // reported.
+                let overlong = std::mem::replace(&mut self.overlong, false);
+                let buf = std::mem::take(&mut self.buf);
+                return Ok(if overlong {
+                    LineRead::TooLong
+                } else if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    finish_line(buf)
+                });
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    // A trailing `\r` is protocol framing, not payload:
+                    // it is stripped below, so it does not count against
+                    // the limit.
+                    let ends_cr = if pos > 0 {
+                        available[pos - 1] == b'\r'
+                    } else {
+                        self.buf.last() == Some(&b'\r')
+                    };
+                    let content_len = self.buf.len() + pos - usize::from(ends_cr);
+                    if !self.overlong && content_len > max_len {
+                        self.overlong = true;
+                        self.buf.clear();
+                    }
+                    let overlong = std::mem::replace(&mut self.overlong, false);
+                    let mut buf = std::mem::take(&mut self.buf);
+                    if !overlong {
+                        buf.extend_from_slice(&available[..pos]);
+                    }
+                    input.consume(pos + 1);
+                    return Ok(if overlong {
+                        LineRead::TooLong
+                    } else {
+                        finish_line(buf)
+                    });
+                }
+                None => {
+                    let len = available.len();
+                    if !self.overlong {
+                        // `+ 1` leaves room for a `\r` that may precede a
+                        // newline in the next chunk; the exact check
+                        // happens at the newline. Memory stays bounded by
+                        // max + 1.
+                        if self.buf.len() + len > max_len + 1 {
+                            self.overlong = true;
+                            self.buf.clear();
+                        } else {
+                            self.buf.extend_from_slice(available);
+                        }
+                    }
+                    input.consume(len);
+                }
+            }
+        }
+    }
+}
+
+/// One-shot [`LineReader::poll_line`] for inputs without read timeouts.
+#[cfg(test)]
+pub(crate) fn read_bounded_line<R: BufRead>(
+    input: &mut R,
+    max_len: usize,
+) -> std::io::Result<LineRead> {
+    LineReader::new().poll_line(input, max_len)
+}
+
+fn finish_line(mut buf: Vec<u8>) -> LineRead {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+}
+
 /// Serialize one response, record the serialization latency, write and
 /// flush it.
 fn write_response<W: Write>(
@@ -150,20 +316,40 @@ fn write_response<W: Write>(
     Ok(())
 }
 
+/// Write one resolved entry: record its write-queue wait (network runs
+/// only), then serialize and flush.
+fn write_entry<W: Write>(
+    engine: &Engine,
+    output: &mut W,
+    response: &EngineResponse,
+    queued: Instant,
+    responses: &mut u64,
+    net: Option<&NetMetrics>,
+) -> std::io::Result<()> {
+    let _span = ise_obs::Span::enter("net.write");
+    if let Some(net) = net {
+        net.write_queue_wait.record(queued.elapsed());
+        NetMetrics::inc_counter(&net.responses_total);
+    }
+    write_response(engine, output, response, responses)
+}
+
 /// Pop and write every already-resolved response at the head of the
 /// queue. Responses behind an unresolved head stay queued to preserve
 /// input order.
 fn drain_ready<W: Write>(
     engine: &Engine,
-    pending: &mut VecDeque<Pending>,
+    pending: &mut VecDeque<Entry>,
     output: &mut W,
     responses: &mut u64,
+    net: Option<&NetMetrics>,
 ) -> std::io::Result<()> {
     while let Some(head) = pending.front_mut() {
-        match head.poll() {
+        match head.pending.poll() {
             Some(response) => {
+                let queued = head.queued;
                 pending.pop_front();
-                write_response(engine, output, &response, responses)?;
+                write_entry(engine, output, &response, queued, responses, net)?;
             }
             None => break,
         }
@@ -171,9 +357,237 @@ fn drain_ready<W: Write>(
     Ok(())
 }
 
+/// Blocking drain: resolve and write everything left, in order.
+fn drain_all<W: Write>(
+    engine: &Engine,
+    pending: &mut VecDeque<Entry>,
+    output: &mut W,
+    responses: &mut u64,
+    net: Option<&NetMetrics>,
+) -> std::io::Result<()> {
+    while let Some(entry) = pending.pop_front() {
+        let response = entry.pending.wait();
+        write_entry(engine, output, &response, entry.queued, responses, net)?;
+    }
+    Ok(())
+}
+
 fn write_metrics_file(engine: &Engine, path: &std::path::Path) -> std::io::Result<()> {
     let text = prometheus_text(&engine.metrics());
     std::fs::write(path, text)
+}
+
+/// Why [`serve_lines`] stopped reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LoopExit {
+    /// Input ended (EOF or peer disconnect).
+    Eof,
+    /// A `{"cmd": "shutdown"}` admin line was processed.
+    Shutdown,
+    /// A read timed out (`WouldBlock`/`TimedOut`) — the stream's idle
+    /// timeout fired. Only reachable when the input has a read deadline.
+    IdleTimeout,
+}
+
+/// Which stream this loop serves: its session scope and, for network
+/// connections, the shared net metrics and idle budget.
+pub(crate) struct StreamScope<'a> {
+    /// Session scope commands on this stream run under
+    /// ([`GLOBAL_SCOPE`] for stdin/file serving).
+    pub scope: u64,
+    /// Network counters, when this stream is a TCP connection.
+    pub net: Option<&'a NetMetrics>,
+    /// Give up on the stream when this long passes without a *complete*
+    /// line (so a byte-trickling slow-loris cannot hold the connection
+    /// open either). Requires the input to have a short read timeout,
+    /// whose `WouldBlock` wakeups double as response-drain ticks.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl StreamScope<'_> {
+    pub(crate) fn global() -> StreamScope<'static> {
+        StreamScope {
+            scope: GLOBAL_SCOPE,
+            net: None,
+            idle_timeout: None,
+        }
+    }
+}
+
+enum ParsedLine {
+    Entry(Pending),
+    /// The shutdown acknowledgment; the caller drains and stops reading.
+    Shutdown(Pending),
+}
+
+/// Classify and dispatch one non-blank input line: admin command,
+/// session command (synchronous, scope-checked), or worker-pool submit.
+fn parse_line(engine: &Engine, scope: u64, line: &str, lineno: usize) -> ParsedLine {
+    let fallback_id = FALLBACK_ID_BASE + lineno as u64;
+    // Admin commands carry a top-level `"cmd"` key. The substring check is
+    // a fast path: a `"cmd"` that merely appears inside some value falls
+    // through to the normal request parse below.
+    if line.contains("\"cmd\"") {
+        if let Ok(v) = serde_json::from_str::<serde_json::Value>(line) {
+            if let Some(cmd) = v.get("cmd").and_then(|c| c.as_str()) {
+                let id = v
+                    .get("id")
+                    .and_then(|i| i.as_u64())
+                    .filter(|&i| i < FALLBACK_ID_BASE)
+                    .unwrap_or(fallback_id);
+                return match cmd {
+                    "shutdown" => {
+                        let mut ack = immediate_response(id, String::new());
+                        ack.status = status::OK.to_string();
+                        ack.error = None;
+                        ParsedLine::Shutdown(Pending::Immediate(Box::new(ack)))
+                    }
+                    other => ParsedLine::Entry(immediate_error(
+                        id,
+                        format!(
+                            "line {}: unknown admin cmd `{other}` (expected shutdown)",
+                            lineno + 1
+                        ),
+                    )),
+                };
+            }
+        }
+    }
+    let entry = match serde_json::from_str::<EngineRequest>(line) {
+        Ok(mut request) => match request.id {
+            Some(explicit) if explicit >= FALLBACK_ID_BASE => immediate_error(
+                explicit,
+                format!(
+                    "line {}: id {explicit} is in the server-reserved range \
+                     (ids must be < {FALLBACK_ID_BASE})",
+                    lineno + 1
+                ),
+            ),
+            _ => {
+                if request.id.is_none() {
+                    request.id = Some(fallback_id);
+                }
+                let id = request.id.expect("id assigned above");
+                if request.session.is_some() {
+                    // Session commands are ordered stream state (a delta
+                    // must be visible to the next solve), so they run
+                    // synchronously here instead of on the worker pool.
+                    Pending::Immediate(Box::new(engine.session_command_scoped(id, &request, scope)))
+                } else {
+                    match engine.submit(request) {
+                        Ok(slot) => Pending::InFlight(slot),
+                        Err(e) => immediate_error(id, e.to_string()),
+                    }
+                }
+            }
+        },
+        Err(e) => immediate_error(fallback_id, format!("line {}: {e}", lineno + 1)),
+    };
+    ParsedLine::Entry(entry)
+}
+
+/// The serve loop shared by the stdin/file path and every TCP connection:
+/// read bounded lines, dispatch them against `engine`, and stream ordered
+/// responses to `output` under the `max_pending` head-of-line discipline.
+/// Returns why reading stopped; all pending work is drained and flushed
+/// before returning (including on a returned I/O error's best-effort
+/// path — a dead writer ends the drain early).
+pub(crate) fn serve_lines<R: BufRead, W: Write>(
+    engine: &Engine,
+    input: &mut R,
+    output: &mut W,
+    opts: &ServeOptions,
+    ctx: &StreamScope<'_>,
+    responses: &mut u64,
+) -> std::io::Result<LoopExit> {
+    let max_pending = opts.max_pending.max(1);
+    let mut pending: VecDeque<Entry> = VecDeque::new();
+    let mut line_reader = LineReader::new();
+    let mut last_metrics = Instant::now();
+    let mut last_line = Instant::now();
+    let mut lineno = 0usize;
+    let exit = loop {
+        let line = {
+            let _span = ise_obs::Span::enter("net.read");
+            line_reader.poll_line(input, opts.max_line_len)
+        };
+        let parsed = match line {
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // A read-timeout tick, not (yet) an idle disconnect: flush
+                // whatever resolved while the peer was quiet, then either
+                // give up on a genuinely idle stream or poll again.
+                drain_ready(engine, &mut pending, output, responses, ctx.net)?;
+                match ctx.idle_timeout {
+                    Some(idle) if last_line.elapsed() >= idle => break LoopExit::IdleTimeout,
+                    _ => continue,
+                }
+            }
+            Err(e) => {
+                // Flush whatever already resolved before surfacing the
+                // error; ignore secondary failures on the way down.
+                let _ = drain_all(engine, &mut pending, output, responses, ctx.net);
+                return Err(e);
+            }
+            Ok(LineRead::Eof) => break LoopExit::Eof,
+            Ok(LineRead::TooLong) => {
+                last_line = Instant::now();
+                if let Some(net) = ctx.net {
+                    NetMetrics::inc_counter(&net.oversize_lines);
+                }
+                let entry = immediate_error(
+                    FALLBACK_ID_BASE + lineno as u64,
+                    format!(
+                        "line {}: exceeds the maximum line length ({} bytes)",
+                        lineno + 1,
+                        opts.max_line_len
+                    ),
+                );
+                lineno += 1;
+                ParsedLine::Entry(entry)
+            }
+            Ok(LineRead::Line(text)) => {
+                last_line = Instant::now();
+                let this_line = lineno;
+                lineno += 1;
+                if text.trim().is_empty() {
+                    continue;
+                }
+                parse_line(engine, ctx.scope, &text, this_line)
+            }
+        };
+        match parsed {
+            ParsedLine::Shutdown(ack) => {
+                pending.push_back(Entry::new(ack));
+                break LoopExit::Shutdown;
+            }
+            ParsedLine::Entry(entry) => {
+                pending.push_back(Entry::new(entry));
+                drain_ready(engine, &mut pending, output, responses, ctx.net)?;
+                while pending.len() >= max_pending {
+                    // Bounded buffering: block on the head-of-line
+                    // response instead of queueing the rest of the input.
+                    let head = pending.pop_front().expect("len >= 1");
+                    let response = head.pending.wait();
+                    write_entry(engine, output, &response, head.queued, responses, ctx.net)?;
+                    drain_ready(engine, &mut pending, output, responses, ctx.net)?;
+                }
+            }
+        }
+        // Periodic metrics are per-process state: the file/stdin path
+        // writes them here; the TCP frontend's acceptor owns them instead
+        // (it folds in the net series).
+        if ctx.net.is_none() {
+            if let Some(path) = &opts.metrics_out {
+                if last_metrics.elapsed() >= opts.metrics_interval {
+                    write_metrics_file(engine, path)?;
+                    last_metrics = Instant::now();
+                }
+            }
+        }
+    };
+    drain_all(engine, &mut pending, output, responses, ctx.net)?;
+    output.flush()?;
+    Ok(exit)
 }
 
 /// [`serve_with`] under default [`ServeOptions`].
@@ -189,7 +603,8 @@ pub fn serve<R: BufRead, W: Write>(
 /// and stream JSONL responses to `output` in input order (see the module
 /// docs for the id contract and backpressure behavior).
 ///
-/// I/O errors abort the run; per-request failures do not.
+/// I/O errors abort the run; per-request failures do not. A
+/// `{"cmd": "shutdown"}` line stops reading early after a full drain.
 pub fn serve_with<R: BufRead, W: Write>(
     input: R,
     output: &mut W,
@@ -197,69 +612,16 @@ pub fn serve_with<R: BufRead, W: Write>(
     opts: &ServeOptions,
 ) -> std::io::Result<ServeSummary> {
     let engine = Engine::new(config);
-    let max_pending = opts.max_pending.max(1);
-    let mut pending: VecDeque<Pending> = VecDeque::new();
+    let mut input = input;
     let mut responses = 0u64;
-    let mut last_metrics = Instant::now();
-    for (lineno, line) in input.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fallback_id = FALLBACK_ID_BASE + lineno as u64;
-        let entry = match serde_json::from_str::<EngineRequest>(&line) {
-            Ok(mut request) => match request.id {
-                Some(explicit) if explicit >= FALLBACK_ID_BASE => immediate_error(
-                    explicit,
-                    format!(
-                        "line {}: id {explicit} is in the server-reserved range \
-                         (ids must be < {FALLBACK_ID_BASE})",
-                        lineno + 1
-                    ),
-                ),
-                _ => {
-                    if request.id.is_none() {
-                        request.id = Some(fallback_id);
-                    }
-                    let id = request.id.expect("id assigned above");
-                    if request.session.is_some() {
-                        // Session commands are ordered stream state (a
-                        // delta must be visible to the next solve), so
-                        // they run synchronously here instead of on the
-                        // worker pool.
-                        Pending::Immediate(Box::new(engine.session_command(id, &request)))
-                    } else {
-                        match engine.submit(request) {
-                            Ok(slot) => Pending::InFlight(slot),
-                            Err(e) => immediate_error(id, e.to_string()),
-                        }
-                    }
-                }
-            },
-            Err(e) => immediate_error(fallback_id, format!("line {}: {e}", lineno + 1)),
-        };
-        pending.push_back(entry);
-        drain_ready(&engine, &mut pending, output, &mut responses)?;
-        while pending.len() >= max_pending {
-            // Bounded buffering: block on the head-of-line response
-            // instead of queueing the rest of the input.
-            let head = pending.pop_front().expect("len >= 1").wait();
-            write_response(&engine, output, &head, &mut responses)?;
-            drain_ready(&engine, &mut pending, output, &mut responses)?;
-        }
-        if let Some(path) = &opts.metrics_out {
-            if last_metrics.elapsed() >= opts.metrics_interval {
-                write_metrics_file(&engine, path)?;
-                last_metrics = Instant::now();
-            }
-        }
-    }
-
-    while let Some(entry) = pending.pop_front() {
-        let response = entry.wait();
-        write_response(&engine, output, &response, &mut responses)?;
-    }
-    output.flush()?;
+    serve_lines(
+        &engine,
+        &mut input,
+        output,
+        opts,
+        &StreamScope::global(),
+        &mut responses,
+    )?;
     let metrics = engine.metrics();
     if let Some(path) = &opts.metrics_out {
         write_metrics_file(&engine, path)?;
@@ -270,7 +632,7 @@ pub fn serve_with<R: BufRead, W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{BufReader, Read};
+    use std::io::{BufReader, Cursor, Read};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -354,6 +716,146 @@ mod tests {
         );
         // It never reached the engine.
         assert_eq!(summary.metrics.requests, 0);
+    }
+
+    #[test]
+    fn bounded_line_reader_boundaries() {
+        // Small BufReader capacity forces multi-chunk assembly.
+        let text = "abcd\nefgh\r\nij\ntoolongline\nk";
+        let mut r = BufReader::with_capacity(3, Cursor::new(text.as_bytes()));
+        let max = 4;
+        match read_bounded_line(&mut r, max).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "abcd"),
+            _ => panic!("exact-limit line must pass"),
+        }
+        match read_bounded_line(&mut r, max).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "efgh"),
+            _ => panic!("CRLF line of limit length must pass"),
+        }
+        match read_bounded_line(&mut r, max).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "ij"),
+            _ => panic!("short line"),
+        }
+        assert!(matches!(
+            read_bounded_line(&mut r, max).unwrap(),
+            LineRead::TooLong
+        ));
+        // The reader resynchronized past the newline: the trailing
+        // unterminated byte still comes through as a line.
+        match read_bounded_line(&mut r, max).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "k"),
+            _ => panic!("unterminated final line"),
+        }
+        assert!(matches!(
+            read_bounded_line(&mut r, max).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversize_line_gets_inline_error_and_stream_continues() {
+        // The serve loop must answer the over-limit line inline (without
+        // ever buffering it) and keep serving the rest of the stream.
+        let huge = format!("{{\"id\": 1, \"instance\": \"{}\"}}", "x".repeat(4096));
+        let input = format!("{huge}\n{}\n", request_line(2, 4));
+        let mut out = Vec::new();
+        let summary = serve_with(
+            input.as_bytes(),
+            &mut out,
+            EngineConfig::default(),
+            &ServeOptions {
+                max_line_len: 256,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.responses, 2);
+        let lines: Vec<serde_json::Value> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines[0]["status"].as_str(), Some("error"));
+        assert_eq!(lines[0]["id"].as_u64(), Some(FALLBACK_ID_BASE));
+        assert!(
+            lines[0]["error"]
+                .as_str()
+                .unwrap()
+                .contains("maximum line length (256 bytes)"),
+            "{:?}",
+            lines[0]
+        );
+        assert_eq!(lines[1]["id"].as_u64(), Some(2));
+        assert_eq!(lines[1]["status"].as_str(), Some("ok"));
+        // The oversize line never reached the engine.
+        assert_eq!(summary.metrics.requests, 1);
+    }
+
+    #[test]
+    fn admin_shutdown_drains_and_stops_reading() {
+        let input = format!(
+            "{}\n{{\"id\": 5, \"cmd\": \"shutdown\"}}\n{}\n",
+            request_line(1, 4),
+            request_line(9, 5)
+        );
+        let mut out = Vec::new();
+        let summary = serve(input.as_bytes(), &mut out, EngineConfig::default()).unwrap();
+        // The request before the shutdown resolves; the line after it is
+        // never read.
+        assert_eq!(summary.responses, 2);
+        assert_eq!(summary.metrics.requests, 1);
+        let lines: Vec<serde_json::Value> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines[0]["id"].as_u64(), Some(1));
+        assert_eq!(lines[0]["status"].as_str(), Some("ok"));
+        assert_eq!(lines[1]["id"].as_u64(), Some(5));
+        assert_eq!(lines[1]["status"].as_str(), Some("ok"));
+        assert!(lines[1]["schedule"].is_null());
+    }
+
+    #[test]
+    fn unknown_admin_cmd_is_an_inline_error() {
+        let input = "{\"cmd\": \"reboot\"}\n".to_string() + &request_line(3, 4) + "\n";
+        let mut out = Vec::new();
+        let summary = serve(input.as_bytes(), &mut out, EngineConfig::default()).unwrap();
+        assert_eq!(summary.responses, 2);
+        let lines: Vec<serde_json::Value> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines[0]["status"].as_str(), Some("error"));
+        assert!(
+            lines[0]["error"]
+                .as_str()
+                .unwrap()
+                .contains("unknown admin"),
+            "{:?}",
+            lines[0]
+        );
+        assert_eq!(lines[1]["status"].as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn cmd_inside_a_value_is_not_an_admin_command() {
+        // `"cmd"` appears as a *value*, not a key: the line must go down
+        // the normal request path (and fail on the unknown backend).
+        let input = "{\"id\": 1, \"instance\": {\"jobs\": [{\"id\": 0, \"release\": 0, \
+                     \"deadline\": 30, \"proc\": 4}], \"machines\": 1, \"calib_len\": 10}, \
+                     \"mm\": \"cmd\"}\n";
+        let mut out = Vec::new();
+        serve(input.as_bytes(), &mut out, EngineConfig::default()).unwrap();
+        let resp: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&out).unwrap().lines().next().unwrap())
+                .unwrap();
+        assert_eq!(resp["status"].as_str(), Some("error"));
+        assert!(
+            resp["error"].as_str().unwrap().contains("mm backend"),
+            "{resp:?}"
+        );
     }
 
     /// Yields one request line per `read` call, sleeping before the final

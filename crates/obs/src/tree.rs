@@ -54,6 +54,22 @@ impl PhaseTimings {
         }
     }
 
+    /// Fold another timing block into this one, summing calls and totals
+    /// per phase. Phases unseen so far are appended in `other`'s order, so
+    /// repeated merges of similarly-shaped blocks (e.g. one per network
+    /// connection) keep a stable pipeline ordering.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        for p in &other.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.calls += p.calls;
+                    q.total_us += p.total_us;
+                }
+                None => self.phases.push(p.clone()),
+            }
+        }
+    }
+
     /// Total microseconds recorded for `name`, or `None` when the phase
     /// never ran.
     pub fn total_us(&self, name: &str) -> Option<u64> {
@@ -184,6 +200,28 @@ mod tests {
         assert_eq!(phases.total_us("lp.solve"), Some(60));
         assert_eq!(phases.phases[1].calls, 2);
         assert_eq!(phases.total_us("missing"), None);
+    }
+
+    #[test]
+    fn merge_sums_matching_phases_and_appends_new_ones() {
+        let mut acc = PhaseTimings::from_records(&[
+            rec(1, 0, "net.read", 0, 30),
+            rec(2, 0, "net.write", 40, 10),
+        ]);
+        let other = PhaseTimings::from_records(&[
+            rec(1, 0, "net.write", 0, 5),
+            rec(2, 0, "solve", 10, 100),
+        ]);
+        acc.merge(&other);
+        assert_eq!(acc.phases.len(), 3);
+        assert_eq!(acc.total_us("net.read"), Some(30));
+        assert_eq!(acc.total_us("net.write"), Some(15));
+        assert_eq!(acc.phases[1].calls, 2);
+        assert_eq!(acc.total_us("solve"), Some(100));
+        // Merging into an empty block copies `other` verbatim.
+        let mut empty = PhaseTimings::default();
+        empty.merge(&acc);
+        assert_eq!(empty, acc);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! ise exact    <instance.json> [--max-calibrations K]
 //! ise serve    [requests.jsonl] [--workers N] [--timeout-ms MS] [--out FILE]
 //!              [--metrics FILE] [--metrics-out FILE]
+//!              [--listen HOST:PORT] [--max-connections N]
+//!              [--idle-timeout-ms MS] [--max-line-len BYTES]
 //! ise trace    <instance.json> [--trim] [--mm BACKEND] [--speed S]
 //! ise bench    [--quick] [--reps N] [--out FILE] [--check FILE] [--threshold X]
 //! ise fuzz     [--seed S] [--cases N] [--max-jobs N] [--oracles LIST]
@@ -23,15 +25,22 @@
 //! `solve` write them, so the commands compose through files. `serve` reads
 //! one JSON request per line (stdin when no file is given) and writes one
 //! JSON response per line in input order, streamed as results resolve; see
-//! [`ise::engine::serve`]. `--metrics-out` additionally writes engine
-//! counters and latency histograms in the Prometheus text format. `trace`
+//! [`ise::engine::serve`]. With `--listen HOST:PORT` it serves the same
+//! protocol over TCP instead — one session scope per connection, load
+//! shedding at the connection cap, idle timeouts, and graceful drain on a
+//! `{"cmd": "shutdown"}` line; see [`ise::engine::net`]. `--metrics-out`
+//! additionally writes engine (and, under `--listen`, network) counters
+//! and latency histograms in the Prometheus text format. `trace`
 //! runs one solve under an [`ise::obs`] trace and prints the span tree
 //! with per-phase wall time.
 //!
 //! Flag parsing is strict: unknown `--flags` and value flags missing their
 //! value are errors, not silently ignored.
 
-use ise::engine::{serve_with, EngineConfig, ServeOptions, ServeSummary};
+use ise::engine::{
+    serve_with, EngineConfig, MetricsSnapshot, NetMetricsSnapshot, NetOptions, NetServer,
+    ServeOptions, ServeSummary,
+};
 use ise::model::{
     render_gantt, validate, validate_relaxed, validate_tise, Instance, RenderOptions, Schedule,
 };
@@ -71,8 +80,10 @@ const USAGE: &str = "usage:
   ise exact    <instance.json> [--max-calibrations K]
   ise serve    [requests.jsonl] [--workers N] [--queue-capacity N]
                [--cache-capacity N] [--timeout-ms MS] [--no-fallback]
-               [--max-pending N] [--out FILE] [--metrics FILE]
-               [--metrics-out FILE]
+               [--max-pending N] [--max-line-len BYTES] [--out FILE]
+               [--metrics FILE] [--metrics-out FILE]
+               [--listen HOST:PORT] [--max-connections N]
+               [--idle-timeout-ms MS]
   ise trace    <instance.json> [--trim]
                [--mm auto|exact|greedy|unit|lp-round|portfolio] [--speed S]
   ise bench    [--quick] [--reps N] [--out FILE] [--check FILE]
@@ -380,9 +391,13 @@ fn cmd_serve(args: &[&String]) -> Result<(), String> {
         "--cache-capacity",
         "--timeout-ms",
         "--max-pending",
+        "--max-line-len",
         "--out",
         "--metrics",
         "--metrics-out",
+        "--listen",
+        "--max-connections",
+        "--idle-timeout-ms",
     ];
     const SWITCH: &[&str] = &["--no-fallback"];
     check_flags(args, VALUE, SWITCH)?;
@@ -409,11 +424,24 @@ fn cmd_serve(args: &[&String]) -> Result<(), String> {
     let serve_defaults = ServeOptions::default();
     let serve_opts = ServeOptions {
         max_pending: parse(args, "--max-pending", serve_defaults.max_pending)?,
+        max_line_len: parse(args, "--max-line-len", serve_defaults.max_line_len)?,
         metrics_out: flag_value(args, "--metrics-out")?.map(std::path::PathBuf::from),
         ..serve_defaults
     };
     if serve_opts.max_pending == 0 {
         return Err("--max-pending must be at least 1".into());
+    }
+    if serve_opts.max_line_len == 0 {
+        return Err("--max-line-len must be at least 1".into());
+    }
+
+    if let Some(addr) = flag_value(args, "--listen")? {
+        return serve_listen(args, &pos, addr, config, serve_opts);
+    }
+    for flag in ["--max-connections", "--idle-timeout-ms"] {
+        if flag_present(args, flag) {
+            return Err(format!("{flag} requires --listen"));
+        }
     }
 
     let out = flag_value(args, "--out")?;
@@ -435,6 +463,66 @@ fn cmd_serve(args: &[&String]) -> Result<(), String> {
         None => eprintln!("{metrics_json}"),
     }
     eprintln!("served {} responses", summary.responses);
+    Ok(())
+}
+
+/// The `--metrics` summary shape for `--listen` runs: engine counters
+/// plus the network series and the per-phase span totals merged across
+/// connections.
+#[derive(serde::Serialize)]
+struct ListenMetrics {
+    engine: MetricsSnapshot,
+    net: NetMetricsSnapshot,
+    phases: ise::obs::PhaseTimings,
+}
+
+/// `ise serve --listen`: put the engine on a TCP socket (see
+/// [`ise::engine::net`]). Blocks until a client sends
+/// `{"cmd": "shutdown"}`, then drains every connection and reports.
+fn serve_listen(
+    args: &[&String],
+    pos: &[&String],
+    addr: &str,
+    config: EngineConfig,
+    serve_opts: ServeOptions,
+) -> Result<(), String> {
+    if !pos.is_empty() {
+        return Err("--listen and an input file cannot be combined".into());
+    }
+    if flag_present(args, "--out") {
+        return Err("--listen writes responses to clients; --out is not supported".into());
+    }
+    let max_connections: usize = parse(args, "--max-connections", 256usize)?;
+    if max_connections == 0 {
+        return Err("--max-connections must be at least 1".into());
+    }
+    // `--idle-timeout-ms 0` disables the idle timeout.
+    let idle_ms: u64 = parse(args, "--idle-timeout-ms", 60_000u64)?;
+    let opts = NetOptions {
+        max_connections,
+        idle_timeout: (idle_ms > 0).then(|| Duration::from_millis(idle_ms)),
+        serve: serve_opts,
+    };
+    let server = NetServer::bind(addr, config, opts).map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!("listening on {}", server.local_addr());
+    let summary = server.join();
+    let metrics = ListenMetrics {
+        engine: summary.metrics,
+        net: summary.net,
+        phases: summary.phases,
+    };
+    let metrics_json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
+    match flag_value(args, "--metrics")? {
+        Some(path) => {
+            std::fs::write(path, &metrics_json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => eprintln!("{metrics_json}"),
+    }
+    eprintln!(
+        "served {} responses over {} connections",
+        summary.responses, summary.connections
+    );
     Ok(())
 }
 

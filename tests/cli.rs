@@ -281,6 +281,86 @@ fn serve_metrics_out_writes_prometheus_text() {
 }
 
 #[test]
+fn serve_bounds_line_length_on_the_file_path() {
+    // The non-network serve path enforces --max-line-len too: the
+    // over-limit line gets an inline error and the stream keeps going.
+    let dir = tempdir();
+    let reqs = dir.join("longline_reqs.jsonl");
+    let resps = dir.join("longline_resps.jsonl");
+    std::fs::write(
+        &reqs,
+        format!(
+            "{{\"id\": 0, \"note\": \"{}\"}}\n{{\"id\": 1, \"instance\": {{\"jobs\": \
+             [{{\"id\": 0, \"release\": 0, \"deadline\": 30, \"proc\": 4}}], \
+             \"machines\": 1, \"calib_len\": 10}}}}\n",
+            "x".repeat(4096)
+        ),
+    )
+    .unwrap();
+    let (ok, _, err) = ise(&[
+        "serve",
+        reqs.to_str().unwrap(),
+        "--max-line-len",
+        "256",
+        "--out",
+        resps.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(err.contains("served 2 responses"), "{err}");
+    let body = std::fs::read_to_string(&resps).unwrap();
+    let lines: Vec<serde_json::Value> = body
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines[0]["status"].as_str(), Some("error"));
+    assert!(
+        lines[0]["error"]
+            .as_str()
+            .unwrap()
+            .contains("maximum line length (256 bytes)"),
+        "{:?}",
+        lines[0]
+    );
+    assert_eq!(lines[1]["id"].as_u64(), Some(1));
+    assert_eq!(lines[1]["status"].as_str(), Some("ok"));
+}
+
+#[test]
+fn serve_listen_flag_validation_is_strict() {
+    // Network-only flags demand --listen.
+    let (ok, _, err) = ise(&["serve", "--max-connections", "4"]);
+    assert!(!ok);
+    assert!(err.contains("--max-connections requires --listen"), "{err}");
+    let (ok, _, err) = ise(&["serve", "--idle-timeout-ms", "500"]);
+    assert!(!ok);
+    assert!(err.contains("--idle-timeout-ms requires --listen"), "{err}");
+
+    // --listen is exclusive with file input and --out.
+    let (ok, _, err) = ise(&["serve", "reqs.jsonl", "--listen", "127.0.0.1:0"]);
+    assert!(!ok);
+    assert!(err.contains("cannot be combined"), "{err}");
+    let (ok, _, err) = ise(&["serve", "--listen", "127.0.0.1:0", "--out", "x.jsonl"]);
+    assert!(!ok);
+    assert!(err.contains("--out is not supported"), "{err}");
+
+    // Zero-valued limits are rejected before any socket is bound.
+    let (ok, _, err) = ise(&["serve", "--listen", "127.0.0.1:0", "--max-connections", "0"]);
+    assert!(!ok);
+    assert!(
+        err.contains("--max-connections must be at least 1"),
+        "{err}"
+    );
+    let (ok, _, err) = ise(&["serve", "--max-line-len", "0"]);
+    assert!(!ok);
+    assert!(err.contains("--max-line-len must be at least 1"), "{err}");
+
+    // Unknown flags stay hard errors.
+    let (ok, _, err) = ise(&["serve", "--listen-port", "9000"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag"), "{err}");
+}
+
+#[test]
 fn trace_prints_span_tree_for_mixed_instance() {
     let dir = tempdir();
     let inst = dir.join("trace.json");
