@@ -18,7 +18,7 @@ use ise_model::{Instance, Job};
 use ise_sched::lp::{build, solve_lp_warm, TiseLp};
 use ise_sched::{solve, SolverOptions};
 use ise_simplex::SolveOptions as LpOptions;
-use ise_workloads::{long_only, uniform, WorkloadParams};
+use ise_workloads::{ill_conditioned, long_only, uniform, WorkloadParams};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -42,7 +42,7 @@ pub const DEFAULT_THRESHOLD: f64 = 2.0;
 pub struct WorkloadSpec {
     /// Stable name used to match runs against the baseline.
     pub name: String,
-    /// Generator family (`long_only` or `uniform`).
+    /// Generator family (`long_only`, `uniform`, or `ill_conditioned`).
     pub family: String,
     /// Job count.
     pub jobs: usize,
@@ -76,6 +76,7 @@ impl WorkloadSpec {
         match self.family.as_str() {
             "long_only" => Ok(long_only(&self.params(), self.seed)),
             "uniform" => Ok(uniform(&self.params(), self.seed)),
+            "ill_conditioned" => Ok(ill_conditioned(&self.params(), self.seed)),
             other => Err(format!("unknown workload family {other:?}")),
         }
     }
@@ -124,6 +125,10 @@ pub fn suite(quick: bool) -> Vec<WorkloadSpec> {
     ];
     if !quick {
         specs.push(spec("long_large", "long_only", 72, 3, 12, 420, 13));
+        // Numerics stressor: degenerate ties, nearly coincident windows,
+        // and extreme tick magnitudes. Keeps the Harris ratio test and the
+        // residual-recovery ladder on the measured path.
+        specs.push(spec("ill_cond", "ill_conditioned", 48, 3, 10, 300, 29));
     }
     specs.push(wide_spec());
     specs

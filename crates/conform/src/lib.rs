@@ -28,7 +28,7 @@ pub use corpus::{load_corpus, replay, write_repro, ReplayReport, Repro, REPRO_SC
 pub use oracle::{check_instance, Discrepancy, Oracle, OracleOptions};
 pub use shrink::{shrink, ShrinkReport};
 
-use ise_workloads::{adversarial_case, WorkloadParams};
+use ise_workloads::{adversarial_case, family_case, WorkloadFamily, WorkloadParams};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -62,6 +62,9 @@ pub struct FuzzConfig {
     pub max_horizon: i64,
     /// Which oracles to run.
     pub oracles: Vec<Oracle>,
+    /// Pin case generation to one workload family (`None` draws from the
+    /// full adversarial mix, including the Partition-hard construction).
+    pub family: Option<WorkloadFamily>,
     /// Wall-clock budget; `None` runs all `cases`.
     pub time_budget: Option<Duration>,
     /// Shrink discrepancies before reporting (disable for raw triage).
@@ -84,6 +87,7 @@ impl Default for FuzzConfig {
             max_calib_len: 12,
             max_horizon: 120,
             oracles: Oracle::ALL.to_vec(),
+            family: None,
             time_budget: None,
             shrink: true,
             shrink_evals: 4_000,
@@ -148,7 +152,10 @@ pub fn fuzz(config: &FuzzConfig, mut progress: impl FnMut(u64)) -> FuzzReport {
             }
         }
         let seed = case_seed(config.seed, case);
-        let (instance, provenance) = adversarial_case(&params, seed);
+        let (instance, provenance) = match config.family {
+            Some(family) => family_case(family, &params, seed),
+            None => adversarial_case(&params, seed),
+        };
         let mut opts = config.oracle_opts.clone();
         opts.meta_seed = seed;
         cases_run += 1;
@@ -244,6 +251,24 @@ mod tests {
         };
         let report = fuzz(&config, |_| ());
         assert_eq!(report.cases_run, 12);
+        if let Some(f) = &report.failure {
+            panic!(
+                "unexpected discrepancy: {} ({:?})",
+                f.repro.detail, f.repro.instance
+            );
+        }
+    }
+
+    #[test]
+    fn family_pinned_run_passes_all_oracles() {
+        let config = FuzzConfig {
+            seed: 0xBAD_1C0,
+            cases: 8,
+            family: Some(WorkloadFamily::IllConditioned),
+            ..FuzzConfig::default()
+        };
+        let report = fuzz(&config, |_| ());
+        assert_eq!(report.cases_run, 8);
         if let Some(f) = &report.failure {
             panic!(
                 "unexpected discrepancy: {} ({:?})",

@@ -266,6 +266,31 @@ fn check_budgets(instance: &Instance, base: &Base) -> Result<(), Discrepancy> {
             ));
         }
     }
+    // Numerics: the simplex residual monitor must have run on every LP
+    // solve and left the basis residual under the solver's own tolerance —
+    // otherwise the rounding above consumed fractional masses the basis
+    // cannot reproduce.
+    if let Some(long) = &out.long {
+        let numerics = &long.fractional.numerics;
+        if numerics.residual_checks == 0 {
+            return Err(disc(
+                o,
+                "LP solve finished without a single residual check".to_string(),
+            ));
+        }
+        let tol = ise_simplex::SolveOptions::default().residual_tol;
+        if numerics.max_residual > tol {
+            return Err(disc(
+                o,
+                format!(
+                    "LP basis residual {:.3e} exceeds the solver tolerance {tol:.1e} \
+                     after {} recoveries",
+                    numerics.max_residual,
+                    numerics.recoveries_total()
+                ),
+            ));
+        }
+    }
     // Lemma 2: the TISE transform of the long-window schedule is valid and
     // costs exactly 3x.
     if instance.all_long() && !instance.is_empty() {
@@ -405,14 +430,16 @@ fn check_exact(instance: &Instance, base: &Base, opts: &OracleOptions) -> Result
 }
 
 /// Solve with the dense explicit-inverse simplex kernel under Dantzig
-/// pricing — the oracle differs from the base solve on both the basis
-/// representation axis and the pricing-rule axis, so agreement
-/// cross-checks devex partial pricing too.
+/// pricing and the pre-Harris baseline ratio test — the oracle differs
+/// from the base solve on the basis-representation axis, the pricing-rule
+/// axis, and the ratio-test axis, so agreement cross-checks devex partial
+/// pricing and the Harris two-pass rule in one shot.
 fn dense_options() -> SolverOptions {
     let mut opts = SolverOptions::default();
     opts.long.lp = ise_simplex::SolveOptions {
         dense: true,
         pricing: ise_simplex::Pricing::Dantzig,
+        ratio_test: ise_simplex::RatioTest::Baseline,
         ..ise_simplex::SolveOptions::default()
     };
     opts

@@ -34,6 +34,14 @@ pub enum SchedError {
         /// What was required.
         requirement: &'static str,
     },
+    /// Time arithmetic would leave the `i64` tick range (e.g. the Lemma 13
+    /// speed transform applied with a refinement factor too large for the
+    /// schedule's horizon). A clean verdict instead of a release-mode wrap
+    /// or an abort, so fuzzing can shrink the repro.
+    TimeOverflow {
+        /// Which computation overflowed.
+        context: &'static str,
+    },
     /// The exact solver exceeded its search budget.
     BudgetExceeded,
     /// The solve was cancelled before completion (explicit request or
@@ -55,6 +63,12 @@ impl fmt::Display for SchedError {
             }
             SchedError::Precondition { requirement } => {
                 write!(f, "precondition violated: {requirement}")
+            }
+            SchedError::TimeOverflow { context } => {
+                write!(
+                    f,
+                    "time arithmetic overflowed the i64 tick range in {context}"
+                )
             }
             SchedError::BudgetExceeded => write!(f, "exact search budget exceeded"),
             SchedError::Cancelled => write!(f, "solve cancelled"),

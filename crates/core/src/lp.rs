@@ -29,8 +29,8 @@ use crate::error::SchedError;
 use crate::points::{calibration_points, feasible_range};
 use ise_model::{Dur, Job, Time};
 use ise_simplex::{
-    check_dual, check_solution, solve_with_presolve_warm, Basis, Cmp, LinearProgram, PricingStats,
-    SolveOptions, SolveStatus,
+    check_dual, check_solution, solve_with_presolve_warm, Basis, Cmp, LinearProgram,
+    NumericsReport, PricingStats, SolveOptions, SolveStatus,
 };
 use std::time::Instant;
 
@@ -76,6 +76,9 @@ pub struct FractionalSolution {
     /// Deterministic pricing-effort counters from the simplex (columns
     /// scanned, window hits, full rescans, Bland activations).
     pub pricing: PricingStats,
+    /// Numerical-health telemetry from the simplex: residual-monitor
+    /// readings, recovery-ladder activations, ratio-test statistics.
+    pub numerics: NumericsReport,
     /// The optimal basis of the (presolved) LP; feed it back via
     /// [`relax_and_solve_warm`] when re-solving the same jobs with a
     /// perturbed machine budget.
@@ -228,6 +231,7 @@ pub fn solve_lp_warm(
         refactorizations: sol.refactorizations,
         warm_used: sol.warm_used,
         pricing: sol.pricing,
+        numerics: sol.numerics,
         basis: sol.basis,
         build_us: 0,
         solve_us,
@@ -490,6 +494,18 @@ mod tests {
         // Deterministic: an identical solve reports identical counters.
         let again = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
         assert_eq!(sol.pricing, again.pricing);
+    }
+
+    #[test]
+    fn numerics_report_flows_through() {
+        let jobs = vec![Job::new(0, 0, 40, 7), Job::new(1, 0, 45, 6)];
+        let sol = relax_and_solve(&jobs, Dur(10), 3, &opts()).unwrap();
+        assert!(
+            sol.numerics.residual_checks >= 1,
+            "every LP solve gets at least the exit residual check"
+        );
+        assert!(sol.numerics.max_residual <= ise_simplex::SolveOptions::default().residual_tol);
+        assert_eq!(sol.numerics.recoveries_total(), 0);
     }
 
     #[test]

@@ -14,7 +14,9 @@ use std::fmt;
 
 /// LP-solver telemetry for one solve, serialized into engine responses so
 /// `ise serve` traffic carries per-request perf data.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+///
+/// (`PartialEq` only: the residual fields are `f64`.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
 pub struct LpTelemetry {
     /// Simplex iterations across both phases.
     pub iterations: usize,
@@ -41,6 +43,22 @@ pub struct LpTelemetry {
     /// Average pivots between basis rebuilds
     /// (`iterations / max(1, refactorizations)`).
     pub pivots_per_refactor: u64,
+    /// Residual-monitor checks (`‖B·x_B − b‖∞ / (1 + ‖b‖∞)`) that ran.
+    pub residual_checks: u64,
+    /// Worst relative residual observed across the solve.
+    pub max_residual: f64,
+    /// Relative residual of the final check.
+    pub last_residual: f64,
+    /// Recovery-ladder rung 1 activations (mid-solve refactorization).
+    pub recoveries_refactor: u64,
+    /// Recovery-ladder rung 2 activations (tightened pivot tolerance).
+    pub recoveries_tighten: u64,
+    /// Recovery-ladder rung 3 activations (Dantzig full pricing).
+    pub recoveries_dantzig: u64,
+    /// Recovery-ladder rung 4 activations (dense-kernel fallback).
+    pub recoveries_dense: u64,
+    /// Harris ratio-test pass-2 picks beyond the strict minimum ratio.
+    pub harris_relaxations: u64,
 }
 
 impl LpTelemetry {
@@ -59,7 +77,23 @@ impl LpTelemetry {
             bland_activations: l.fractional.pricing.bland_activations,
             pivots_per_refactor: l.fractional.iterations as u64
                 / (l.fractional.refactorizations.max(1) as u64),
+            residual_checks: l.fractional.numerics.residual_checks,
+            max_residual: l.fractional.numerics.max_residual,
+            last_residual: l.fractional.numerics.last_residual,
+            recoveries_refactor: l.fractional.numerics.recoveries_refactor,
+            recoveries_tighten: l.fractional.numerics.recoveries_tighten,
+            recoveries_dantzig: l.fractional.numerics.recoveries_dantzig,
+            recoveries_dense: l.fractional.numerics.recoveries_dense,
+            harris_relaxations: l.fractional.numerics.harris_relaxations,
         })
+    }
+
+    /// Total recovery-ladder activations across all rungs.
+    pub fn recoveries_total(&self) -> u64 {
+        self.recoveries_refactor
+            + self.recoveries_tighten
+            + self.recoveries_dantzig
+            + self.recoveries_dense
     }
 }
 
@@ -158,6 +192,18 @@ impl fmt::Display for SolveReport {
                 t.bland_activations,
                 t.pivots_per_refactor
             )?;
+            writeln!(
+                f,
+                "LP numerics: {} residual checks, max residual {:.2e}, \
+                 {} recoveries (refactor {} / tighten {} / dantzig {} / dense {})",
+                t.residual_checks,
+                t.max_residual,
+                t.recoveries_total(),
+                t.recoveries_refactor,
+                t.recoveries_tighten,
+                t.recoveries_dantzig,
+                t.recoveries_dense
+            )?;
         }
         if self.short_jobs > 0 {
             writeln!(f, "crossing jobs: {}", self.crossing_jobs)?;
@@ -201,9 +247,12 @@ mod tests {
         assert!(text.contains("calibrations"));
         assert!(text.contains("bounds: work"));
         assert!(text.contains("LP pricing:"), "pricing stats line: {text}");
+        assert!(text.contains("LP numerics:"), "numerics line: {text}");
         let lp = report.lp.expect("long pipeline ran");
         assert!(lp.cols_scanned > 0);
         assert!(lp.pivots_per_refactor > 0);
+        assert!(lp.residual_checks >= 1);
+        assert_eq!(lp.recoveries_total(), 0);
     }
 
     #[test]

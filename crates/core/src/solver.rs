@@ -319,7 +319,7 @@ pub fn solve_with_speed(
     if speed == 1 {
         return solve(instance, opts);
     }
-    let refined = refine_for_speed(instance, speed);
+    let refined = try_refine_for_speed(instance, speed)?;
     let mut outcome = solve(&refined, opts)?;
     // Re-label: times are already in refined ticks; declare the scale.
     outcome.schedule.time_scale = speed;
@@ -329,17 +329,35 @@ pub fn solve_with_speed(
 
 /// The refined instance a speed-`s` solver sees: windows scaled by `s`,
 /// processing times unchanged, calibration length `s·T`.
+///
+/// Panics when the scaled times leave the representable horizon; use
+/// [`try_refine_for_speed`] for a fallible verdict.
 pub fn refine_for_speed(instance: &Instance, speed: i64) -> Instance {
+    try_refine_for_speed(instance, speed).expect("refinement stays in the representable horizon")
+}
+
+/// Fallible [`refine_for_speed`]: scaling an instance whose times sit near
+/// `MAX_INSTANCE_TICKS` would leave the representable horizon — that is
+/// reported as [`SchedError::TimeOverflow`] instead of a wrap or a panic.
+pub fn try_refine_for_speed(instance: &Instance, speed: i64) -> Result<Instance, SchedError> {
+    let overflow = || SchedError::TimeOverflow {
+        context: "speed refinement of the instance",
+    };
+    let scale = |v: i64| v.checked_mul(speed).ok_or_else(overflow);
     let mut b =
-        ise_model::InstanceBuilder::new(instance.machines(), instance.calib_len().ticks() * speed);
+        ise_model::InstanceBuilder::new(instance.machines(), scale(instance.calib_len().ticks())?);
     for j in instance.jobs() {
         b.push(
-            j.release.ticks() * speed,
-            j.deadline.ticks() * speed,
+            scale(j.release.ticks())?,
+            scale(j.deadline.ticks())?,
             j.proc.ticks(),
         );
     }
-    b.build().expect("refinement preserves model invariants")
+    match b.build() {
+        Ok(refined) => Ok(refined),
+        Err(ise_model::ModelError::HorizonOverflow { .. }) => Err(overflow()),
+        Err(e) => panic!("refinement preserves model invariants: {e}"),
+    }
 }
 
 /// Highest machine id in use plus one (the span to offset by when taking

@@ -20,6 +20,20 @@
 use crate::error::SchedError;
 use ise_model::{Instance, Schedule, Time};
 
+/// `a * b` or a [`SchedError::TimeOverflow`] verdict. The group size is
+/// caller-chosen, so even a validated instance can overflow here — every
+/// scaled quantity goes through these guards instead of raw arithmetic.
+#[inline]
+fn cmul(a: i64, b: i64, context: &'static str) -> Result<i64, SchedError> {
+    a.checked_mul(b).ok_or(SchedError::TimeOverflow { context })
+}
+
+/// `a + b` or a [`SchedError::TimeOverflow`] verdict.
+#[inline]
+fn cadd(a: i64, b: i64, context: &'static str) -> Result<i64, SchedError> {
+    a.checked_add(b).ok_or(SchedError::TimeOverflow { context })
+}
+
 /// Outcome of the machine→speed transformation.
 #[derive(Clone, Debug)]
 pub struct SpeedTransformOutcome {
@@ -51,10 +65,16 @@ pub fn trade_machines_for_speed(
         });
     }
     let c = group_size as i64;
-    let scale = 2 * c; // target time refinement and speed
+    let scale = cmul(2, c, "speed transform: refinement factor 2c")?;
     let t_len = instance.calib_len();
-    let t_scaled = t_len.scale(scale);
-    let half = t_len.ticks() * c; // T/2 in scaled units
+    // Reject up front any horizon the refinement cannot represent; the
+    // per-value guards below catch everything this coarse check misses.
+    t_len
+        .try_scale(scale)
+        .map_err(|_| SchedError::TimeOverflow {
+            context: "speed transform: calibration length at scale 2c",
+        })?;
+    let half = cmul(t_len.ticks(), c, "speed transform: half-calibration T·c")?;
     let slot = t_len.ticks(); // T/(2c) in scaled units
 
     // Group source machines: sort ids, chunk into groups of `group_size`.
@@ -74,7 +94,6 @@ pub fn trade_machines_for_speed(
         )?;
     }
     debug_assert!(out.num_calibrations() <= source.num_calibrations());
-    let _ = t_scaled;
     Ok(SpeedTransformOutcome {
         schedule: out,
         group_size,
@@ -116,10 +135,20 @@ fn transform_group(
     loop {
         // Does any source calibration cover instant `cur`?
         let idx = starts.partition_point(|&s| s <= cur);
-        let covered = idx > 0 && cur < starts[idx - 1] + t_len;
+        let covered = idx > 0
+            && cur
+                < starts[idx - 1]
+                    .checked_add(t_len)
+                    .map_err(|_| SchedError::TimeOverflow {
+                        context: "speed transform: calibration end",
+                    })?;
         if covered {
             targets.push(cur);
-            cur += t_len;
+            cur = cur
+                .checked_add(t_len)
+                .map_err(|_| SchedError::TimeOverflow {
+                    context: "speed transform: time walk",
+                })?;
         } else {
             // Jump to the next source calibration start strictly after cur.
             match starts.get(idx) {
@@ -131,7 +160,10 @@ fn transform_group(
 
     // Emit target calibrations in scaled units.
     for &t in &targets {
-        out.calibrate(target_machine, t.scale(scale));
+        let scaled = t.try_scale(scale).map_err(|_| SchedError::TimeOverflow {
+            context: "speed transform: target calibration start at scale 2c",
+        })?;
+        out.calibrate(target_machine, scaled);
     }
 
     // Map each source calibration to a slot; remember slot origins so the
@@ -144,14 +176,22 @@ fn transform_group(
     for &(cs, gi) in &cals {
         // First half of target t: t - T/2 <= cs <= t  (scaled comparison).
         // Second half: t <= cs <= t + T/2.
-        let cs_s = cs.ticks() * scale;
+        let cs_s = cmul(
+            cs.ticks(),
+            scale,
+            "speed transform: source start at scale 2c",
+        )?;
         let mut chosen: Option<(usize, bool)> = None;
         // Binary search targets around cs.
         let pos = targets.partition_point(|&t| t <= cs);
         // Candidate second-half host: the last target <= cs.
         if let Some(ti) = pos.checked_sub(1) {
-            let t_s = targets[ti].ticks() * scale;
-            if cs_s <= t_s + half {
+            let t_s = cmul(
+                targets[ti].ticks(),
+                scale,
+                "speed transform: target start at scale 2c",
+            )?;
+            if cs_s <= cadd(t_s, half, "speed transform: second-half bound")? {
                 chosen = Some((ti, false)); // second half
             }
         }
@@ -162,8 +202,12 @@ fn transform_group(
                 ti -= 1;
             }
             if let Some(&t) = targets.get(ti) {
-                let t_s = t.ticks() * scale;
-                if t_s - half <= cs_s && cs_s <= t_s {
+                let t_s = cmul(
+                    t.ticks(),
+                    scale,
+                    "speed transform: target start at scale 2c",
+                )?;
+                if cadd(t_s, -half, "speed transform: first-half bound")? <= cs_s && cs_s <= t_s {
                     chosen = Some((ti, true)); // first half
                 }
             }
@@ -180,9 +224,21 @@ fn transform_group(
                 jobs: vec![],
             });
         }
-        let t_s = targets[ti].ticks() * scale;
-        let base = if first_half { t_s } else { t_s + half };
-        slot_of.insert((cs, gi), base + gi as i64 * slot);
+        let t_s = cmul(
+            targets[ti].ticks(),
+            scale,
+            "speed transform: target start at scale 2c",
+        )?;
+        let base = if first_half {
+            t_s
+        } else {
+            cadd(t_s, half, "speed transform: second-half base")?
+        };
+        let in_group = cmul(gi as i64, slot, "speed transform: in-group slot offset")?;
+        slot_of.insert(
+            (cs, gi),
+            cadd(base, in_group, "speed transform: slot start")?,
+        );
     }
 
     // Translate placements: job offset within its source calibration is
@@ -207,7 +263,8 @@ fn transform_group(
             jobs: vec![p.job],
         })?;
         let offset = (p.start - cs).ticks(); // scaled units after 2c-speedup
-        out.place(p.job, target_machine, Time(slot_start + offset));
+        let start = cadd(slot_start, offset, "speed transform: placement start")?;
+        out.place(p.job, target_machine, Time(start));
         let _ = instance;
     }
     Ok(())
@@ -307,6 +364,26 @@ mod tests {
         assert!(matches!(
             trade_machines_for_speed(&inst, &src, 1),
             Err(SchedError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_refinement_yields_overflow_verdict_not_panic() {
+        // A horizon near the validated maximum survives the Theorem 14
+        // refinement (c = 18, scale 36) but not an absurd caller-chosen
+        // group size; the old code aborted via `expect("time scale
+        // overflow")`, now it reports a clean error a fuzzer can shrink.
+        let edge = ise_model::MAX_INSTANCE_TICKS;
+        let inst = Instance::new([(edge - 40, edge, 4)], 1, 10).unwrap();
+        let mut src = Schedule::new();
+        src.calibrate(0, Time(edge - 40));
+        src.place(JobId(0), 0, Time(edge - 40));
+        ise_model::validate_tise(&inst, &src).unwrap();
+
+        assert!(trade_machines_for_speed(&inst, &src, 18).is_ok());
+        assert!(matches!(
+            trade_machines_for_speed(&inst, &src, 1_000),
+            Err(SchedError::TimeOverflow { .. })
         ));
     }
 

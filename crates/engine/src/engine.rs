@@ -545,6 +545,9 @@ impl Engine {
                             Verdict::Feasible { report, schedule } => {
                                 let mut r = session_response(id, status::OK, Some(i));
                                 r.calibrations = Some(report.stats.calibrations as u64);
+                                if let Some(t) = &report.lp {
+                                    record_lp_numerics(&self.shared.metrics, t);
+                                }
                                 r.lp = report.lp;
                                 r.schedule = Some(schedule);
                                 r
@@ -778,6 +781,9 @@ fn handle_request(
         Ok(outcome) if !overran => {
             let calibrations = outcome.schedule.num_calibrations();
             let lp = LpTelemetry::from_outcome(&outcome);
+            if let Some(t) = &lp {
+                record_lp_numerics(&shared.metrics, t);
+            }
             if let Some(basis) = outcome
                 .long
                 .as_ref()
@@ -839,6 +845,24 @@ fn handle_request(
     }
 }
 
+/// Fold one solve's LP numerics into the engine counters: one residual
+/// histogram sample per monitored solve plus per-rung recovery counts.
+fn record_lp_numerics(metrics: &EngineMetrics, t: &LpTelemetry) {
+    if t.residual_checks > 0 {
+        metrics.lp_residual.record(t.max_residual);
+    }
+    for (counter, n) in [
+        (&metrics.lp_recoveries_refactor, t.recoveries_refactor),
+        (&metrics.lp_recoveries_tighten, t.recoveries_tighten),
+        (&metrics.lp_recoveries_dantzig, t.recoveries_dantzig),
+        (&metrics.lp_recoveries_dense, t.recoveries_dense),
+    ] {
+        if n > 0 {
+            counter.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -869,6 +893,11 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
+        // The long-window pipeline ran once; its residual monitor feeds the
+        // LP numerics histogram, and a healthy solve climbs no ladder rung.
+        assert_eq!(m.lp_residual.count, 1);
+        assert_eq!(m.lp_recoveries_refactor, 0);
+        assert_eq!(m.lp_recoveries_dense, 0);
     }
 
     #[test]

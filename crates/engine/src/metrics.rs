@@ -55,6 +55,79 @@ impl LatencyHistogram {
     }
 }
 
+/// Upper bounds of the LP residual histogram buckets (relative residual,
+/// log₁₀-spaced). A final implicit `+Inf` bucket catches anything worse.
+pub const RESIDUAL_BOUNDS: [f64; 6] = [1e-15, 1e-12, 1e-9, 1e-6, 1e-3, 1e0];
+
+/// Lock-free log₁₀ histogram of relative LP residuals
+/// (`‖B·x_B − b‖∞ / (1 + ‖b‖∞)` per solve, reported by the simplex
+/// residual monitor).
+pub struct ResidualHistogram {
+    buckets: [AtomicU64; RESIDUAL_BOUNDS.len() + 1],
+    /// Sum of recorded residuals, stored as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+impl Default for ResidualHistogram {
+    fn default() -> ResidualHistogram {
+        ResidualHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl ResidualHistogram {
+    /// Record one solve's worst relative residual.
+    pub fn record(&self, r: f64) {
+        let r = if r.is_finite() { r.max(0.0) } else { f64::MAX };
+        let idx = RESIDUAL_BOUNDS
+            .iter()
+            .position(|&b| r <= b)
+            .unwrap_or(RESIDUAL_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + r).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Read the bucket counts.
+    pub fn snapshot(&self) -> ResidualHistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        ResidualHistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+/// Serializable view of the residual histogram.
+#[derive(Clone, Debug, Serialize)]
+pub struct ResidualHistogramSnapshot {
+    /// Total recorded solves.
+    pub count: u64,
+    /// Sum of recorded residuals.
+    pub sum: f64,
+    /// Raw counts; bucket `i` covers residuals `<= RESIDUAL_BOUNDS[i]`
+    /// (cumulative from the previous bound), with a trailing `+Inf` bucket.
+    pub buckets: Vec<u64>,
+}
+
 /// Upper bound (µs) of bucket `i`: `2^i - 1`, saturating.
 fn bucket_upper_us(i: usize) -> u64 {
     if i >= 64 {
@@ -128,6 +201,17 @@ pub struct EngineMetrics {
     /// Session commits that recomputed everything (first commit or
     /// structural deltas).
     pub session_reuse_cold: AtomicU64,
+    /// LP recovery-ladder rung 1 activations (mid-solve refactorization).
+    pub lp_recoveries_refactor: AtomicU64,
+    /// LP recovery-ladder rung 2 activations (tightened pivot tolerance).
+    pub lp_recoveries_tighten: AtomicU64,
+    /// LP recovery-ladder rung 3 activations (Dantzig full pricing).
+    pub lp_recoveries_dantzig: AtomicU64,
+    /// LP recovery-ladder rung 4 activations (dense-kernel fallback).
+    pub lp_recoveries_dense: AtomicU64,
+    /// Worst relative LP residual per solve, for solves where the residual
+    /// monitor ran.
+    pub lp_residual: ResidualHistogram,
     /// Time requests spent queued before a worker picked them up.
     pub queue_wait: LatencyHistogram,
     /// Time spent in the solver (cache misses only).
@@ -158,6 +242,11 @@ impl EngineMetrics {
             session_reuse_basis: self.session_reuse_basis.load(Ordering::Relaxed),
             session_reuse_warm: self.session_reuse_warm.load(Ordering::Relaxed),
             session_reuse_cold: self.session_reuse_cold.load(Ordering::Relaxed),
+            lp_recoveries_refactor: self.lp_recoveries_refactor.load(Ordering::Relaxed),
+            lp_recoveries_tighten: self.lp_recoveries_tighten.load(Ordering::Relaxed),
+            lp_recoveries_dantzig: self.lp_recoveries_dantzig.load(Ordering::Relaxed),
+            lp_recoveries_dense: self.lp_recoveries_dense.load(Ordering::Relaxed),
+            lp_residual: self.lp_residual.snapshot(),
             cache_evictions: 0,
             basis_cache_entries: 0,
             sessions_open: 0,
@@ -197,6 +286,16 @@ pub struct MetricsSnapshot {
     pub session_reuse_warm: u64,
     /// Session commits at the cold reuse tier.
     pub session_reuse_cold: u64,
+    /// LP recovery-ladder activations, rung 1 (refactorization).
+    pub lp_recoveries_refactor: u64,
+    /// LP recovery-ladder activations, rung 2 (tightened pivot tolerance).
+    pub lp_recoveries_tighten: u64,
+    /// LP recovery-ladder activations, rung 3 (Dantzig pricing).
+    pub lp_recoveries_dantzig: u64,
+    /// LP recovery-ladder activations, rung 4 (dense fallback).
+    pub lp_recoveries_dense: u64,
+    /// Per-solve worst relative LP residual histogram.
+    pub lp_residual: ResidualHistogramSnapshot,
     /// Result- and basis-cache entries evicted by LRU capacity pressure
     /// (gauge; filled in by `Engine::metrics`, 0 from a bare
     /// `EngineMetrics::snapshot`).
@@ -353,6 +452,36 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
             "ise_session_reuse_total{{tier=\"{tier}\"}} {value}\n"
         ));
     }
+    out.push_str(
+        "# HELP ise_lp_recoveries_total LP numerical recoveries by ladder rung\n\
+         # TYPE ise_lp_recoveries_total counter\n",
+    );
+    for (rung, value) in [
+        ("refactor", snap.lp_recoveries_refactor),
+        ("tighten", snap.lp_recoveries_tighten),
+        ("dantzig", snap.lp_recoveries_dantzig),
+        ("dense", snap.lp_recoveries_dense),
+    ] {
+        out.push_str(&format!(
+            "ise_lp_recoveries_total{{rung=\"{rung}\"}} {value}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP ise_lp_residual Worst relative LP residual per solve\n\
+         # TYPE ise_lp_residual histogram\n",
+    );
+    let mut cumulative = 0u64;
+    for (i, &bound) in RESIDUAL_BOUNDS.iter().enumerate() {
+        cumulative += snap.lp_residual.buckets.get(i).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "ise_lp_residual_bucket{{le=\"{bound:e}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "ise_lp_residual_bucket{{le=\"+Inf\"}} {count}\nise_lp_residual_sum {sum:e}\nise_lp_residual_count {count}\n",
+        count = snap.lp_residual.count,
+        sum = snap.lp_residual.sum
+    ));
     let gauges: [(&str, &str, u64); 3] = [
         (
             "cache_evictions",
@@ -577,7 +706,7 @@ mod tests {
         assert!(text.contains("ise_bytes_in_total 512"), "{text}");
         assert!(text.contains("ise_net_queue_wait_us_count 1"), "{text}");
         // The engine series are still present and every line stays
-        // machine-parseable.
+        // machine-parseable (f64: the residual histogram emits floats).
         assert!(text.contains("# TYPE ise_requests_total counter"), "{text}");
         for line in text.lines() {
             if line.starts_with('#') {
@@ -585,7 +714,7 @@ mod tests {
             }
             let mut parts = line.rsplitn(2, ' ');
             let value = parts.next().unwrap();
-            assert!(value.parse::<u64>().is_ok(), "bad line: {line}");
+            assert!(value.parse::<f64>().is_ok(), "bad line: {line}");
             assert!(parts.next().is_some(), "bad line: {line}");
         }
     }
@@ -625,18 +754,65 @@ mod tests {
             text.contains("# TYPE ise_basis_cache_entries gauge"),
             "{text}"
         );
+        assert!(
+            text.contains("# TYPE ise_lp_recoveries_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ise_lp_recoveries_total{rung=\"dense\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE ise_lp_residual histogram"), "{text}");
+        assert!(
+            text.contains("ise_lp_residual_bucket{le=\"1e-6\"}"),
+            "{text}"
+        );
         // Bucket series must be cumulative: the +Inf bucket equals _count.
         let inf: Vec<&str> = text.lines().filter(|l| l.contains("le=\"+Inf\"")).collect();
-        assert_eq!(inf.len(), 3, "{text}");
-        // Every non-comment line is `name{labels} value` or `name value`.
+        assert_eq!(inf.len(), 4, "{text}");
+        // Every non-comment line is `name{labels} value` or `name value`
+        // (f64: the residual histogram emits floats).
         for line in text.lines() {
             if line.starts_with('#') {
                 continue;
             }
             let mut parts = line.rsplitn(2, ' ');
             let value = parts.next().unwrap();
-            assert!(value.parse::<u64>().is_ok(), "bad line: {line}");
+            assert!(value.parse::<f64>().is_ok(), "bad line: {line}");
             assert!(parts.next().is_some(), "bad line: {line}");
         }
+    }
+
+    #[test]
+    fn residual_histogram_buckets_and_prometheus_series() {
+        let m = EngineMetrics::default();
+        m.lp_residual.record(1e-14);
+        m.lp_residual.record(1e-7);
+        m.lp_residual.record(0.5);
+        m.lp_residual.record(f64::INFINITY); // clamps into +Inf bucket
+        EngineMetrics::inc(&m.lp_recoveries_refactor);
+        EngineMetrics::inc(&m.lp_recoveries_dense);
+        let snap = m.snapshot();
+        assert_eq!(snap.lp_residual.count, 4);
+        assert!(snap.lp_residual.sum >= 0.5);
+        let text = prometheus_text(&snap);
+        assert!(
+            text.contains("ise_lp_recoveries_total{rung=\"refactor\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ise_lp_recoveries_total{rung=\"dense\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ise_lp_residual_bucket{le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        // Cumulative: the 1e-12 bucket already contains the 1e-14 sample.
+        assert!(
+            text.contains("ise_lp_residual_bucket{le=\"1e-12\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ise_lp_residual_count 4"), "{text}");
     }
 }

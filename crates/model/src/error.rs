@@ -33,6 +33,17 @@ pub enum ModelError {
         /// Offending job index.
         job: usize,
     },
+    /// A time value's magnitude exceeds
+    /// [`MAX_INSTANCE_TICKS`](crate::MAX_INSTANCE_TICKS): downstream
+    /// arithmetic (the Lemma 13 speed transform refines ticks by up to 36)
+    /// would overflow `i64`.
+    HorizonOverflow {
+        /// Offending job index; `None` when the calibration length itself
+        /// is out of range.
+        job: Option<usize>,
+        /// The out-of-range tick value.
+        ticks: i64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -56,6 +67,18 @@ impl fmt::Display for ModelError {
             ModelError::WindowTooSmall { job } => {
                 write!(f, "job {job}: window cannot fit processing time")
             }
+            ModelError::HorizonOverflow { job, ticks } => match job {
+                Some(job) => write!(
+                    f,
+                    "job {job}: time value {ticks} exceeds the representable horizon \
+                     (|ticks| <= i64::MAX / 36)"
+                ),
+                None => write!(
+                    f,
+                    "calibration length {ticks} exceeds the representable horizon \
+                     (|ticks| <= i64::MAX / 36)"
+                ),
+            },
         }
     }
 }

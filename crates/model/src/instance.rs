@@ -222,8 +222,28 @@ impl InstanceBuilder {
         if self.machines == 0 {
             return Err(ModelError::NoMachines);
         }
+        // Magnitude validation runs before any arithmetic on the inputs:
+        // it both guards the `r + p > d` check below against wrapping and
+        // guarantees every validated instance survives the Lemma 13
+        // speed-36 refinement without overflowing i64.
+        let in_range =
+            |v: i64| (-crate::MAX_INSTANCE_TICKS..=crate::MAX_INSTANCE_TICKS).contains(&v);
+        if !in_range(self.calib_len) {
+            return Err(ModelError::HorizonOverflow {
+                job: None,
+                ticks: self.calib_len,
+            });
+        }
         let mut jobs = Vec::with_capacity(self.jobs.len());
         for (i, &(r, d, p)) in self.jobs.iter().enumerate() {
+            for v in [r, d, p] {
+                if !in_range(v) {
+                    return Err(ModelError::HorizonOverflow {
+                        job: Some(i),
+                        ticks: v,
+                    });
+                }
+            }
             if p <= 0 {
                 return Err(ModelError::NonPositiveProcessingTime { job: i });
             }
@@ -290,6 +310,44 @@ mod tests {
             Instance::new([(0, 4, 0)], 1, 10).unwrap_err(),
             ModelError::NonPositiveProcessingTime { job: 0 }
         ));
+    }
+
+    #[test]
+    fn rejects_times_beyond_the_representable_horizon() {
+        // Pre-validation, `r + p > d` wrapped in release for inputs near
+        // i64::MAX; now every out-of-range magnitude is rejected before
+        // any arithmetic runs.
+        let big = crate::MAX_INSTANCE_TICKS + 1;
+        assert_eq!(
+            Instance::new([(0, big, 5)], 1, 10).unwrap_err(),
+            ModelError::HorizonOverflow {
+                job: Some(0),
+                ticks: big
+            }
+        );
+        assert_eq!(
+            Instance::new([(-big, 20, 5)], 1, 10).unwrap_err(),
+            ModelError::HorizonOverflow {
+                job: Some(0),
+                ticks: -big
+            }
+        );
+        assert_eq!(
+            Instance::new([(0, 20, 5)], 1, big).unwrap_err(),
+            ModelError::HorizonOverflow {
+                job: None,
+                ticks: big
+            }
+        );
+        // The classic wrap witness: r near i64::MAX makes the window check
+        // `r + p > d` overflow without the magnitude guard.
+        assert!(matches!(
+            Instance::new([(i64::MAX - 2, i64::MAX - 1, 5)], 1, 10).unwrap_err(),
+            ModelError::HorizonOverflow { job: Some(0), .. }
+        ));
+        // The boundary itself is legal.
+        let edge = crate::MAX_INSTANCE_TICKS;
+        assert!(Instance::new([(edge - 10, edge, 5)], 1, 10).is_ok());
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub use job::{Job, JobId};
 pub use render::{render_gantt, RenderOptions};
 pub use schedule::{Calibration, Placement, Schedule};
 pub use stats::{MachineStats, ScheduleStats};
-pub use time::{Dur, Time};
+pub use time::{Dur, Time, TimeOverflow, MAX_INSTANCE_TICKS};
 pub use transform::{normalize_origin, rescale_ticks, shift_schedule, shift_time};
 pub use validate::{validate, validate_relaxed, validate_tise, ValidationError, ValidationReport};

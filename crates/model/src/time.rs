@@ -14,6 +14,37 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
 
+/// Largest tick magnitude a validated instance may contain. The Lemma 13
+/// speed transform refines ticks by up to `2c = 36` (Theorem 14 fixes
+/// `c = 18`), so bounding every release, deadline, processing time, and
+/// calibration length by `i64::MAX / 36` keeps the whole pipeline inside
+/// `i64` without per-operation overflow handling on validated data.
+pub const MAX_INSTANCE_TICKS: i64 = i64::MAX / 36;
+
+/// Time arithmetic left the `i64` tick range. Returned by the fallible
+/// entry points ([`Time::try_scale`], [`Dur::try_scale`],
+/// [`Time::checked_add`], …) so API boundaries can reject hostile
+/// magnitudes instead of panicking; the operator impls (`+`, `-`, `*`)
+/// treat overflow as a caller bug and panic deterministically in every
+/// build profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeOverflow {
+    /// The operation that overflowed.
+    pub op: &'static str,
+}
+
+impl fmt::Display for TimeOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "time arithmetic overflowed the i64 tick range in {}",
+            self.op
+        )
+    }
+}
+
+impl std::error::Error for TimeOverflow {}
+
 /// A point in time, measured in integer ticks from an arbitrary origin.
 /// Negative times are legal (the paper's Lemma 2 construction shifts
 /// calibrations by `-T`).
@@ -49,10 +80,39 @@ impl Time {
     }
 
     /// Multiply the tick count by an integer refinement factor. Used when
-    /// converting a schedule to a finer time scale (Theorem 14).
+    /// converting a schedule to a finer time scale (Theorem 14). Panics on
+    /// overflow; use [`Time::try_scale`] where the factor or the tick
+    /// count is not already bounded by validation.
     #[inline]
     pub fn scale(self, factor: i64) -> Time {
-        Time(self.0.checked_mul(factor).expect("time scale overflow"))
+        self.try_scale(factor).expect("time scale overflow")
+    }
+
+    /// Fallible [`Time::scale`]: `Err` instead of a panic on overflow.
+    #[inline]
+    pub fn try_scale(self, factor: i64) -> Result<Time, TimeOverflow> {
+        self.0
+            .checked_mul(factor)
+            .map(Time)
+            .ok_or(TimeOverflow { op: "Time::scale" })
+    }
+
+    /// Overflow-checked `self + rhs`.
+    #[inline]
+    pub fn checked_add(self, rhs: Dur) -> Result<Time, TimeOverflow> {
+        self.0
+            .checked_add(rhs.0)
+            .map(Time)
+            .ok_or(TimeOverflow { op: "Time + Dur" })
+    }
+
+    /// Overflow-checked `self - rhs`.
+    #[inline]
+    pub fn checked_sub(self, rhs: Dur) -> Result<Time, TimeOverflow> {
+        self.0
+            .checked_sub(rhs.0)
+            .map(Time)
+            .ok_or(TimeOverflow { op: "Time - Dur" })
     }
 }
 
@@ -85,18 +145,54 @@ impl Dur {
     }
 
     /// Multiply by an integer refinement factor (see [`Time::scale`]).
+    /// Panics on overflow; use [`Dur::try_scale`] where the factor or the
+    /// tick count is not already bounded by validation.
     #[inline]
     pub fn scale(self, factor: i64) -> Dur {
-        Dur(self.0.checked_mul(factor).expect("duration scale overflow"))
+        self.try_scale(factor).expect("duration scale overflow")
+    }
+
+    /// Fallible [`Dur::scale`]: `Err` instead of a panic on overflow.
+    #[inline]
+    pub fn try_scale(self, factor: i64) -> Result<Dur, TimeOverflow> {
+        self.0
+            .checked_mul(factor)
+            .map(Dur)
+            .ok_or(TimeOverflow { op: "Dur::scale" })
+    }
+
+    /// Overflow-checked `self + rhs`.
+    #[inline]
+    pub fn checked_add(self, rhs: Dur) -> Result<Dur, TimeOverflow> {
+        self.0
+            .checked_add(rhs.0)
+            .map(Dur)
+            .ok_or(TimeOverflow { op: "Dur + Dur" })
     }
 
     /// Ceiling division by another duration: the least `k` with
-    /// `k * other >= self`. Used by work-based lower bounds.
+    /// `k * other >= self`. Used by work-based lower bounds. Exact for
+    /// every nonnegative `self`, including values near `i64::MAX` (no
+    /// additive `+ other - 1` pre-step that could wrap).
     #[inline]
     pub fn div_ceil(self, other: Dur) -> i64 {
         assert!(other.0 > 0, "division by non-positive duration");
         debug_assert!(self.0 >= 0, "div_ceil on negative duration");
-        (self.0 + other.0 - 1).div_euclid(other.0)
+        self.0.div_euclid(other.0) + (self.0.rem_euclid(other.0) != 0) as i64
+    }
+}
+
+// The operator impls use checked arithmetic unconditionally: raw `+`/`-`
+// panic only under debug assertions and *silently wrap in release*, which
+// corrupts schedules instead of failing. The distinctive panic message
+// ("the i64 tick range") separates these guards from the compiler's own
+// overflow panics in tests.
+
+#[inline]
+fn guarded(v: Option<i64>, op: &'static str) -> i64 {
+    match v {
+        Some(v) => v,
+        None => panic!("{op} overflowed the i64 tick range"),
     }
 }
 
@@ -104,7 +200,7 @@ impl Add<Dur> for Time {
     type Output = Time;
     #[inline]
     fn add(self, rhs: Dur) -> Time {
-        Time(self.0 + rhs.0)
+        Time(guarded(self.0.checked_add(rhs.0), "Time + Dur"))
     }
 }
 
@@ -112,7 +208,7 @@ impl Sub<Dur> for Time {
     type Output = Time;
     #[inline]
     fn sub(self, rhs: Dur) -> Time {
-        Time(self.0 - rhs.0)
+        Time(guarded(self.0.checked_sub(rhs.0), "Time - Dur"))
     }
 }
 
@@ -120,21 +216,21 @@ impl Sub<Time> for Time {
     type Output = Dur;
     #[inline]
     fn sub(self, rhs: Time) -> Dur {
-        Dur(self.0 - rhs.0)
+        Dur(guarded(self.0.checked_sub(rhs.0), "Time - Time"))
     }
 }
 
 impl AddAssign<Dur> for Time {
     #[inline]
     fn add_assign(&mut self, rhs: Dur) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
 impl SubAssign<Dur> for Time {
     #[inline]
     fn sub_assign(&mut self, rhs: Dur) {
-        self.0 -= rhs.0;
+        *self = *self - rhs;
     }
 }
 
@@ -142,7 +238,7 @@ impl Add for Dur {
     type Output = Dur;
     #[inline]
     fn add(self, rhs: Dur) -> Dur {
-        Dur(self.0 + rhs.0)
+        Dur(guarded(self.0.checked_add(rhs.0), "Dur + Dur"))
     }
 }
 
@@ -150,21 +246,21 @@ impl Sub for Dur {
     type Output = Dur;
     #[inline]
     fn sub(self, rhs: Dur) -> Dur {
-        Dur(self.0 - rhs.0)
+        Dur(guarded(self.0.checked_sub(rhs.0), "Dur - Dur"))
     }
 }
 
 impl AddAssign for Dur {
     #[inline]
     fn add_assign(&mut self, rhs: Dur) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
 impl SubAssign for Dur {
     #[inline]
     fn sub_assign(&mut self, rhs: Dur) {
-        self.0 -= rhs.0;
+        *self = *self - rhs;
     }
 }
 
@@ -172,7 +268,7 @@ impl Mul<i64> for Dur {
     type Output = Dur;
     #[inline]
     fn mul(self, rhs: i64) -> Dur {
-        Dur(self.0 * rhs)
+        Dur(guarded(self.0.checked_mul(rhs), "Dur * i64"))
     }
 }
 
@@ -202,7 +298,7 @@ impl Neg for Dur {
 
 impl Sum for Dur {
     fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
-        Dur(iter.map(|d| d.0).sum())
+        iter.fold(Dur::ZERO, |acc, d| acc + d)
     }
 }
 
@@ -284,5 +380,74 @@ mod tests {
     #[should_panic(expected = "division by non-positive duration")]
     fn div_ceil_rejects_zero_divisor() {
         let _ = Dur(1).div_ceil(Dur(0));
+    }
+
+    // ---- overflow regressions -------------------------------------------
+    // Pre-fix, each of these either wrapped silently in release or
+    // panicked with the compiler's "attempt to … with overflow" message
+    // under `-C overflow-checks=on`; the expected strings below only match
+    // the post-fix behavior.
+
+    #[test]
+    fn div_ceil_is_exact_near_i64_max() {
+        // The old `(self + other - 1)` pre-step wrapped here even though
+        // the quotient is representable.
+        assert_eq!(
+            Dur(i64::MAX - 10).div_ceil(Dur(1000)),
+            (i64::MAX - 10) / 1000 + 1
+        );
+        assert_eq!(Dur(i64::MAX).div_ceil(Dur(1)), i64::MAX);
+        assert_eq!(Dur(i64::MAX).div_ceil(Dur(i64::MAX)), 1);
+        assert_eq!(Dur(i64::MAX - 1).div_ceil(Dur(i64::MAX)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Time + Dur overflowed the i64 tick range")]
+    fn time_add_overflow_panics_deterministically() {
+        let _ = Time(i64::MAX) + Dur(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Time - Dur overflowed the i64 tick range")]
+    fn time_sub_overflow_panics_deterministically() {
+        let _ = Time(i64::MIN) - Dur(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Dur + Dur overflowed the i64 tick range")]
+    fn dur_sum_overflow_panics_deterministically() {
+        let _: Dur = [Dur(i64::MAX), Dur(i64::MAX)].into_iter().sum();
+    }
+
+    #[test]
+    #[should_panic(expected = "Dur * i64 overflowed the i64 tick range")]
+    fn dur_mul_overflow_panics_deterministically() {
+        let _ = Dur(i64::MAX / 2) * 3;
+    }
+
+    #[test]
+    fn try_scale_reports_overflow_instead_of_panicking() {
+        assert_eq!(Time(7).try_scale(4), Ok(Time(28)));
+        assert_eq!(
+            Time(MAX_INSTANCE_TICKS + 1).try_scale(36),
+            Err(TimeOverflow { op: "Time::scale" })
+        );
+        assert_eq!(Dur(-3).try_scale(2), Ok(Dur(-6)));
+        assert_eq!(
+            Dur(i64::MAX).try_scale(2),
+            Err(TimeOverflow { op: "Dur::scale" })
+        );
+        // Everything a validated instance can contain survives the
+        // speed-36 refinement.
+        assert!(Time(MAX_INSTANCE_TICKS).try_scale(36).is_ok());
+        assert!(Time(-MAX_INSTANCE_TICKS).try_scale(36).is_ok());
+    }
+
+    #[test]
+    fn checked_ops_reject_overflow() {
+        assert_eq!(Time(1).checked_add(Dur(2)), Ok(Time(3)));
+        assert!(Time(i64::MAX).checked_add(Dur(1)).is_err());
+        assert!(Time(i64::MIN).checked_sub(Dur(1)).is_err());
+        assert!(Dur(i64::MAX).checked_add(Dur(1)).is_err());
     }
 }

@@ -4,6 +4,7 @@
 use ise_model::{
     normalize_origin, render_gantt, rescale_ticks, shift_schedule, shift_time, validate,
     validate_relaxed, Dur, Instance, InstanceBuilder, JobId, RenderOptions, Schedule, Time,
+    MAX_INSTANCE_TICKS,
 };
 use proptest::prelude::*;
 
@@ -15,6 +16,26 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
             b.push(r, r + p + slack, p);
         }
         b.build().expect("well-formed")
+    })
+}
+
+/// Instances whose coordinates hug the representable horizon
+/// (`±MAX_INSTANCE_TICKS = ±i64::MAX / 36`): each job sits within a few
+/// thousand ticks of one edge. Exercises validator and transform
+/// arithmetic where a single unchecked add or ceil-div pre-step wraps.
+fn arb_extreme_instance() -> impl Strategy<Value = Instance> {
+    let job = (0i64..2000, 1i64..9, 0i64..25, any::<bool>());
+    proptest::collection::vec(job, 1..8).prop_map(|raw| {
+        let mut b = InstanceBuilder::new(2, 10);
+        for (off, p, slack, negative) in raw {
+            let r = if negative {
+                -MAX_INSTANCE_TICKS + off
+            } else {
+                MAX_INSTANCE_TICKS - off - p - slack
+            };
+            b.push(r, r + p + slack, p);
+        }
+        b.build().expect("in-range extreme instance is well-formed")
     })
 }
 
@@ -100,6 +121,37 @@ proptest! {
         for line in text.lines().take(inst.len()) {
             prop_assert!(line.starts_with("machine "));
         }
+    }
+
+    /// At the representable-horizon edge, validation still works in both
+    /// modes: no wrap turns a feasible schedule infeasible (or vice
+    /// versa), in debug or release.
+    #[test]
+    fn validation_is_exact_at_the_horizon_edge(inst in arb_extreme_instance()) {
+        let s = trivial_schedule(&inst);
+        prop_assert!(validate(&inst, &s).is_ok());
+        prop_assert!(validate_relaxed(&inst, &s).is_ok());
+        // A gross mutation at the edge is still caught.
+        let mut bad = trivial_schedule(&inst);
+        bad.placements[0].start += Dur(500);
+        prop_assert!(validate(&inst, &bad).is_err());
+    }
+
+    /// Values beyond the representable horizon are rejected by the
+    /// builder with a typed verdict — including the classic wrap witness
+    /// where `r + p` overflows i64 itself.
+    #[test]
+    fn builder_rejects_beyond_horizon(excess in 1i64..5000, p in 1i64..9) {
+        let big = MAX_INSTANCE_TICKS + excess;
+        let r = big - p - 10;
+        prop_assert!(matches!(
+            Instance::new([(r, big, p)], 1, 10),
+            Err(ise_model::ModelError::HorizonOverflow { .. })
+        ));
+        prop_assert!(matches!(
+            Instance::new([(-big, 0, p)], 1, 10),
+            Err(ise_model::ModelError::HorizonOverflow { .. })
+        ));
     }
 
     /// Mutating any placement off its calibration start by more than the

@@ -674,6 +674,32 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_shift_is_rejected_and_session_survives() {
+        let mut s = Session::open(mixed());
+        s.commit().unwrap();
+        // A shift that wraps i64 is rejected before any state changes...
+        let err = s.apply(&Delta::ShiftWindows(i64::MAX)).unwrap_err();
+        assert!(
+            matches!(&err, SessionError::InvalidDelta(why) if why.contains("overflow")),
+            "unexpected error: {err}"
+        );
+        // ...and one that stays in i64 but leaves the representable
+        // horizon is caught by instance validation on the same path.
+        let err = s
+            .apply(&Delta::ShiftWindows(ise_model::MAX_INSTANCE_TICKS))
+            .unwrap_err();
+        assert!(
+            matches!(&err, SessionError::InvalidDelta(why) if why.contains("horizon")),
+            "unexpected error: {err}"
+        );
+        // The committed state is intact and the session still solves.
+        assert_eq!(s.instance(), &mixed());
+        s.apply(&Delta::ShiftWindows(5)).unwrap();
+        let c = s.commit().unwrap();
+        assert_matches_scratch(&s, &c);
+    }
+
+    #[test]
     fn structural_deltas_fall_back_cold() {
         let mut s = Session::open(mixed());
         s.commit().unwrap();
@@ -823,5 +849,45 @@ mod tests {
             missing.decode(),
             Err(SessionError::InvalidDelta(_))
         ));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 24, .. proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Shifts of any magnitude — including ones that land at or past
+        /// the representable horizon (`i64::MAX / 36`) — either apply
+        /// cleanly or are rejected with `InvalidDelta`, and a rejection
+        /// leaves the session solvable. Never a wrap or a panic.
+        #[test]
+        fn extreme_shifts_never_corrupt_the_session(
+            base in -4i64..4,
+            scale in 0u32..63,
+            negative in proptest::prelude::any::<bool>(),
+        ) {
+            let magnitude = (1i64 << scale).saturating_add(base);
+            let shift = if negative { magnitude.saturating_neg() } else { magnitude };
+            let mut s = Session::open(mixed());
+            s.commit().unwrap();
+            match s.apply(&Delta::ShiftWindows(shift)) {
+                Ok(()) => {
+                    // Applied: the staged instance is well-formed, ticks in
+                    // range by construction of `Instance::new`.
+                    proptest::prop_assert!(s.instance().jobs().iter().all(|j| {
+                        j.release.ticks().abs() <= ise_model::MAX_INSTANCE_TICKS
+                    }));
+                }
+                Err(SessionError::InvalidDelta(_)) => {
+                    // Rejected: committed state intact, still solvable.
+                    proptest::prop_assert_eq!(s.instance(), &mixed());
+                    let c = s.commit().unwrap();
+                    proptest::prop_assert!(
+                        matches!(c.verdict, Verdict::Feasible { .. })
+                    );
+                }
+                Err(e) => proptest::prop_assert!(false, "unexpected error class: {e}"),
+            }
+        }
     }
 }

@@ -29,7 +29,17 @@
 //!   (observable via [`Workspace::alloc_events`]); pricing effort is
 //!   reported per solve in [`PricingStats`],
 //! * a zero-ratio leaving rule that immediately evicts artificial variables
-//!   that remain basic at level zero after phase 1.
+//!   that remain basic at level zero after phase 1,
+//! * a **numerics layer**: a Harris-style two-pass ratio test
+//!   ([`RatioTest::Harris`], the default, with the original single-pass
+//!   rule behind [`RatioTest::Baseline`] as a cross-check), scale-aware
+//!   relative tolerances, a residual monitor that re-verifies the basic
+//!   system `‖B·x_B − b‖∞ / (1 + ‖b‖∞)` after refactorizations, every
+//!   [`SolveOptions::check_every`] pivots, and on optimal exit, and an
+//!   automatic four-rung recovery ladder (refactorize → tighten pivot
+//!   tolerance → Dantzig pricing → dense kernel) when the residual exceeds
+//!   [`SolveOptions::residual_tol`] — all reported per solve in
+//!   [`NumericsReport`].
 //!
 //! The solver is deterministic. Solutions carry the achieved objective and
 //! primal vector; [`verify::check_solution`] re-checks every constraint with
@@ -49,7 +59,8 @@ pub mod verify;
 pub use presolve::{presolve, solve_with_presolve, solve_with_presolve_warm, Presolved};
 pub use problem::{Cmp, LinearProgram, Row};
 pub use solver::{
-    solve, solve_warm, solve_warm_ws, Basis, Interrupt, InterruptHandle, Pricing, PricingStats,
-    Solution, SolveOptions, SolveStatus, SolverError, Workspace, WorkspaceHandle,
+    solve, solve_warm, solve_warm_ws, Basis, Interrupt, InterruptHandle, NumericsReport, Pricing,
+    PricingStats, RatioTest, Solution, SolveOptions, SolveStatus, SolverError, Workspace,
+    WorkspaceHandle,
 };
 pub use verify::{check_dual, check_solution, Violation};

@@ -189,6 +189,7 @@ pub fn solve_with_presolve_warm(
             basis: None,
             warm_used: false,
             pricing: crate::solver::PricingStats::default(),
+            numerics: crate::solver::NumericsReport::default(),
         });
     }
     let mut sol = solve_warm(&pre.lp, opts, warm)?;

@@ -135,6 +135,10 @@ pub struct Solution {
     pub warm_used: bool,
     /// How pricing spent its effort across both phases.
     pub pricing: PricingStats,
+    /// Numerical-health telemetry: residual-monitor readings, recovery
+    /// activations, ratio-test statistics — accumulated across every
+    /// attempt the recovery ladder made.
+    pub numerics: NumericsReport,
 }
 
 /// Hard solver failures (distinct from infeasible/unbounded outcomes).
@@ -191,6 +195,112 @@ pub struct PricingStats {
     pub bland_activations: u64,
 }
 
+/// Leaving-variable (ratio-test) selection rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RatioTest {
+    /// Single-pass minimum-ratio rule with a largest-pivot tie-break. The
+    /// original rule, kept as a cross-check baseline.
+    Baseline,
+    /// Harris-style two-pass rule: the first pass computes the loosest
+    /// step permitted when every basic value may dip into a scale-aware
+    /// feasibility band, the second pass picks the largest-magnitude pivot
+    /// among the rows whose strict ratio fits under that bound. Trades a
+    /// bounded feasibility violation for much better-conditioned pivots on
+    /// degenerate and badly scaled programs.
+    #[default]
+    Harris,
+}
+
+/// Numerical-health telemetry for one solve: residual-monitor readings,
+/// recovery-ladder activations, and ratio-test statistics. Reported on
+/// [`Solution::numerics`] and surfaced through the LP telemetry layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NumericsReport {
+    /// How many residual checks (`‖B·x_B − b‖∞ / (1 + ‖b‖∞)`) ran.
+    pub residual_checks: u64,
+    /// Largest relative residual observed across the whole solve,
+    /// including failed attempts that the recovery ladder retried.
+    pub max_residual: f64,
+    /// Relative residual of the most recent check.
+    pub last_residual: f64,
+    /// Rung 1 activations: immediate mid-solve refactorizations forced by
+    /// a residual above [`SolveOptions::residual_tol`].
+    pub recoveries_refactor: u64,
+    /// Rung 2 activations: full re-solves with the pivot tolerance
+    /// tightened by `1e-2`.
+    pub recoveries_tighten: u64,
+    /// Rung 3 activations: full re-solves under Dantzig full pricing.
+    pub recoveries_dantzig: u64,
+    /// Rung 4 activations: full re-solves on the dense explicit-inverse
+    /// kernel (best effort — residual failures there are recorded, never
+    /// escalated).
+    pub recoveries_dense: u64,
+    /// How many ratio tests ran (one per pivot selection).
+    pub ratio_tests: u64,
+    /// Harris pass-2 selections whose ratio strictly exceeded the
+    /// single-pass minimum — pivots the baseline rule would have rejected.
+    pub harris_relaxations: u64,
+}
+
+impl NumericsReport {
+    /// Total recovery-ladder activations across all rungs.
+    pub fn recoveries_total(&self) -> u64 {
+        self.recoveries_refactor
+            + self.recoveries_tighten
+            + self.recoveries_dantzig
+            + self.recoveries_dense
+    }
+
+    /// Fold the report of one solve attempt into the accumulated report of
+    /// the whole recovery ladder: counters add, the max residual keeps the
+    /// worst reading, and the last residual tracks the newest attempt.
+    fn absorb(&mut self, attempt: &NumericsReport) {
+        self.residual_checks += attempt.residual_checks;
+        self.max_residual = self.max_residual.max(attempt.max_residual);
+        if attempt.residual_checks > 0 {
+            self.last_residual = attempt.last_residual;
+        }
+        self.recoveries_refactor += attempt.recoveries_refactor;
+        self.recoveries_tighten += attempt.recoveries_tighten;
+        self.recoveries_dantzig += attempt.recoveries_dantzig;
+        self.recoveries_dense += attempt.recoveries_dense;
+        self.ratio_tests += attempt.ratio_tests;
+        self.harris_relaxations += attempt.harris_relaxations;
+    }
+}
+
+/// Test-only residual fault injection: force the next `n` residual checks
+/// to report a failure, driving the recovery ladder without having to
+/// construct a genuinely ill-conditioned basis. Thread-local, so parallel
+/// tests cannot interfere with each other.
+#[cfg(feature = "fault-inject")]
+#[doc(hidden)]
+pub mod fault {
+    use std::cell::Cell;
+
+    thread_local! {
+        static FORCED_FAILURES: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// Arm the next `n` residual checks on this thread to fail.
+    pub fn force_residual_failures(n: u32) {
+        FORCED_FAILURES.with(|c| c.set(n));
+    }
+
+    /// Consume one armed failure, if any.
+    pub(crate) fn take_forced_failure() -> bool {
+        FORCED_FAILURES.with(|c| {
+            let n = c.get();
+            if n > 0 {
+                c.set(n - 1);
+                true
+            } else {
+                false
+            }
+        })
+    }
+}
+
 /// Preallocated per-solve scratch: simplex multipliers, basic costs, the
 /// pivot direction, devex state, and factorization staging. Reused across
 /// iterations, phases, and refactorizations; hand the same workspace to
@@ -207,6 +317,8 @@ pub struct Workspace {
     w: Vec<f64>,
     /// Row of `B⁻¹` for devex updates and driving out artificials.
     rho: Vec<f64>,
+    /// `B·x_B` accumulator for the residual monitor.
+    resid: Vec<f64>,
     /// Devex reference weights, indexed by standard-form column.
     weights: Vec<f64>,
     /// Improving candidates of the current pricing pass: `(column, d_j)`.
@@ -285,6 +397,16 @@ pub struct SolveOptions {
     pub dense: bool,
     /// Entering-variable selection rule.
     pub pricing: Pricing,
+    /// Leaving-variable (ratio-test) selection rule.
+    pub ratio_test: RatioTest,
+    /// Residual-monitor cadence: on top of the check after every
+    /// refactorization and the one on optimal exit, verify the basic
+    /// system every `check_every` pivots. `0` disables the periodic
+    /// checks (the refactorization and exit checks still run).
+    pub check_every: usize,
+    /// Relative-residual threshold (`‖B·x_B − b‖∞ / (1 + ‖b‖∞)`) above
+    /// which the recovery ladder engages.
+    pub residual_tol: f64,
     /// Candidate-window size for [`Pricing::Devex`]: how many eligible
     /// columns are priced per iteration before the best candidate is
     /// taken. `0` selects `clamp(cols / 8, 32, 256)`.
@@ -306,6 +428,9 @@ impl Default for SolveOptions {
             refactor_every: 512,
             dense: false,
             pricing: Pricing::default(),
+            ratio_test: RatioTest::default(),
+            check_every: 128,
+            residual_tol: 1e-6,
             pricing_window: 0,
             workspace: None,
             interrupt: None,
@@ -368,13 +493,49 @@ pub fn solve_warm_ws(
     warm: Option<&Basis>,
     ws: &mut Workspace,
 ) -> Result<Solution, SolverError> {
-    let mut tableau = Tableau::build(lp, opts.clone(), std::mem::take(ws));
-    let out = tableau.run(warm);
-    // Hand the workspace back — including the factor's storage, recycled
-    // by the next solve — on every exit path.
-    tableau.ws.factor_cache = std::mem::take(&mut tableau.factor);
-    *ws = std::mem::take(&mut tableau.ws);
-    out
+    // Recovery ladder: attempt 0 runs with the caller's options; when the
+    // residual monitor declares the attempt unstable (or the basis turns
+    // out singular), each further attempt re-solves from scratch with a
+    // progressively more conservative configuration. The final (dense)
+    // rung never escalates, so the ladder always terminates.
+    let mut eff = opts.clone();
+    let mut carry = NumericsReport::default();
+    for escalation in 0u8..=3 {
+        if escalation > 0 {
+            let _span = ise_obs::Span::enter("simplex.recovery");
+            match escalation {
+                1 => {
+                    eff.pivot_tol = (opts.pivot_tol * 1e-2).max(1e-14);
+                    carry.recoveries_tighten += 1;
+                }
+                2 => {
+                    eff.pricing = Pricing::Dantzig;
+                    carry.recoveries_dantzig += 1;
+                }
+                _ => {
+                    eff.dense = true;
+                    carry.recoveries_dense += 1;
+                }
+            }
+        }
+        let mut tableau = Tableau::build(lp, eff.clone(), std::mem::take(ws));
+        tableau.escalation = escalation;
+        let out = tableau.run(warm);
+        let climb = tableau.unstable || matches!(out, Err(SolverError::SingularBasis));
+        carry.absorb(&tableau.numerics);
+        // Hand the workspace back — including the factor's storage,
+        // recycled by the next solve — on every exit path.
+        tableau.ws.factor_cache = std::mem::take(&mut tableau.factor);
+        *ws = std::mem::take(&mut tableau.ws);
+        if climb && escalation < 3 {
+            continue;
+        }
+        return out.map(|mut sol| {
+            sol.numerics = carry;
+            sol
+        });
+    }
+    unreachable!("the dense rung of the recovery ladder always returns")
 }
 
 /// Variable classes in the standard-form program.
@@ -420,6 +581,17 @@ struct Tableau {
     degenerate_streak: usize,
     /// Whether the anti-cycling least-index rule is active.
     bland: bool,
+    /// Numerics telemetry for this attempt.
+    numerics: NumericsReport,
+    /// `1 + ‖b‖∞`: the scale of the right-hand side, shared by the
+    /// residual monitor and the scale-aware degenerate-step gate.
+    rhs_scale: f64,
+    /// Which rung of the recovery ladder this attempt runs on (0 = the
+    /// caller's configuration, 3 = the dense last resort).
+    escalation: u8,
+    /// Set when a residual failure could not be repaired in-loop; tells
+    /// the driver in [`solve_warm_ws`] to climb to the next rung.
+    unstable: bool,
 }
 
 impl Tableau {
@@ -495,6 +667,7 @@ impl Tableau {
             opts.dense,
             &mut ws.alloc_events,
         );
+        let rhs_scale = 1.0 + b.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
         Tableau {
             opts,
             m,
@@ -517,6 +690,10 @@ impl Tableau {
             cursor: 0,
             degenerate_streak: 0,
             bland: false,
+            numerics: NumericsReport::default(),
+            rhs_scale,
+            escalation: 0,
+            unstable: false,
         }
     }
 
@@ -642,6 +819,7 @@ impl Tableau {
                     basis: None,
                     warm_used,
                     pricing: self.stats,
+                    numerics: self.numerics,
                 });
             }
             self.drive_out_artificials()?;
@@ -651,6 +829,11 @@ impl Tableau {
         let phase2_span = ise_obs::Span::enter("simplex.phase2");
         let status = self.optimize(&cost2, /*phase1=*/ false)?;
         drop(phase2_span);
+        // Guaranteed exit check: every solve with rows verifies its final
+        // basic system at least once, however few pivots it took.
+        if self.m > 0 && status == SolveStatus::Optimal {
+            self.residual_guard()?;
+        }
         let x = self.extract();
         let objective = cost2[..]
             .iter()
@@ -676,6 +859,7 @@ impl Tableau {
             basis,
             warm_used,
             pricing: self.stats,
+            numerics: self.numerics,
         })
     }
 
@@ -735,6 +919,14 @@ impl Tableau {
             self.poll_interrupt()?;
             if self.pivots_since_refactor >= self.opts.refactor_every {
                 self.refactorize()?;
+                self.residual_guard()?;
+            } else if self.opts.check_every > 0
+                && self.pivots_since_refactor > 0
+                && self
+                    .pivots_since_refactor
+                    .is_multiple_of(self.opts.check_every)
+            {
+                self.residual_guard()?;
             }
 
             // Simplex multipliers y = c_Bᵀ B⁻¹ via BTRAN.
@@ -765,37 +957,7 @@ impl Tableau {
                 &mut self.ws.alloc_events,
             );
 
-            // Ratio test. Artificial basics at level ~0 leave at ratio 0 on
-            // any significant movement (either direction) so they can never
-            // become positive.
-            let mut leaving = usize::MAX;
-            let mut theta = f64::INFINITY;
-            let mut best_piv = 0.0f64;
-            for i in 0..self.m {
-                let wi = self.ws.w[i];
-                let basic_is_artificial = self.kind[self.basis[i]] == VarKind::Artificial;
-                let artificial_at_zero = basic_is_artificial && self.xb[i] <= self.opts.feas_tol;
-                let candidate = if artificial_at_zero && wi.abs() > self.opts.pivot_tol {
-                    Some(0.0)
-                } else if wi > self.opts.pivot_tol {
-                    Some((self.xb[i].max(0.0)) / wi)
-                } else {
-                    None
-                };
-                let Some(ratio) = candidate else { continue };
-                let better = if self.bland {
-                    ratio < theta - 1e-12
-                        || (ratio < theta + 1e-12
-                            && (leaving == usize::MAX || self.basis[i] < self.basis[leaving]))
-                } else {
-                    ratio < theta - 1e-12 || (ratio < theta + 1e-12 && wi.abs() > best_piv)
-                };
-                if better {
-                    theta = ratio;
-                    leaving = i;
-                    best_piv = wi.abs();
-                }
-            }
+            let (leaving, theta) = self.select_leaving();
             if leaving == usize::MAX {
                 if phase1 {
                     // Phase 1 is bounded below by 0; an unbounded ray means
@@ -808,7 +970,9 @@ impl Tableau {
             }
 
             // Anti-cycling: long runs of zero-step pivots switch to Bland.
-            if theta <= 1e-12 {
+            // The gate is relative to the right-hand-side scale — on a
+            // program with ‖b‖∞ ~ 1e6 a step of 1e-9 is still degenerate.
+            if theta <= 1e-12 * self.rhs_scale {
                 self.degenerate_streak += 1;
                 if self.degenerate_streak > 64 && !self.bland {
                     self.bland = true;
@@ -824,6 +988,199 @@ impl Tableau {
             }
             self.pivot(entering, leaving, theta)?;
         }
+    }
+
+    /// Strict minimum-ratio contribution of row `i` for the direction in
+    /// `ws.w`, or `None` when the row does not limit the step. Artificial
+    /// basics at level ~0 leave at ratio 0 on any significant movement
+    /// (either direction) so they can never become positive.
+    #[inline]
+    fn row_ratio(&self, i: usize) -> Option<f64> {
+        let wi = self.ws.w[i];
+        let basic_is_artificial = self.kind[self.basis[i]] == VarKind::Artificial;
+        let artificial_at_zero = basic_is_artificial && self.xb[i] <= self.opts.feas_tol;
+        if artificial_at_zero && wi.abs() > self.opts.pivot_tol {
+            Some(0.0)
+        } else if wi > self.opts.pivot_tol {
+            Some((self.xb[i].max(0.0)) / wi)
+        } else {
+            None
+        }
+    }
+
+    /// Scale-aware tie tolerance for ratio comparisons: absolute `1e-12`
+    /// near the origin, relative far from it.
+    #[inline]
+    fn ratio_tie_tol(theta: f64) -> f64 {
+        1e-12 * (1.0 + theta.abs())
+    }
+
+    /// Select the leaving row and step length for the direction in `ws.w`;
+    /// `(usize::MAX, ∞)` means no row limits the step. Dispatches on
+    /// [`SolveOptions::ratio_test`]; while Bland's anti-cycling rule is
+    /// active the baseline least-index variant is used regardless, because
+    /// the termination proof needs it.
+    fn select_leaving(&mut self) -> (usize, f64) {
+        self.numerics.ratio_tests += 1;
+        if self.opts.ratio_test == RatioTest::Harris && !self.bland {
+            self.select_leaving_harris()
+        } else {
+            self.select_leaving_baseline()
+        }
+    }
+
+    /// Single-pass minimum-ratio rule. Ties (within the scale-aware band)
+    /// break toward the largest pivot magnitude, or toward the least basis
+    /// index under Bland's rule.
+    fn select_leaving_baseline(&mut self) -> (usize, f64) {
+        let mut leaving = usize::MAX;
+        let mut theta = f64::INFINITY;
+        let mut best_piv = 0.0f64;
+        for i in 0..self.m {
+            let Some(ratio) = self.row_ratio(i) else {
+                continue;
+            };
+            let wi = self.ws.w[i];
+            let better = if leaving == usize::MAX {
+                true
+            } else {
+                let tie = Tableau::ratio_tie_tol(theta);
+                if self.bland {
+                    ratio < theta - tie
+                        || (ratio < theta + tie && self.basis[i] < self.basis[leaving])
+                } else {
+                    ratio < theta - tie || (ratio < theta + tie && wi.abs() > best_piv)
+                }
+            };
+            if better {
+                theta = ratio;
+                leaving = i;
+                best_piv = wi.abs();
+            }
+        }
+        (leaving, theta)
+    }
+
+    /// Harris two-pass ratio test. Pass 1 finds the loosest step `Θ` such
+    /// that every basic value stays above its scale-aware feasibility band
+    /// `−δ_i`, `δ_i = feas_tol · (1 + |x_i|)`; pass 2 picks the
+    /// largest-magnitude pivot among the rows whose strict ratio is at
+    /// most `Θ`. The chosen row's own (strict, clamped to ≥ 0) ratio is
+    /// the step, so feasibility drift stays inside the band.
+    fn select_leaving_harris(&mut self) -> (usize, f64) {
+        let mut theta_max = f64::INFINITY;
+        let mut any = false;
+        for i in 0..self.m {
+            let wi = self.ws.w[i];
+            let basic_is_artificial = self.kind[self.basis[i]] == VarKind::Artificial;
+            let artificial_at_zero = basic_is_artificial && self.xb[i] <= self.opts.feas_tol;
+            let delta = self.opts.feas_tol * (1.0 + self.xb[i].abs());
+            if artificial_at_zero && wi.abs() > self.opts.pivot_tol {
+                any = true;
+                theta_max = theta_max.min(delta / wi.abs());
+            } else if wi > self.opts.pivot_tol {
+                any = true;
+                theta_max = theta_max.min((self.xb[i].max(0.0) + delta) / wi);
+            }
+        }
+        if !any {
+            return (usize::MAX, f64::INFINITY);
+        }
+        let mut leaving = usize::MAX;
+        let mut theta = f64::INFINITY;
+        let mut strict = f64::INFINITY;
+        let mut best_piv = 0.0f64;
+        for i in 0..self.m {
+            let Some(ratio) = self.row_ratio(i) else {
+                continue;
+            };
+            strict = strict.min(ratio);
+            let wi = self.ws.w[i];
+            if ratio <= theta_max && wi.abs() > best_piv {
+                best_piv = wi.abs();
+                leaving = i;
+                theta = ratio;
+            }
+        }
+        if leaving == usize::MAX {
+            // Every limiting row's strict ratio exceeded the expanded
+            // bound (possible only through rounding at the margin); fall
+            // back to the strict rule rather than return an empty pick.
+            return self.select_leaving_baseline();
+        }
+        if theta > strict + Tableau::ratio_tie_tol(strict) {
+            self.numerics.harris_relaxations += 1;
+        }
+        (leaving, theta.max(0.0))
+    }
+
+    /// One residual-monitor reading: `‖B·x_B − b‖∞ / (1 + ‖b‖∞)`, the
+    /// backward error of the basic system, computed by scattering the
+    /// basis columns against the current basic values (FTRAN-shaped cost).
+    fn observe_residual(&mut self) -> f64 {
+        ensure_filled(&mut self.ws.resid, self.m, 0.0, &mut self.ws.alloc_events);
+        let resid = &mut self.ws.resid[..self.m];
+        resid.iter_mut().for_each(|v| *v = 0.0);
+        for (k, &bv) in self.basis.iter().enumerate() {
+            let x = self.xb[k];
+            if x != 0.0 {
+                for &(r, a) in &self.cols[bv] {
+                    resid[r] += a * x;
+                }
+            }
+        }
+        let mut err = 0.0f64;
+        for (ri, bi) in resid.iter().zip(&self.b) {
+            err = err.max((ri - bi).abs());
+        }
+        let rel = err / self.rhs_scale;
+        #[cfg(feature = "fault-inject")]
+        let rel = if crate::solver::fault::take_forced_failure() {
+            rel + 10.0 * self.opts.residual_tol.max(1e-3)
+        } else {
+            rel
+        };
+        self.numerics.residual_checks += 1;
+        self.numerics.last_residual = rel;
+        self.numerics.max_residual = self.numerics.max_residual.max(rel);
+        rel
+    }
+
+    /// Run one residual check (span `simplex.residual_check`). On failure,
+    /// rung 1 of the recovery ladder refactorizes in place and re-checks
+    /// (span `simplex.recovery`); a failure that survives — or any failure
+    /// on an already-escalated attempt — marks the solve unstable so the
+    /// driver in [`solve_warm_ws`] climbs to the next rung. The dense last
+    /// rung records the failure and carries on: it has no better kernel to
+    /// hand over to.
+    fn residual_guard(&mut self) -> Result<(), SolverError> {
+        let rel = {
+            let _span = ise_obs::Span::enter("simplex.residual_check");
+            self.observe_residual()
+        };
+        if rel <= self.opts.residual_tol {
+            return Ok(());
+        }
+        if self.escalation == 0 {
+            let _span = ise_obs::Span::enter("simplex.recovery");
+            self.numerics.recoveries_refactor += 1;
+            self.refactorize()?;
+            let rel = {
+                let _span = ise_obs::Span::enter("simplex.residual_check");
+                self.observe_residual()
+            };
+            if rel <= self.opts.residual_tol {
+                return Ok(());
+            }
+        }
+        if self.escalation >= 3 {
+            return Ok(());
+        }
+        self.unstable = true;
+        // Carrier error: solve_warm_ws consumes it (together with the
+        // `unstable` flag) and re-solves on the next rung; it is never
+        // surfaced to callers.
+        Err(SolverError::SingularBasis)
     }
 
     /// Reset the anti-cycling state and the devex reference framework
@@ -1566,6 +1923,105 @@ mod tests {
                 "warm re-solve must not allocate in the pivot loop"
             );
         }
+    }
+
+    #[test]
+    fn harris_and_baseline_agree_on_verdict_and_objective() {
+        // The two ratio tests may walk different pivot sequences but must
+        // land on the same optimum — on well-behaved and on degenerate
+        // programs alike.
+        for dense in [false, true] {
+            for n in [8, 24, 60] {
+                let mk = |ratio_test| SolveOptions {
+                    dense,
+                    ratio_test,
+                    ..SolveOptions::default()
+                };
+                let h = solve(&ring_lp(n), &mk(RatioTest::Harris)).unwrap();
+                let b = solve(&ring_lp(n), &mk(RatioTest::Baseline)).unwrap();
+                assert_eq!(h.status, b.status);
+                assert_close(h.objective, b.objective, 1e-6 * (1.0 + b.objective.abs()));
+                assert!(h.numerics.ratio_tests > 0);
+                assert!(b.numerics.harris_relaxations == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn every_solve_reports_at_least_one_residual_check() {
+        // Even an LP solved in a handful of pivots — far fewer than
+        // check_every or refactor_every — gets the guaranteed exit check.
+        both_paths(|opts| {
+            let sol = solve(&budget_lp(3.0), &opts).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert!(sol.numerics.residual_checks >= 1);
+            assert!(sol.numerics.max_residual <= opts.residual_tol);
+            assert_eq!(sol.numerics.recoveries_total(), 0);
+        });
+    }
+
+    #[test]
+    fn periodic_residual_checks_fire_between_refactorizations() {
+        let opts = SolveOptions {
+            check_every: 4,
+            ..SolveOptions::default()
+        };
+        let sol = solve(&ring_lp(60), &opts).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(
+            sol.numerics.residual_checks > 1,
+            "a 60-row ring takes well over 4 pivots, so periodic checks \
+             must fire (got {})",
+            sol.numerics.residual_checks
+        );
+        assert!(sol.numerics.max_residual <= opts.residual_tol);
+    }
+
+    #[test]
+    fn numerics_report_is_deterministic() {
+        let lp = ring_lp(60);
+        let a = solve(&lp, &SolveOptions::default()).unwrap();
+        let b = solve(&lp, &SolveOptions::default()).unwrap();
+        assert_eq!(a.numerics, b.numerics);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn recovery_ladder_climbs_every_rung_exactly_once() {
+        // Four armed failures walk the ladder end to end: attempt 0 fails
+        // its first check, refactorizes (rung 1), fails the re-check and
+        // escalates; the tightened (rung 2) and Dantzig (rung 3) attempts
+        // each burn one more failure; the dense attempt (rung 4) runs with
+        // the hook exhausted and lands on the true optimum.
+        fault::force_residual_failures(4);
+        let sol = solve(&ring_lp(24), &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        let n = sol.numerics;
+        assert_eq!(
+            (
+                n.recoveries_refactor,
+                n.recoveries_tighten,
+                n.recoveries_dantzig,
+                n.recoveries_dense,
+            ),
+            (1, 1, 1, 1),
+            "each rung must fire exactly once: {n:?}"
+        );
+        let clean = solve(&ring_lp(24), &SolveOptions::default()).unwrap();
+        assert_close(sol.objective, clean.objective, 1e-9);
+        assert_eq!(clean.numerics.recoveries_total(), 0);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn single_fault_is_repaired_by_the_refactor_rung() {
+        fault::force_residual_failures(1);
+        let sol = solve(&ring_lp(24), &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.numerics.recoveries_refactor, 1);
+        assert_eq!(sol.numerics.recoveries_tighten, 0);
+        assert_eq!(sol.numerics.recoveries_dantzig, 0);
+        assert_eq!(sol.numerics.recoveries_dense, 0);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Pinned ill-conditioned LP regression suite for the numerics layer.
+//!
+//! Each case is a hand-built LP that historically breaks naive simplex
+//! implementations: coefficient spreads across twelve orders of magnitude,
+//! nearly parallel constraint rows, Hilbert-matrix conditioning, and
+//! fully degenerate symmetric blocks. For every case we assert that
+//!
+//! * the solve succeeds and the returned point satisfies every constraint
+//!   ([`check_solution`]);
+//! * the residual monitor ran and the worst basis residual stayed under
+//!   the solver's own `residual_tol`;
+//! * the Harris two-pass ratio test and the pre-Harris baseline rule agree
+//!   on the verdict and (for optimal cases) on the objective.
+
+use ise_simplex::{
+    check_solution, solve, Cmp, LinearProgram, RatioTest, Solution, SolveOptions, SolveStatus,
+};
+
+const OBJ_TOL: f64 = 1e-6;
+
+fn opts(ratio_test: RatioTest) -> SolveOptions {
+    SolveOptions {
+        ratio_test,
+        ..SolveOptions::default()
+    }
+}
+
+/// Solve under both ratio tests; assert numerics health and agreement.
+fn solve_and_crosscheck(lp: &LinearProgram) -> Solution {
+    let harris = solve(lp, &opts(RatioTest::Harris)).expect("harris solve failed");
+    let baseline = solve(lp, &opts(RatioTest::Baseline)).expect("baseline solve failed");
+    assert_eq!(
+        harris.status, baseline.status,
+        "ratio tests disagree on the verdict"
+    );
+    // Residual health: every optimal solve ends with a guaranteed exit
+    // check (infeasible verdicts may terminate before one fires).
+    for sol in [&harris, &baseline] {
+        if sol.status == SolveStatus::Optimal {
+            assert!(
+                sol.numerics.residual_checks >= 1,
+                "residual monitor never ran"
+            );
+        }
+        assert!(
+            sol.numerics.max_residual <= SolveOptions::default().residual_tol,
+            "residual {:.3e} exceeds tolerance after {} recoveries",
+            sol.numerics.max_residual,
+            sol.numerics.recoveries_total()
+        );
+    }
+    if harris.status == SolveStatus::Optimal {
+        assert!(
+            (harris.objective - baseline.objective).abs()
+                <= OBJ_TOL * (1.0 + harris.objective.abs()),
+            "objectives diverge: harris {} vs baseline {}",
+            harris.objective,
+            baseline.objective
+        );
+        for (name, sol) in [("harris", &harris), ("baseline", &baseline)] {
+            let violations = check_solution(lp, &sol.x, 1e-6);
+            assert!(
+                violations.is_empty(),
+                "{name} point violates constraints: {violations:?}"
+            );
+        }
+    }
+    harris
+}
+
+#[test]
+fn coefficient_spread_across_twelve_orders() {
+    // minimize Σ x_j  s.t.  10^(2j-6) · x_j >= 10^(2j-6) for j = 0..6:
+    // every constraint is satisfied exactly at x_j = 1, so the optimum is
+    // 7 regardless of the row scaling from 1e-6 up to 1e6.
+    let mut lp = LinearProgram::new();
+    let n = 7;
+    for _ in 0..n {
+        lp.add_var(1.0);
+    }
+    for j in 0..n {
+        let scale = 10f64.powi(2 * j as i32 - 6);
+        lp.add_row([(j, scale)], Cmp::Ge, scale);
+    }
+    let sol = solve_and_crosscheck(&lp);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!((sol.objective - n as f64).abs() <= OBJ_TOL * n as f64);
+}
+
+#[test]
+fn nearly_parallel_rows() {
+    // Two rows differing by 1e-9 in one coefficient: a basis holding both
+    // is near-singular, the classic trigger for residual drift.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0);
+    let y = lp.add_var(1.0);
+    lp.add_row([(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+    lp.add_row([(x, 1.0), (y, 1.0 + 1e-9)], Cmp::Ge, 1.0);
+    lp.add_row([(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+    let sol = solve_and_crosscheck(&lp);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!((sol.objective - 1.0).abs() <= OBJ_TOL * 2.0);
+}
+
+#[test]
+fn hilbert_conditioned_block() {
+    // Rows of the 6x6 Hilbert matrix (condition number ~1.5e7) with
+    // rhs = row sums and x_j <= 1: since every coefficient is positive,
+    // each row forces Σ h_ij (1 - x_j) <= 0 with nonnegative terms, so
+    // x = 1 is the unique feasible point and the optimum is exactly 6.
+    let n = 6usize;
+    let mut lp = LinearProgram::new();
+    for _ in 0..n {
+        lp.add_var(1.0);
+    }
+    for i in 0..n {
+        let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, 1.0 / (i + j + 1) as f64)).collect();
+        let rhs: f64 = coeffs.iter().map(|&(_, a)| a).sum();
+        lp.add_row(coeffs, Cmp::Ge, rhs);
+    }
+    for j in 0..n {
+        lp.add_row([(j, 1.0)], Cmp::Le, 1.0);
+    }
+    let sol = solve_and_crosscheck(&lp);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!((sol.objective - n as f64).abs() <= OBJ_TOL * n as f64);
+}
+
+#[test]
+fn degenerate_symmetric_block() {
+    // Eight identical columns sharing one capacity row: every vertex is
+    // massively degenerate, stressing the ratio-test tie handling.
+    let mut lp = LinearProgram::new();
+    let n = 8;
+    for _ in 0..n {
+        lp.add_var(1.0);
+    }
+    let all: Vec<(usize, f64)> = (0..n).map(|j| (j, 1.0)).collect();
+    lp.add_row(all.clone(), Cmp::Ge, 4.0);
+    for j in 0..n {
+        lp.add_row([(j, 1.0)], Cmp::Le, 1.0);
+    }
+    lp.add_row(all, Cmp::Le, 4.0);
+    let sol = solve_and_crosscheck(&lp);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!((sol.objective - 4.0).abs() <= OBJ_TOL * 4.0);
+}
+
+#[test]
+fn mixed_spread_and_degeneracy() {
+    // The combination the `ill_conditioned` workload family aims at: tiny
+    // and huge coefficients in the same rows plus duplicated columns.
+    let mut lp = LinearProgram::new();
+    let n = 6;
+    for j in 0..n {
+        lp.add_var(if j % 2 == 0 { 1.0 } else { 1e3 });
+    }
+    for j in (0..n).step_by(2) {
+        lp.add_row([(j, 1e-6), (j + 1, 1e6)], Cmp::Ge, 1.0);
+        lp.add_row([(j, 1e-6), (j + 1, 1e6)], Cmp::Le, 2.0);
+    }
+    let sol = solve_and_crosscheck(&lp);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+}
+
+#[test]
+fn infeasible_spread_agrees_across_ratio_tests() {
+    // Contradictory scaled rows: both rules must certify infeasibility
+    // rather than return a garbage point.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0);
+    lp.add_row([(x, 1e6)], Cmp::Ge, 2e6);
+    lp.add_row([(x, 1e-6)], Cmp::Le, 1e-6);
+    let sol = solve_and_crosscheck(&lp);
+    assert_eq!(sol.status, SolveStatus::Infeasible);
+}

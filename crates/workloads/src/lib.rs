@@ -21,16 +21,19 @@
 //! * [`partition_hard`] — tight two-machine instances in the style of the
 //!   paper's NP-hardness reduction from Partition (zero-slack windows,
 //!   `Σ p_j = 2T`).
+//! * [`ill_conditioned`] — numerically hostile LPs: near-degenerate window
+//!   duplicates, pathological `T / p_j` ratios, and large coefficient
+//!   spreads, for the simplex residual monitor and recovery ladder.
 
-use ise_model::{Instance, InstanceBuilder};
+use ise_model::{Instance, InstanceBuilder, MAX_INSTANCE_TICKS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 pub mod mutate;
 
 pub use mutate::{
-    adversarial_case, pin_to_capacity, straddle_boundaries, tighten_windows, widen_one_window,
-    Mutator,
+    adversarial_case, family_case, pin_to_capacity, straddle_boundaries, tighten_windows,
+    widen_one_window, Mutator,
 };
 
 /// Parameters shared by the random generators.
@@ -249,6 +252,54 @@ pub fn periodic_maintenance(
     b.build().expect("generator respects model invariants")
 }
 
+/// Numerically hostile LPs for the simplex residual monitor and recovery
+/// ladder. Three stressors interleave:
+///
+/// * exact window/processing-time duplicates, whose symmetric LP columns
+///   force degenerate ratio-test ties;
+/// * pathological `T / p_j` ratios (unit work in windows tens of `T`
+///   wide), mixing coefficient `1` against `-T` in the work-capacity rows;
+/// * nearly identical windows offset by single ticks at releases spread
+///   across many orders of magnitude, so the calibration points almost
+///   coincide and the window-capacity rows become close to linearly
+///   dependent.
+///
+/// All jobs are long-window, so the whole load lands on the LP pipeline.
+pub fn ill_conditioned(params: &WorkloadParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = params.calib_len;
+    let mut b = InstanceBuilder::new(params.machines, t);
+    // Stretched releases stay far below the representable horizon so the
+    // Lemma 13 speed transform (scale 36) keeps every value in range.
+    let stretch = params
+        .horizon
+        .max(1)
+        .saturating_mul(1 << 16)
+        .min(MAX_INSTANCE_TICKS / 64);
+    for i in 0..params.jobs {
+        match i % 3 {
+            0 => {
+                let cluster = ((i / 3) % 4) as i64;
+                let r = cluster * t;
+                b.push(r, r + 4 * t, cluster % t + 1);
+            }
+            1 => {
+                let r = rng.gen_range(0..params.horizon.max(1));
+                let width = rng.gen_range(2 * t..=64 * t);
+                b.push(r, r + width, 1);
+            }
+            _ => {
+                let exp = rng.gen_range(0..16i32);
+                let jitter = rng.gen_range(0..3i64);
+                let r = (stretch >> exp).max(1) + jitter;
+                let p = if rng.gen_bool(0.5) { 1 } else { t };
+                b.push(r, r + 2 * t + jitter, p);
+            }
+        }
+    }
+    b.build().expect("generator respects model invariants")
+}
+
 /// The registry of named workload families, for CLIs and sweep harnesses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkloadFamily {
@@ -270,11 +321,13 @@ pub enum WorkloadFamily {
     PeriodicMaintenance,
     /// [`boundary_adversarial`].
     BoundaryAdversarial,
+    /// [`ill_conditioned`].
+    IllConditioned,
 }
 
 impl WorkloadFamily {
     /// All families, for sweeps.
-    pub const ALL: [WorkloadFamily; 9] = [
+    pub const ALL: [WorkloadFamily; 10] = [
         WorkloadFamily::Uniform,
         WorkloadFamily::LongOnly,
         WorkloadFamily::ShortOnly,
@@ -284,6 +337,7 @@ impl WorkloadFamily {
         WorkloadFamily::DeadlineCliff,
         WorkloadFamily::PeriodicMaintenance,
         WorkloadFamily::BoundaryAdversarial,
+        WorkloadFamily::IllConditioned,
     ];
 
     /// Stable CLI name.
@@ -298,6 +352,7 @@ impl WorkloadFamily {
             WorkloadFamily::DeadlineCliff => "cliff",
             WorkloadFamily::PeriodicMaintenance => "periodic",
             WorkloadFamily::BoundaryAdversarial => "adversarial",
+            WorkloadFamily::IllConditioned => "ill_conditioned",
         }
     }
 
@@ -317,6 +372,7 @@ impl WorkloadFamily {
                 periodic_maintenance(params, 4 * params.calib_len, 5, seed)
             }
             WorkloadFamily::BoundaryAdversarial => boundary_adversarial(params, seed),
+            WorkloadFamily::IllConditioned => ill_conditioned(params, seed),
         }
     }
 }
@@ -504,6 +560,36 @@ mod tests {
             assert_eq!(inst.len(), params().jobs);
         }
         assert!("nope".parse::<WorkloadFamily>().is_err());
+    }
+
+    #[test]
+    fn ill_conditioned_is_long_window_with_degenerate_ties() {
+        let p = WorkloadParams {
+            jobs: 30,
+            ..params()
+        };
+        let a = ill_conditioned(&p, 11);
+        let b = ill_conditioned(&p, 11);
+        assert_eq!(a, b, "deterministic per seed");
+        assert_ne!(a, ill_conditioned(&p, 12));
+        assert_eq!(a.len(), 30);
+        // Every job is long-window: the whole load lands on the LP pipeline.
+        assert!(a.all_long());
+        // The duplicate clusters produce exact (release, deadline, proc)
+        // ties — the source of degenerate LP columns.
+        let mut keys: Vec<(i64, i64, i64)> = a
+            .jobs()
+            .iter()
+            .map(|j| (j.release.ticks(), j.deadline.ticks(), j.proc.ticks()))
+            .collect();
+        keys.sort_unstable();
+        let total = keys.len();
+        keys.dedup();
+        assert!(keys.len() < total, "expected duplicate jobs");
+        // Releases span several orders of magnitude.
+        let max_r = a.jobs().iter().map(|j| j.release.ticks()).max().unwrap();
+        let min_r = a.jobs().iter().map(|j| j.release.ticks()).min().unwrap();
+        assert!(max_r >= 1000 * (min_r + 1), "spread {min_r}..{max_r}");
     }
 
     #[test]

@@ -198,6 +198,27 @@ pub fn adversarial_case(params: &WorkloadParams, seed: u64) -> (Instance, String
         return (inst, "partition_hard".to_string());
     }
     let family = crate::WorkloadFamily::ALL[rng.gen_range(0..crate::WorkloadFamily::ALL.len())];
+    case_from_family(family, params, &mut rng)
+}
+
+/// Like [`adversarial_case`] but pinned to one workload family: the same
+/// parameter jitter and mutation pipeline, minus the family draw (and the
+/// Partition-hard detour). Used by `ise fuzz --family` to concentrate a
+/// run on one family — e.g. `ill_conditioned` for the numerics oracle.
+pub fn family_case(
+    family: crate::WorkloadFamily,
+    params: &WorkloadParams,
+    seed: u64,
+) -> (Instance, String) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de_dead_beef);
+    case_from_family(family, params, &mut rng)
+}
+
+fn case_from_family(
+    family: crate::WorkloadFamily,
+    params: &WorkloadParams,
+    rng: &mut StdRng,
+) -> (Instance, String) {
     let jobs = rng.gen_range(1..=params.jobs.max(1));
     let p = WorkloadParams {
         jobs,
@@ -300,6 +321,19 @@ mod tests {
             assert!(b.deadline >= a.deadline);
             assert_eq!(a.release, b.release);
             assert_eq!(a.proc, b.proc);
+        }
+    }
+
+    #[test]
+    fn family_case_pins_the_family() {
+        let params = WorkloadParams::default();
+        for seed in 0..20u64 {
+            let (a, pa) = family_case(crate::WorkloadFamily::IllConditioned, &params, seed);
+            let (b, pb) = family_case(crate::WorkloadFamily::IllConditioned, &params, seed);
+            assert_eq!(a, b);
+            assert_eq!(pa, pb);
+            assert!(pa.starts_with("ill_conditioned"), "{pa}");
+            assert!(!a.is_empty());
         }
     }
 

@@ -68,7 +68,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  ise generate --family <uniform|long|short|unit|stockpile|heavy|cliff|periodic|adversarial>
+  ise generate --family <uniform|long|short|unit|stockpile|heavy|cliff|periodic|adversarial|ill_conditioned>
                [--jobs N] [--machines M] [--calib-len T] [--horizon H]
                [--seed S] [--out FILE]
   ise solve    <instance.json> [--trim] [--improve] [--audit]
@@ -93,8 +93,8 @@ const USAGE: &str = "usage:
                [--mm auto|exact|greedy|unit|lp-round|portfolio] [--out FILE]
   ise fuzz     [--seed S] [--cases N] [--max-jobs N] [--max-machines M]
                [--oracles all|budgets,exact,dense,warm,engine,metamorphic,session]
-               [--time-budget SECS] [--corpus DIR] [--no-shrink]
-               [--replay DIR]
+               [--family NAME] [--time-budget SECS] [--corpus DIR]
+               [--no-shrink] [--replay DIR]
   ise version";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -638,6 +638,7 @@ fn cmd_fuzz(args: &[&String]) -> Result<(), String> {
         "--max-calib-len",
         "--max-horizon",
         "--oracles",
+        "--family",
         "--time-budget",
         "--corpus",
         "--replay",
@@ -693,6 +694,9 @@ fn cmd_fuzz(args: &[&String]) -> Result<(), String> {
         max_calib_len: parse(args, "--max-calib-len", defaults.max_calib_len)?,
         max_horizon: parse(args, "--max-horizon", defaults.max_horizon)?,
         oracles,
+        family: flag_value(args, "--family")?
+            .map(|name| name.parse::<wl::WorkloadFamily>())
+            .transpose()?,
         time_budget: parse(args, "--time-budget", 0u64)
             .map(|s| (s > 0).then(|| Duration::from_secs(s)))?,
         shrink: !flag_present(args, "--no-shrink"),
