@@ -1,4 +1,4 @@
-//! Criterion bench: the LP hot path in isolation — sparse (eta-file)
+//! Criterion bench: the LP hot path in isolation — LU versus eta-file
 //! versus dense-inverse factorization, devex versus Dantzig pricing, and
 //! cold versus warm-started solves (with and without a shared workspace).
 //! The `ise bench` CLI suite (`BENCH_lp.json`) is the pinned regression
@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ise_bench::perf::{suite, DENSE_COL_CAP};
 use ise_sched::lp::{build, solve_lp_warm};
-use ise_simplex::{Pricing, SolveOptions, WorkspaceHandle};
+use ise_simplex::{Factorization, Pricing, SolveOptions, WorkspaceHandle};
 
 fn bench_cold(c: &mut Criterion) {
     let mut group = c.benchmark_group("tise_lp_cold");
@@ -18,16 +18,17 @@ fn bench_cold(c: &mut Criterion) {
         let jobs = instance.partition_long_short().0;
         let tise = build(&jobs, instance.calib_len(), 3 * instance.machines());
         let paths = [
-            ("devex", false, Pricing::Devex),
-            ("dantzig", false, Pricing::Dantzig),
-            ("dense", true, Pricing::Dantzig),
+            ("lu_devex", Factorization::Lu, Pricing::Devex),
+            ("eta_devex", Factorization::Eta, Pricing::Devex),
+            ("lu_dantzig", Factorization::Lu, Pricing::Dantzig),
+            ("dense", Factorization::Dense, Pricing::Dantzig),
         ];
-        for (path, dense, pricing) in paths {
-            if dense && tise.lp.num_vars() > DENSE_COL_CAP {
+        for (path, factorization, pricing) in paths {
+            if factorization == Factorization::Dense && tise.lp.num_vars() > DENSE_COL_CAP {
                 continue;
             }
             let opts = SolveOptions {
-                dense,
+                factorization,
                 pricing,
                 ..SolveOptions::default()
             };

@@ -1,8 +1,9 @@
 //! The pinned perf-regression suite behind `ise bench`.
 //!
 //! A fixed set of seeded workloads is measured on the LP hot path — the
-//! sparse (eta-file) simplex, the dense-inverse oracle, and a warm-started
-//! re-solve at a perturbed machine budget — plus an end-to-end solve for
+//! LU (Markowitz + Forrest–Tomlin) simplex that production runs, the
+//! eta-file and dense-inverse oracle kernels, and a warm-started re-solve
+//! at a perturbed machine budget — plus an end-to-end solve for
 //! the calibration count. Results serialize to `BENCH_lp.json` at the repo
 //! root; [`compare`] diffs a fresh run against that committed baseline and
 //! reports regressions beyond a threshold, which is what the CI step
@@ -29,7 +30,14 @@ use std::time::Instant;
 /// under Dantzig pricing (`dantzig`), the dense oracle became optional
 /// (skipped on very wide LPs where explicit-inverse cost is prohibitive),
 /// and wide workloads can pin a devex-vs-Dantzig pricing-work ratio floor.
-pub const BENCH_VERSION: u32 = 2;
+///
+/// v3: basis-kernel-aware measurements — the default path (`lu`) runs the
+/// Markowitz/Forrest–Tomlin kernel and reports its fill-in, update count,
+/// and hyper-sparse solve ratio ([`LuMeasurement`]); the former default
+/// eta-file kernel is measured separately (`eta`); wide workloads can pin
+/// an LU-vs-eta wall-time speedup floor and a hyper-sparse solve-ratio
+/// floor.
+pub const BENCH_VERSION: u32 = 3;
 
 /// Default regression threshold for [`compare`]: fail when a measurement
 /// exceeds `threshold ×` its baseline. Generous on purpose — wall time is
@@ -59,6 +67,15 @@ pub struct WorkloadSpec {
     /// pinned proof that partial pricing pays off at scale. `None` (the
     /// default for the small workloads) imposes no floor.
     pub pricing_ratio_floor: Option<u64>,
+    /// When set, [`compare`] requires the LU kernel to solve at least
+    /// `pct/100`x faster than the eta-file kernel on this workload
+    /// (both timed within the same run, so the gate is machine-neutral) —
+    /// the pinned proof that the sparse factorization pays off at scale.
+    pub lu_speedup_floor_pct: Option<u64>,
+    /// When set, [`compare`] requires at least `pct`% of the LU kernel's
+    /// FTRAN/BTRAN calls on this workload to take the hyper-sparse
+    /// (reach-walking) path rather than the dense triangular fallback.
+    pub hypersparse_floor_pct: Option<u64>,
 }
 
 impl WorkloadSpec {
@@ -100,6 +117,8 @@ fn spec(
         horizon: h,
         seed,
         pricing_ratio_floor: None,
+        lu_speedup_floor_pct: None,
+        hypersparse_floor_pct: None,
     }
 }
 
@@ -109,6 +128,8 @@ fn spec(
 fn wide_spec() -> WorkloadSpec {
     WorkloadSpec {
         pricing_ratio_floor: Some(3),
+        lu_speedup_floor_pct: Some(150),
+        hypersparse_floor_pct: Some(50),
         ..spec("long_wide", "long_only", 200, 4, 12, 900, 23)
     }
 }
@@ -148,6 +169,34 @@ pub struct PathMeasurement {
     pub cols_scanned: u64,
 }
 
+/// The default (LU-kernel) path measurement plus the basis-kernel
+/// telemetry the LU factorization adds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LuMeasurement {
+    /// Wall time, iterations, refactorizations, pricing work.
+    pub path: PathMeasurement,
+    /// Worst fill-in (stored `L`+`U` nonzeros) across refactorizations.
+    pub fill_nnz: u64,
+    /// Forrest–Tomlin pivot updates applied (deterministic).
+    pub ft_updates: u64,
+    /// FTRAN/BTRAN calls that took the hyper-sparse path (deterministic).
+    pub sparse_solves: u64,
+    /// FTRAN/BTRAN calls on the dense triangular fallback (deterministic).
+    pub dense_solves: u64,
+}
+
+impl LuMeasurement {
+    /// Fraction of triangular solves that ran hyper-sparse.
+    pub fn hypersparse_solve_ratio(&self) -> f64 {
+        let total = self.sparse_solves + self.dense_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.sparse_solves as f64 / total as f64
+        }
+    }
+}
+
 /// Everything measured for one workload.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct WorkloadResult {
@@ -163,17 +212,20 @@ pub struct WorkloadResult {
     pub lp_objective: f64,
     /// Calibrations in the end-to-end schedule (deterministic).
     pub calibrations: usize,
-    /// Sparse (eta-file) simplex under devex pricing, cold start — the
-    /// default path.
-    pub sparse: PathMeasurement,
-    /// Sparse simplex under Dantzig (full-scan) pricing, cold start — the
+    /// LU (Markowitz + Forrest–Tomlin) simplex under devex pricing, cold
+    /// start — the default path, with its basis-kernel telemetry.
+    pub lu: LuMeasurement,
+    /// Eta-file simplex under devex pricing, cold start — the kernel
+    /// baseline the LU speedup floor is gated against.
+    pub eta: PathMeasurement,
+    /// LU simplex under Dantzig (full-scan) pricing, cold start — the
     /// pricing baseline devex is compared against.
     pub dantzig: PathMeasurement,
     /// Dense-inverse oracle, cold start. `None` on workloads whose LP is
     /// too wide for the explicit inverse to be worth timing.
     pub dense: Option<PathMeasurement>,
-    /// Sparse simplex warm-started from the cold solve's basis, at a
-    /// machine budget perturbed by +1 (phase 1 skipped).
+    /// LU simplex warm-started from the cold solve's basis, at a machine
+    /// budget perturbed by +1 (phase 1 skipped).
     pub warm: PathMeasurement,
 }
 
@@ -218,13 +270,41 @@ fn time_solves(
     Ok((m, sol))
 }
 
+/// Measure a single basis kernel (under devex pricing, cold start) on one
+/// workload — the `ise bench --factorization` profiling path. The LU
+/// telemetry fields are zero for the eta and dense kernels.
+pub fn measure_kernel(
+    spec: &WorkloadSpec,
+    kind: ise_simplex::Factorization,
+    reps: usize,
+) -> Result<LuMeasurement, String> {
+    let instance = spec.instance()?;
+    let jobs = long_jobs(&instance);
+    if jobs.is_empty() {
+        return Err(format!("workload {} has no long-window jobs", spec.name));
+    }
+    let tise = build(&jobs, instance.calib_len(), 3 * instance.machines());
+    let opts = LpOptions {
+        factorization: kind,
+        ..LpOptions::default()
+    };
+    let (path, sol) = time_solves(&tise, &opts, None, reps)?;
+    Ok(LuMeasurement {
+        path,
+        fill_nnz: sol.numerics.lu_fill_nnz,
+        ft_updates: sol.numerics.lu_ft_updates,
+        sparse_solves: sol.numerics.lu_sparse_solves,
+        dense_solves: sol.numerics.lu_dense_solves,
+    })
+}
+
 /// Column count above which the dense explicit-inverse oracle is skipped:
 /// its per-iteration cost is quadratic in the basis size, so timing it on
 /// the wide pricing workload would dominate the whole suite.
 pub const DENSE_COL_CAP: usize = 4000;
 
-/// Measure one workload: LP shape, cold sparse/dense solves, a warm
-/// re-solve at budget `3m + 1`, and the end-to-end calibration count.
+/// Measure one workload: LP shape, cold solves on each basis kernel, a
+/// warm re-solve at budget `3m + 1`, and the end-to-end calibration count.
 pub fn measure_workload(spec: &WorkloadSpec, reps: usize) -> Result<WorkloadResult, String> {
     let instance = spec.instance()?;
     let jobs = long_jobs(&instance);
@@ -234,18 +314,36 @@ pub fn measure_workload(spec: &WorkloadSpec, reps: usize) -> Result<WorkloadResu
     let budget = 3 * instance.machines();
     let tise = build(&jobs, instance.calib_len(), budget);
 
-    let sparse_opts = LpOptions::default();
+    let lu_opts = LpOptions::default();
+    let eta_opts = LpOptions {
+        factorization: ise_simplex::Factorization::Eta,
+        ..LpOptions::default()
+    };
     let dantzig_opts = LpOptions {
         pricing: ise_simplex::Pricing::Dantzig,
         ..LpOptions::default()
     };
     let dense_opts = LpOptions {
-        dense: true,
+        factorization: ise_simplex::Factorization::Dense,
         pricing: ise_simplex::Pricing::Dantzig,
         ..LpOptions::default()
     };
 
-    let (sparse, cold_sol) = time_solves(&tise, &sparse_opts, None, reps)?;
+    let (lu_path, cold_sol) = time_solves(&tise, &lu_opts, None, reps)?;
+    let lu = LuMeasurement {
+        path: lu_path,
+        fill_nnz: cold_sol.numerics.lu_fill_nnz,
+        ft_updates: cold_sol.numerics.lu_ft_updates,
+        sparse_solves: cold_sol.numerics.lu_sparse_solves,
+        dense_solves: cold_sol.numerics.lu_dense_solves,
+    };
+    let (eta, eta_sol) = time_solves(&tise, &eta_opts, None, reps)?;
+    if (cold_sol.objective - eta_sol.objective).abs() > 1e-6 * (1.0 + cold_sol.objective.abs()) {
+        return Err(format!(
+            "workload {}: lu/eta objectives disagree ({} vs {})",
+            spec.name, cold_sol.objective, eta_sol.objective
+        ));
+    }
     let (dantzig, dantzig_sol) = time_solves(&tise, &dantzig_opts, None, reps)?;
     if (cold_sol.objective - dantzig_sol.objective).abs() > 1e-6 * (1.0 + cold_sol.objective.abs())
     {
@@ -261,7 +359,7 @@ pub fn measure_workload(spec: &WorkloadSpec, reps: usize) -> Result<WorkloadResu
             > 1e-6 * (1.0 + cold_sol.objective.abs())
         {
             return Err(format!(
-                "workload {}: sparse/dense objectives disagree ({} vs {})",
+                "workload {}: lu/dense objectives disagree ({} vs {})",
                 spec.name, cold_sol.objective, dense_sol.objective
             ));
         }
@@ -277,7 +375,7 @@ pub fn measure_workload(spec: &WorkloadSpec, reps: usize) -> Result<WorkloadResu
         .as_ref()
         .ok_or_else(|| format!("workload {}: cold solve returned no basis", spec.name))?;
     let perturbed = build(&jobs, instance.calib_len(), budget + 1);
-    let (warm, warm_sol) = time_solves(&perturbed, &sparse_opts, Some(basis), reps)?;
+    let (warm, warm_sol) = time_solves(&perturbed, &lu_opts, Some(basis), reps)?;
     if !warm_sol.warm_used {
         return Err(format!(
             "workload {}: warm basis was rejected at budget {}",
@@ -295,7 +393,8 @@ pub fn measure_workload(spec: &WorkloadSpec, reps: usize) -> Result<WorkloadResu
         lp_nnz: tise.lp.nnz(),
         lp_objective: cold_sol.objective,
         calibrations: outcome.schedule.num_calibrations(),
-        sparse,
+        lu,
+        eta,
         dantzig,
         dense,
         warm,
@@ -359,11 +458,12 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) ->
         check_path(
             &mut problems,
             name,
-            "sparse",
-            &cur.sparse,
-            &base.sparse,
+            "lu",
+            &cur.lu.path,
+            &base.lu.path,
             threshold,
         );
+        check_path(&mut problems, name, "eta", &cur.eta, &base.eta, threshold);
         check_path(
             &mut problems,
             name,
@@ -372,6 +472,15 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) ->
             &base.dantzig,
             threshold,
         );
+        // Fill-in is deterministic per workload: letting it silently grow
+        // past the regression threshold would erode the sparse kernel.
+        let fill_limit = (base.lu.fill_nnz as f64) * threshold;
+        if cur.lu.fill_nnz as f64 > fill_limit {
+            problems.push(format!(
+                "{name}/lu: fill-in {} nnz exceeds {threshold}x baseline ({} nnz)",
+                cur.lu.fill_nnz, base.lu.fill_nnz
+            ));
+        }
         if let (Some(cur_dense), Some(base_dense)) = (&cur.dense, &base.dense) {
             check_path(
                 &mut problems,
@@ -393,10 +502,32 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, threshold: f64) ->
         if let Some(floor) = cur.spec.pricing_ratio_floor {
             // Deterministic pricing-work gate: devex partial pricing must
             // keep scanning at least `floor`x fewer columns than Dantzig.
-            if cur.dantzig.cols_scanned < floor * cur.sparse.cols_scanned.max(1) {
+            if cur.dantzig.cols_scanned < floor * cur.lu.path.cols_scanned.max(1) {
                 problems.push(format!(
                     "{name}: devex scanned {} cols vs Dantzig {} — below the {floor}x floor",
-                    cur.sparse.cols_scanned, cur.dantzig.cols_scanned
+                    cur.lu.path.cols_scanned, cur.dantzig.cols_scanned
+                ));
+            }
+        }
+        if let Some(pct) = cur.spec.lu_speedup_floor_pct {
+            // Machine-neutral kernel gate: both paths are timed within the
+            // same run, so the ratio is insensitive to the host.
+            if cur.eta.ns_per_solve * 100 < pct * cur.lu.path.ns_per_solve {
+                problems.push(format!(
+                    "{name}: lu {} ns/solve vs eta {} — below the {pct}% speedup floor",
+                    cur.lu.path.ns_per_solve, cur.eta.ns_per_solve
+                ));
+            }
+        }
+        if let Some(pct) = cur.spec.hypersparse_floor_pct {
+            let ratio = cur.lu.hypersparse_solve_ratio();
+            if ratio * 100.0 < pct as f64 {
+                problems.push(format!(
+                    "{name}: hyper-sparse solve ratio {:.1}% ({} sparse / {} dense) \
+                     below the {pct}% floor",
+                    ratio * 100.0,
+                    cur.lu.sparse_solves,
+                    cur.lu.dense_solves
                 ));
             }
         }
@@ -427,10 +558,17 @@ mod tests {
         assert_eq!(report.workloads.len(), suite(true).len());
         for w in &report.workloads {
             assert!(w.lp_rows > 0 && w.lp_cols > 0 && w.lp_nnz > 0);
-            assert!(w.sparse.iterations > 0);
-            assert!(w.warm.iterations <= w.sparse.iterations);
-            assert!(w.sparse.cols_scanned > 0);
+            assert!(w.lu.path.iterations > 0);
+            assert!(w.eta.iterations > 0);
+            assert!(w.warm.iterations <= w.lu.path.iterations);
+            assert!(w.lu.path.cols_scanned > 0);
             assert!(w.dantzig.cols_scanned > 0);
+            assert!(w.lu.fill_nnz > 0, "{}: LU fill-in reported", w.spec.name);
+            assert!(
+                w.lu.sparse_solves + w.lu.dense_solves > 0,
+                "{}: triangular solves counted",
+                w.spec.name
+            );
         }
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
@@ -443,10 +581,10 @@ mod tests {
     fn compare_flags_regressions() {
         let report = run_suite(true, 1).unwrap();
         let mut slow = report.clone();
-        slow.workloads[0].sparse.ns_per_solve = report.workloads[0].sparse.ns_per_solve * 10 + 1;
+        slow.workloads[0].lu.path.ns_per_solve = report.workloads[0].lu.path.ns_per_solve * 10 + 1;
         let problems = compare(&slow, &report, DEFAULT_THRESHOLD);
         assert_eq!(problems.len(), 1, "{problems:?}");
-        assert!(problems[0].contains("sparse"));
+        assert!(problems[0].contains("lu"));
     }
 
     #[test]
@@ -462,20 +600,57 @@ mod tests {
         let w = measure_workload(&spec, 1).unwrap();
         let floor = spec.pricing_ratio_floor.unwrap();
         assert!(
-            w.dantzig.cols_scanned >= floor * w.sparse.cols_scanned,
+            w.dantzig.cols_scanned >= floor * w.lu.path.cols_scanned,
             "devex scanned {} cols, Dantzig {} — below {floor}x",
-            w.sparse.cols_scanned,
+            w.lu.path.cols_scanned,
             w.dantzig.cols_scanned
         );
         // Wide LP skips the dense oracle on purpose.
         assert!(w.lp_cols > DENSE_COL_CAP);
         assert!(w.dense.is_none());
-        // A run containing the gate compares cleanly against itself.
+        // The hyper-sparse floor holds on the wide workload: most
+        // triangular solves walk the reach instead of the whole basis.
+        let pct = spec.hypersparse_floor_pct.unwrap();
+        assert!(
+            w.lu.hypersparse_solve_ratio() * 100.0 >= pct as f64,
+            "hyper-sparse ratio {:.1}% ({} sparse / {} dense) below {pct}%",
+            w.lu.hypersparse_solve_ratio() * 100.0,
+            w.lu.sparse_solves,
+            w.lu.dense_solves
+        );
+        // A run containing the gates compares cleanly against itself.
         let report = BenchReport {
             version: BENCH_VERSION,
             workloads: vec![w],
         };
         assert!(compare(&report, &report, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_lu_speedup_violation() {
+        let spec = wide_spec();
+        let w = measure_workload(&spec, 1).unwrap();
+        let report = BenchReport {
+            version: BENCH_VERSION,
+            workloads: vec![w],
+        };
+        let mut bad = report.clone();
+        // Pretend eta got as fast as LU: the speedup gate must fire.
+        bad.workloads[0].eta.ns_per_solve = bad.workloads[0].lu.path.ns_per_solve;
+        let problems = compare(&bad, &report, DEFAULT_THRESHOLD);
+        assert!(
+            problems.iter().any(|p| p.contains("speedup floor")),
+            "{problems:?}"
+        );
+        let mut dense_heavy = report.clone();
+        // Pretend every triangular solve went dense: the ratio gate fires.
+        dense_heavy.workloads[0].lu.dense_solves += dense_heavy.workloads[0].lu.sparse_solves;
+        dense_heavy.workloads[0].lu.sparse_solves = 0;
+        let problems = compare(&dense_heavy, &report, DEFAULT_THRESHOLD);
+        assert!(
+            problems.iter().any(|p| p.contains("hyper-sparse")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -487,7 +662,7 @@ mod tests {
             workloads: vec![w],
         };
         let mut bad = report.clone();
-        bad.workloads[0].sparse.cols_scanned = bad.workloads[0].dantzig.cols_scanned;
+        bad.workloads[0].lu.path.cols_scanned = bad.workloads[0].dantzig.cols_scanned;
         let problems = compare(&bad, &report, DEFAULT_THRESHOLD);
         assert!(problems.iter().any(|p| p.contains("floor")), "{problems:?}");
     }

@@ -17,9 +17,11 @@
 //!   instances: the optimum never exceeds the heuristic, a feasible
 //!   witness contradicts exhaustive infeasibility and vice versa, and
 //!   Theorem 12's `12·C*` calibration budget holds on long-only inputs.
-//! * [`Oracle::Dense`] — sparse (eta-file) vs dense (explicit-inverse)
-//!   simplex end to end: same feasibility verdict, agreeing LP objectives,
-//!   both schedules valid and within budget.
+//! * [`Oracle::Dense`] — the default LP configuration (LU basis, devex,
+//!   Harris) vs an independently implemented path pinned to the eta-file
+//!   kernel, Dantzig pricing, and the baseline ratio test, end to end:
+//!   same feasibility verdict, agreeing LP objectives, both schedules
+//!   valid and within budget.
 //! * [`Oracle::Warm`] — warm-started re-solve of the same instance must
 //!   reproduce the cold result exactly (same objective, same calibration
 //!   count): warm starts only skip phase 1.
@@ -58,7 +60,7 @@ pub enum Oracle {
     Budgets,
     /// `solve` vs brute-force `exact::optimal` (small instances only).
     Exact,
-    /// Sparse vs dense simplex through the full pipeline.
+    /// LU/devex/Harris vs eta/Dantzig/baseline through the full pipeline.
     Dense,
     /// Warm-started vs cold LP basis.
     Warm,
@@ -429,15 +431,16 @@ fn check_exact(instance: &Instance, base: &Base, opts: &OracleOptions) -> Result
     Ok(())
 }
 
-/// Solve with the dense explicit-inverse simplex kernel under Dantzig
-/// pricing and the pre-Harris baseline ratio test — the oracle differs
-/// from the base solve on the basis-representation axis, the pricing-rule
-/// axis, and the ratio-test axis, so agreement cross-checks devex partial
-/// pricing and the Harris two-pass rule in one shot.
+/// Solve with the product-form eta-file kernel under Dantzig pricing and
+/// the pre-Harris baseline ratio test — the oracle differs from the base
+/// solve (LU / devex / Harris) on the basis-factorization axis, the
+/// pricing-rule axis, and the ratio-test axis, so agreement cross-checks
+/// the Markowitz/Forrest–Tomlin kernel, devex partial pricing, and the
+/// Harris two-pass rule in one shot.
 fn dense_options() -> SolverOptions {
     let mut opts = SolverOptions::default();
     opts.long.lp = ise_simplex::SolveOptions {
-        dense: true,
+        factorization: ise_simplex::Factorization::Eta,
         pricing: ise_simplex::Pricing::Dantzig,
         ratio_test: ise_simplex::RatioTest::Baseline,
         ..ise_simplex::SolveOptions::default()
@@ -451,20 +454,27 @@ fn objectives_agree(a: f64, b: f64) -> bool {
 
 fn check_dense(instance: &Instance, base: &Base) -> Result<(), Discrepancy> {
     let o = Oracle::Dense;
-    let dense = solve(instance, &dense_options());
-    match (base, dense) {
+    let oracle = solve(instance, &dense_options());
+    match (base, oracle) {
         (Base::Feasible(s), Ok(d)) => {
-            validate(instance, &d.schedule)
-                .map_err(|e| disc(o, format!("dense-path schedule is invalid: {e}")))?;
+            validate(instance, &d.schedule).map_err(|e| {
+                disc(
+                    o,
+                    format!("oracle-path (eta/Dantzig/baseline) schedule is invalid: {e}"),
+                )
+            })?;
             if !audit(instance, &d).all_ok() {
-                return Err(disc(o, "dense-path outcome fails the theorem audit"));
+                return Err(disc(
+                    o,
+                    "oracle-path (eta/Dantzig/baseline) outcome fails the theorem audit",
+                ));
             }
             if let (Some(sl), Some(dl)) = (&s.long, &d.long) {
                 if !objectives_agree(sl.fractional.objective, dl.fractional.objective) {
                     return Err(disc(
                         o,
                         format!(
-                            "LP objectives diverge: sparse {} vs dense {}",
+                            "LP objectives diverge: default {} vs oracle {}",
                             sl.fractional.objective, dl.fractional.objective
                         ),
                     ));
@@ -475,14 +485,14 @@ fn check_dense(instance: &Instance, base: &Base) -> Result<(), Discrepancy> {
         (Base::Feasible(_), Err(e)) => {
             return Err(disc(
                 o,
-                format!("sparse path solved but the dense path failed: {e}"),
+                format!("default path solved but the oracle path failed: {e}"),
             ));
         }
         (Base::Infeasible(reason), Ok(d)) => {
             return Err(disc(
                 o,
                 format!(
-                    "sparse path certified infeasibility ({reason}) but the dense path \
+                    "default path certified infeasibility ({reason}) but the oracle path \
                      found {} calibrations",
                     d.schedule.num_calibrations()
                 ),
@@ -491,7 +501,7 @@ fn check_dense(instance: &Instance, base: &Base) -> Result<(), Discrepancy> {
         (Base::Infeasible(_), Err(e)) => {
             return Err(disc(
                 o,
-                format!("dense path failed with a non-verdict error: {e}"),
+                format!("oracle path failed with a non-verdict error: {e}"),
             ));
         }
     }

@@ -55,10 +55,20 @@ pub struct LpTelemetry {
     pub recoveries_tighten: u64,
     /// Recovery-ladder rung 3 activations (Dantzig full pricing).
     pub recoveries_dantzig: u64,
-    /// Recovery-ladder rung 4 activations (dense-kernel fallback).
+    /// Recovery-ladder rung 4 activations (eta-kernel fallback).
+    pub recoveries_eta: u64,
+    /// Recovery-ladder rung 5 activations (dense-kernel fallback).
     pub recoveries_dense: u64,
     /// Harris ratio-test pass-2 picks beyond the strict minimum ratio.
     pub harris_relaxations: u64,
+    /// Worst LU fill-in (stored `L`+`U` nonzeros) across refactorizations.
+    pub lu_fill_nnz: u64,
+    /// Forrest–Tomlin pivot updates applied in place of refactorizations.
+    pub lu_ft_updates: u64,
+    /// FTRAN/BTRAN solves that took the hyper-sparse (reach-walking) path.
+    pub lu_sparse_solves: u64,
+    /// FTRAN/BTRAN solves that fell back to the dense triangular kernels.
+    pub lu_dense_solves: u64,
 }
 
 impl LpTelemetry {
@@ -83,8 +93,13 @@ impl LpTelemetry {
             recoveries_refactor: l.fractional.numerics.recoveries_refactor,
             recoveries_tighten: l.fractional.numerics.recoveries_tighten,
             recoveries_dantzig: l.fractional.numerics.recoveries_dantzig,
+            recoveries_eta: l.fractional.numerics.recoveries_eta,
             recoveries_dense: l.fractional.numerics.recoveries_dense,
             harris_relaxations: l.fractional.numerics.harris_relaxations,
+            lu_fill_nnz: l.fractional.numerics.lu_fill_nnz,
+            lu_ft_updates: l.fractional.numerics.lu_ft_updates,
+            lu_sparse_solves: l.fractional.numerics.lu_sparse_solves,
+            lu_dense_solves: l.fractional.numerics.lu_dense_solves,
         })
     }
 
@@ -93,6 +108,7 @@ impl LpTelemetry {
         self.recoveries_refactor
             + self.recoveries_tighten
             + self.recoveries_dantzig
+            + self.recoveries_eta
             + self.recoveries_dense
     }
 }
@@ -195,14 +211,20 @@ impl fmt::Display for SolveReport {
             writeln!(
                 f,
                 "LP numerics: {} residual checks, max residual {:.2e}, \
-                 {} recoveries (refactor {} / tighten {} / dantzig {} / dense {})",
+                 {} recoveries (refactor {} / tighten {} / dantzig {} / eta {} / dense {})",
                 t.residual_checks,
                 t.max_residual,
                 t.recoveries_total(),
                 t.recoveries_refactor,
                 t.recoveries_tighten,
                 t.recoveries_dantzig,
+                t.recoveries_eta,
                 t.recoveries_dense
+            )?;
+            writeln!(
+                f,
+                "LP basis: {} fill nnz, {} FT updates, {} sparse / {} dense triangular solves",
+                t.lu_fill_nnz, t.lu_ft_updates, t.lu_sparse_solves, t.lu_dense_solves
             )?;
         }
         if self.short_jobs > 0 {
@@ -248,7 +270,9 @@ mod tests {
         assert!(text.contains("bounds: work"));
         assert!(text.contains("LP pricing:"), "pricing stats line: {text}");
         assert!(text.contains("LP numerics:"), "numerics line: {text}");
+        assert!(text.contains("LP basis:"), "basis line: {text}");
         let lp = report.lp.expect("long pipeline ran");
+        assert!(lp.lu_fill_nnz > 0, "default LU path reports fill-in");
         assert!(lp.cols_scanned > 0);
         assert!(lp.pivots_per_refactor > 0);
         assert!(lp.residual_checks >= 1);

@@ -846,8 +846,11 @@ fn handle_request(
 }
 
 /// Fold one solve's LP numerics into the engine counters: one residual
-/// histogram sample per monitored solve plus per-rung recovery counts.
+/// histogram sample per monitored solve, per-rung recovery counts, and
+/// the LU basis-kernel counters (fill-in is tracked as a worst-seen
+/// gauge; updates and triangular-solve paths accumulate).
 fn record_lp_numerics(metrics: &EngineMetrics, t: &LpTelemetry) {
+    use std::sync::atomic::Ordering;
     if t.residual_checks > 0 {
         metrics.lp_residual.record(t.max_residual);
     }
@@ -855,12 +858,19 @@ fn record_lp_numerics(metrics: &EngineMetrics, t: &LpTelemetry) {
         (&metrics.lp_recoveries_refactor, t.recoveries_refactor),
         (&metrics.lp_recoveries_tighten, t.recoveries_tighten),
         (&metrics.lp_recoveries_dantzig, t.recoveries_dantzig),
+        (&metrics.lp_recoveries_eta, t.recoveries_eta),
         (&metrics.lp_recoveries_dense, t.recoveries_dense),
+        (&metrics.lp_lu_ft_updates, t.lu_ft_updates),
+        (&metrics.lp_lu_sparse_solves, t.lu_sparse_solves),
+        (&metrics.lp_lu_dense_solves, t.lu_dense_solves),
     ] {
         if n > 0 {
-            counter.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+            counter.fetch_add(n, Ordering::Relaxed);
         }
     }
+    metrics
+        .lp_lu_fill_nnz
+        .fetch_max(t.lu_fill_nnz, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -897,7 +907,10 @@ mod tests {
         // LP numerics histogram, and a healthy solve climbs no ladder rung.
         assert_eq!(m.lp_residual.count, 1);
         assert_eq!(m.lp_recoveries_refactor, 0);
+        assert_eq!(m.lp_recoveries_eta, 0);
         assert_eq!(m.lp_recoveries_dense, 0);
+        // The default kernel is LU: the solve must report its fill-in.
+        assert!(m.lp_lu_fill_nnz > 0, "LU fill-in gauge is fed");
     }
 
     #[test]

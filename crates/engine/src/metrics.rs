@@ -207,8 +207,18 @@ pub struct EngineMetrics {
     pub lp_recoveries_tighten: AtomicU64,
     /// LP recovery-ladder rung 3 activations (Dantzig full pricing).
     pub lp_recoveries_dantzig: AtomicU64,
-    /// LP recovery-ladder rung 4 activations (dense-kernel fallback).
+    /// LP recovery-ladder rung 4 activations (eta-kernel fallback).
+    pub lp_recoveries_eta: AtomicU64,
+    /// LP recovery-ladder rung 5 activations (dense-kernel fallback).
     pub lp_recoveries_dense: AtomicU64,
+    /// Worst LU fill-in (stored L+U nonzeros) seen across solves.
+    pub lp_lu_fill_nnz: AtomicU64,
+    /// Forrest–Tomlin pivot updates applied across solves.
+    pub lp_lu_ft_updates: AtomicU64,
+    /// FTRAN/BTRAN solves that took the hyper-sparse path.
+    pub lp_lu_sparse_solves: AtomicU64,
+    /// FTRAN/BTRAN solves that fell back to the dense triangular kernels.
+    pub lp_lu_dense_solves: AtomicU64,
     /// Worst relative LP residual per solve, for solves where the residual
     /// monitor ran.
     pub lp_residual: ResidualHistogram,
@@ -245,7 +255,12 @@ impl EngineMetrics {
             lp_recoveries_refactor: self.lp_recoveries_refactor.load(Ordering::Relaxed),
             lp_recoveries_tighten: self.lp_recoveries_tighten.load(Ordering::Relaxed),
             lp_recoveries_dantzig: self.lp_recoveries_dantzig.load(Ordering::Relaxed),
+            lp_recoveries_eta: self.lp_recoveries_eta.load(Ordering::Relaxed),
             lp_recoveries_dense: self.lp_recoveries_dense.load(Ordering::Relaxed),
+            lp_lu_fill_nnz: self.lp_lu_fill_nnz.load(Ordering::Relaxed),
+            lp_lu_ft_updates: self.lp_lu_ft_updates.load(Ordering::Relaxed),
+            lp_lu_sparse_solves: self.lp_lu_sparse_solves.load(Ordering::Relaxed),
+            lp_lu_dense_solves: self.lp_lu_dense_solves.load(Ordering::Relaxed),
             lp_residual: self.lp_residual.snapshot(),
             cache_evictions: 0,
             basis_cache_entries: 0,
@@ -292,8 +307,18 @@ pub struct MetricsSnapshot {
     pub lp_recoveries_tighten: u64,
     /// LP recovery-ladder activations, rung 3 (Dantzig pricing).
     pub lp_recoveries_dantzig: u64,
-    /// LP recovery-ladder activations, rung 4 (dense fallback).
+    /// LP recovery-ladder activations, rung 4 (eta fallback).
+    pub lp_recoveries_eta: u64,
+    /// LP recovery-ladder activations, rung 5 (dense fallback).
     pub lp_recoveries_dense: u64,
+    /// Worst LU fill-in (stored L+U nonzeros) seen across solves.
+    pub lp_lu_fill_nnz: u64,
+    /// Forrest–Tomlin pivot updates applied across solves.
+    pub lp_lu_ft_updates: u64,
+    /// FTRAN/BTRAN solves that took the hyper-sparse path.
+    pub lp_lu_sparse_solves: u64,
+    /// FTRAN/BTRAN solves on the dense triangular fallback.
+    pub lp_lu_dense_solves: u64,
     /// Per-solve worst relative LP residual histogram.
     pub lp_residual: ResidualHistogramSnapshot,
     /// Result- and basis-cache entries evicted by LRU capacity pressure
@@ -460,10 +485,36 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         ("refactor", snap.lp_recoveries_refactor),
         ("tighten", snap.lp_recoveries_tighten),
         ("dantzig", snap.lp_recoveries_dantzig),
+        ("eta", snap.lp_recoveries_eta),
         ("dense", snap.lp_recoveries_dense),
     ] {
         out.push_str(&format!(
             "ise_lp_recoveries_total{{rung=\"{rung}\"}} {value}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP ise_lp_lu_fill_nnz Worst LU fill-in (stored L+U nonzeros) seen across solves\n\
+         # TYPE ise_lp_lu_fill_nnz gauge\n",
+    );
+    out.push_str(&format!("ise_lp_lu_fill_nnz {}\n", snap.lp_lu_fill_nnz));
+    out.push_str(
+        "# HELP ise_lp_lu_ft_updates_total Forrest-Tomlin pivot updates applied\n\
+         # TYPE ise_lp_lu_ft_updates_total counter\n",
+    );
+    out.push_str(&format!(
+        "ise_lp_lu_ft_updates_total {}\n",
+        snap.lp_lu_ft_updates
+    ));
+    out.push_str(
+        "# HELP ise_lp_lu_triangular_solves_total FTRAN/BTRAN solves by kernel path\n\
+         # TYPE ise_lp_lu_triangular_solves_total counter\n",
+    );
+    for (path, value) in [
+        ("sparse", snap.lp_lu_sparse_solves),
+        ("dense", snap.lp_lu_dense_solves),
+    ] {
+        out.push_str(&format!(
+            "ise_lp_lu_triangular_solves_total{{path=\"{path}\"}} {value}\n"
         ));
     }
     out.push_str(
@@ -791,7 +842,12 @@ mod tests {
         m.lp_residual.record(0.5);
         m.lp_residual.record(f64::INFINITY); // clamps into +Inf bucket
         EngineMetrics::inc(&m.lp_recoveries_refactor);
+        EngineMetrics::inc(&m.lp_recoveries_eta);
         EngineMetrics::inc(&m.lp_recoveries_dense);
+        m.lp_lu_fill_nnz.fetch_max(321, Ordering::Relaxed);
+        m.lp_lu_ft_updates.fetch_add(7, Ordering::Relaxed);
+        m.lp_lu_sparse_solves.fetch_add(9, Ordering::Relaxed);
+        m.lp_lu_dense_solves.fetch_add(2, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.lp_residual.count, 4);
         assert!(snap.lp_residual.sum >= 0.5);
@@ -801,7 +857,21 @@ mod tests {
             "{text}"
         );
         assert!(
+            text.contains("ise_lp_recoveries_total{rung=\"eta\"} 1"),
+            "{text}"
+        );
+        assert!(
             text.contains("ise_lp_recoveries_total{rung=\"dense\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ise_lp_lu_fill_nnz 321"), "{text}");
+        assert!(text.contains("ise_lp_lu_ft_updates_total 7"), "{text}");
+        assert!(
+            text.contains("ise_lp_lu_triangular_solves_total{path=\"sparse\"} 9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ise_lp_lu_triangular_solves_total{path=\"dense\"} 2"),
             "{text}"
         );
         assert!(

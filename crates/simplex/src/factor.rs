@@ -9,23 +9,26 @@
 //! * **refactor** — rebuild the representation from the basis columns when
 //!   the update sequence grows long or looks numerically unsafe.
 //!
-//! Two implementations live behind the [`Factor`] enum:
+//! Three implementations live behind the [`Factor`] enum, selected by
+//! [`Factorization`]:
 //!
-//! * [`DenseInverse`] maintains `B⁻¹` explicitly (row major). Every update
-//!   is an `O(m²)` elimination and BTRAN/FTRAN are `O(m²)`/`O(m·nnz)`.
-//!   This is the original kernel, kept as the cross-check oracle behind
-//!   [`SolveOptions::dense`](crate::SolveOptions::dense).
+//! * [`LuFactor`] (the default) keeps a sparse `B = L·U` factorization:
+//!   Markowitz-pivoting reinversion, Forrest–Tomlin pivot updates, and
+//!   hyper-sparse (Gilbert–Peierls) FTRAN/BTRAN that traverse only the
+//!   reach of the input support. Its outputs are **indexed sparse
+//!   vectors** ([`SpVec`]) whose tracked support lets the pivot loop skip
+//!   the dense `O(m)` scans entirely. See [`crate::lu`] for the kernel.
 //! * [`EtaFile`] keeps the **product form of the inverse**:
 //!   `B⁻¹ = E_k ⋯ E_1` where each eta matrix `E_i` differs from the
 //!   identity in one column. A pivot appends one eta (`O(nnz(w))`), FTRAN
 //!   applies the etas oldest-first and BTRAN newest-first, each in
-//!   `O(Σ nnz(eta))` — on the TISE LP (3 nonzeros per assignment column)
-//!   this replaces the `O(m²)` inner loops with work proportional to the
-//!   actual fill. Refactorization re-derives the eta file from the basis
-//!   columns by the classic reinversion sweep, choosing pivot rows by
-//!   magnitude among the still-unassigned rows; that sweep may permute
-//!   which basis position a variable occupies, so `refactor` receives the
-//!   basis array mutably and keeps `xb` consistent.
+//!   `O(Σ nnz(eta))`. Retained as the first-line cross-check oracle (the
+//!   conformance differential runs LU-vs-Eta) and as the first fallback
+//!   rung of the recovery ladder. Its outputs are dense-mode [`SpVec`]s,
+//!   preserving the historical iteration order bit for bit.
+//! * [`DenseInverse`] maintains `B⁻¹` explicitly (row major). Every update
+//!   is an `O(m²)` elimination and BTRAN/FTRAN are `O(m²)`/`O(m·nnz)`.
+//!   This is the original kernel, kept as the last-resort oracle.
 //!
 //! All hot-path operations come in `_into` form writing into
 //! caller-provided buffers, so the pivot loop performs no heap allocation
@@ -33,15 +36,30 @@
 //! observable: every operation that might reallocate takes an `events`
 //! counter bumped once per actual capacity change, which is how the
 //! zero-allocation property of warm re-solves is asserted in tests. The
-//! eta file itself is an **arena** — one shared `(row, value)` vec plus a
-//! header per eta — truncated rather than freed on refactorization, so
-//! steady-state pivots reuse its capacity too.
+//! eta file and the LU arenas are truncated rather than freed on
+//! refactorization, so steady-state pivots reuse their capacity too.
 
 use crate::solver::SolverError;
+
+pub use crate::lu::{FactorStats, LuFactor, SpVec, Support};
 
 /// Pivot threshold below which a refactorization declares the basis
 /// singular. Matches the dense Gauss–Jordan kernel's historical value.
 const SINGULAR_TOL: f64 = 1e-12;
+
+/// Which basis kernel a solve runs on. `Lu` is the production default;
+/// `Eta` and `Dense` survive as independently implemented cross-check
+/// oracles and as the last two rungs of the recovery ladder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Factorization {
+    /// Sparse LU with Forrest–Tomlin updates and hyper-sparse solves.
+    #[default]
+    Lu,
+    /// Product-form-of-the-inverse eta file.
+    Eta,
+    /// Explicit dense inverse.
+    Dense,
+}
 
 /// Grow `v` to exactly `n` elements of `fill`, counting an allocation
 /// event if the capacity had to change.
@@ -151,7 +169,8 @@ pub struct DenseInverse {
 /// permutation bookkeeping, one dense column buffer, and the dense kernel's
 /// working matrix. Owned by the solver's
 /// [`Workspace`](crate::solver::Workspace) so refactorizations stop
-/// allocating once warm.
+/// allocating once warm. (The LU kernel carries its own scratch inside
+/// [`LuFactor`], cached the same way through the workspace factor cache.)
 #[derive(Default)]
 pub struct FactorScratch {
     dense_a: Vec<f64>,
@@ -161,47 +180,68 @@ pub struct FactorScratch {
     col: Vec<f64>,
 }
 
-/// A basis representation: dense explicit inverse or sparse eta file.
+/// A basis representation: sparse LU, product-form eta file, or dense
+/// explicit inverse.
 pub enum Factor {
-    /// Dense explicit inverse (cross-check oracle).
+    /// Sparse LU with Forrest–Tomlin updates (default). Boxed: the LU
+    /// workspace is ~1 KiB of arena headers, and the factor is moved in
+    /// and out of the cached solver workspace on every solve.
+    Lu(Box<LuFactor>),
+    /// Dense explicit inverse (last-resort oracle).
     Dense(DenseInverse),
-    /// Product-form inverse (default).
+    /// Product-form inverse (first-line oracle).
     Eta(EtaFile),
 }
 
 impl Default for Factor {
     fn default() -> Factor {
-        Factor::Eta(EtaFile::default())
+        Factor::Lu(Box::default())
     }
 }
 
 impl Factor {
     /// The identity factorization for an `m`-row basis.
-    pub fn identity(m: usize, dense: bool) -> Factor {
-        if dense {
-            let mut binv = vec![0.0; m * m];
-            for i in 0..m {
-                binv[i * m + i] = 1.0;
+    pub fn identity(m: usize, kind: Factorization) -> Factor {
+        match kind {
+            Factorization::Lu => {
+                let mut lu = Box::<LuFactor>::default();
+                lu.reset_identity(m);
+                Factor::Lu(lu)
             }
-            Factor::Dense(DenseInverse { m, binv })
-        } else {
-            Factor::Eta(EtaFile::default())
+            Factorization::Eta => Factor::Eta(EtaFile::default()),
+            Factorization::Dense => {
+                let mut binv = vec![0.0; m * m];
+                for i in 0..m {
+                    binv[i * m + i] = 1.0;
+                }
+                Factor::Dense(DenseInverse { m, binv })
+            }
         }
     }
 
     /// Turn a cached factor (e.g. one kept in a solver workspace between
     /// solves) into the identity for an `m`-row basis, reusing its storage
     /// whenever the representation matches. This is what makes repeat
-    /// solves through a shared workspace allocation-free: the eta arena /
-    /// dense inverse from the previous solve is recycled instead of
-    /// rebuilt.
-    pub fn prepare(cached: Factor, m: usize, dense: bool, events: &mut u64) -> Factor {
-        match (cached, dense) {
-            (Factor::Eta(mut e), false) => {
+    /// solves through a shared workspace allocation-free: the LU arenas /
+    /// eta arena / dense inverse from the previous solve are recycled
+    /// instead of rebuilt. Effort counters ([`FactorStats`]) restart at
+    /// zero — they describe one solve.
+    pub fn prepare(cached: Factor, m: usize, kind: Factorization, events: &mut u64) -> Factor {
+        match (cached, kind) {
+            (Factor::Lu(mut lu), Factorization::Lu) => {
+                let before = lu.footprint();
+                lu.reset_identity(m);
+                lu.stats = FactorStats::default();
+                if lu.footprint() > before {
+                    *events += 1;
+                }
+                Factor::Lu(lu)
+            }
+            (Factor::Eta(mut e), Factorization::Eta) => {
                 e.clear();
                 Factor::Eta(e)
             }
-            (Factor::Dense(mut d), true) => {
+            (Factor::Dense(mut d), Factorization::Dense) => {
                 if d.binv.capacity() < m * m {
                     *events += 1;
                 }
@@ -213,19 +253,23 @@ impl Factor {
                 d.m = m;
                 Factor::Dense(d)
             }
-            (_, true) => {
-                *events += 1;
-                Factor::identity(m, true)
+            // Representation switch (recovery-ladder fallback or explicit
+            // option change): build fresh. The empty eta file allocates
+            // nothing; the other two do.
+            (_, Factorization::Eta) => Factor::Eta(EtaFile::default()),
+            (_, kind) => {
+                if m > 0 {
+                    *events += 1;
+                }
+                Factor::identity(m, kind)
             }
-            // The empty eta file allocates nothing; arena growth is
-            // counted at push time.
-            (_, false) => Factor::Eta(EtaFile::default()),
         }
     }
 
     /// Reset to the identity in place, keeping all capacity.
     pub fn reset_identity(&mut self) {
         match self {
+            Factor::Lu(lu) => lu.reset_to_identity(),
             Factor::Dense(d) => {
                 d.binv.fill(0.0);
                 for i in 0..d.m {
@@ -236,105 +280,179 @@ impl Factor {
         }
     }
 
-    /// FTRAN against a sparse column: `out = B⁻¹ a`.
+    /// Effort counters for the LU kernel (zeroes for the oracle kernels).
+    pub fn stats(&self) -> FactorStats {
+        match self {
+            Factor::Lu(lu) => lu.stats,
+            _ => FactorStats::default(),
+        }
+    }
+
+    /// FTRAN against a sparse column: `out = B⁻¹ a`. The LU kernel leaves
+    /// `out` in sparse mode when the hyper-sparse path ran; the oracle
+    /// kernels always produce dense-mode vectors.
     pub fn ftran_col_into(
-        &self,
+        &mut self,
         m: usize,
         col: &[(usize, f64)],
-        out: &mut Vec<f64>,
+        out: &mut SpVec,
         events: &mut u64,
     ) {
-        ensure_filled(out, m, 0.0, events);
         match self {
+            Factor::Lu(lu) => {
+                let before = lu.footprint() + out.footprint();
+                lu.ftran(col, out);
+                if lu.footprint() + out.footprint() > before {
+                    *events += 1;
+                }
+            }
             Factor::Dense(d) => {
+                let before = out.footprint();
+                out.reset(m);
+                out.make_dense();
+                let vals = out.vals_mut();
                 for &(r, a) in col {
-                    for (i, wi) in out.iter_mut().enumerate() {
+                    for (i, wi) in vals.iter_mut().enumerate() {
                         *wi += a * d.binv[i * m + r];
                     }
                 }
+                if out.footprint() > before {
+                    *events += 1;
+                }
             }
             Factor::Eta(e) => {
+                let before = out.footprint();
+                out.reset(m);
+                out.make_dense();
+                let vals = out.vals_mut();
                 for &(r, a) in col {
-                    out[r] = a;
+                    vals[r] = a;
                 }
-                e.apply_all_ftran(out);
+                e.apply_all_ftran(vals);
+                if out.footprint() > before {
+                    *events += 1;
+                }
             }
         }
     }
 
     /// Allocating convenience wrapper around [`Factor::ftran_col_into`].
-    pub fn ftran_col(&self, m: usize, col: &[(usize, f64)]) -> Vec<f64> {
-        let mut out = Vec::new();
+    pub fn ftran_col(&mut self, m: usize, col: &[(usize, f64)]) -> Vec<f64> {
+        let mut out = SpVec::default();
         self.ftran_col_into(m, col, &mut out, &mut 0);
-        out
+        out.vals().to_vec()
     }
 
     /// BTRAN against a dense row vector: `out = vᵀ B⁻¹`.
-    pub fn btran_into(&self, m: usize, v: &[f64], out: &mut Vec<f64>, events: &mut u64) {
+    pub fn btran_into(&mut self, m: usize, v: &[f64], out: &mut SpVec, events: &mut u64) {
         match self {
+            Factor::Lu(lu) => {
+                let before = lu.footprint() + out.footprint();
+                lu.btran(v, out);
+                if lu.footprint() + out.footprint() > before {
+                    *events += 1;
+                }
+            }
             Factor::Dense(d) => {
-                ensure_filled(out, m, 0.0, events);
+                let before = out.footprint();
+                out.reset(m);
+                out.make_dense();
+                let vals = out.vals_mut();
                 for (i, &vi) in v.iter().enumerate() {
                     if vi != 0.0 {
                         let row = &d.binv[i * m..(i + 1) * m];
-                        for (yk, &bk) in out.iter_mut().zip(row) {
+                        for (yk, &bk) in vals.iter_mut().zip(row) {
                             *yk += vi * bk;
                         }
                     }
                 }
-            }
-            Factor::Eta(e) => {
-                if out.capacity() < v.len() {
+                if out.footprint() > before {
                     *events += 1;
                 }
-                out.clear();
-                out.extend_from_slice(v);
-                e.apply_all_btran(out);
+            }
+            Factor::Eta(e) => {
+                let before = out.footprint();
+                out.load_dense(v);
+                e.apply_all_btran(out.vals_mut());
+                if out.footprint() > before {
+                    *events += 1;
+                }
             }
         }
     }
 
     /// Allocating convenience wrapper around [`Factor::btran_into`]:
     /// returns `yᵀ = vᵀ B⁻¹`.
-    pub fn btran(&self, m: usize, v: Vec<f64>) -> Vec<f64> {
-        let mut out = Vec::new();
+    pub fn btran(&mut self, m: usize, v: Vec<f64>) -> Vec<f64> {
+        let mut out = SpVec::default();
         self.btran_into(m, &v, &mut out, &mut 0);
-        out
+        out.vals().to_vec()
     }
 
     /// Row `row` of `B⁻¹` (`e_rowᵀ B⁻¹`), used to probe pivot elements when
     /// driving artificials out of the basis and for devex weight updates.
-    pub fn row_of_inverse_into(&self, m: usize, row: usize, out: &mut Vec<f64>, events: &mut u64) {
+    /// Under LU this is the *partial* BTRAN: the unit seed is maximally
+    /// sparse, so only the reach of `row` is materialized and the caller's
+    /// pricing loop can skip everything outside `out`'s tracked support.
+    pub fn row_of_inverse_into(&mut self, m: usize, row: usize, out: &mut SpVec, events: &mut u64) {
         match self {
-            Factor::Dense(d) => {
-                if out.capacity() < m {
+            Factor::Lu(lu) => {
+                let before = lu.footprint() + out.footprint();
+                lu.btran_unit(row, out);
+                if lu.footprint() + out.footprint() > before {
                     *events += 1;
                 }
-                out.clear();
-                out.extend_from_slice(&d.binv[row * m..(row + 1) * m]);
+            }
+            Factor::Dense(d) => {
+                let before = out.footprint();
+                out.reset(m);
+                out.make_dense();
+                out.vals_mut()
+                    .copy_from_slice(&d.binv[row * m..(row + 1) * m]);
+                if out.footprint() > before {
+                    *events += 1;
+                }
             }
             Factor::Eta(e) => {
-                ensure_filled(out, m, 0.0, events);
-                out[row] = 1.0;
-                e.apply_all_btran(out);
+                let before = out.footprint();
+                out.reset(m);
+                out.make_dense();
+                let vals = out.vals_mut();
+                vals[row] = 1.0;
+                e.apply_all_btran(vals);
+                if out.footprint() > before {
+                    *events += 1;
+                }
             }
         }
     }
 
     /// Allocating convenience wrapper around [`Factor::row_of_inverse_into`].
-    pub fn row_of_inverse(&self, m: usize, row: usize) -> Vec<f64> {
-        let mut out = Vec::new();
+    pub fn row_of_inverse(&mut self, m: usize, row: usize) -> Vec<f64> {
+        let mut out = SpVec::default();
         self.row_of_inverse_into(m, row, &mut out, &mut 0);
-        out
+        out.vals().to_vec()
     }
 
     /// Account for a pivot with direction `w` leaving at `leaving_row`.
     /// The caller guarantees `|w[leaving_row]|` is above its pivot
-    /// tolerance. `events` counts eta-arena growth.
-    pub fn update_counted(&mut self, leaving_row: usize, w: &[f64], events: &mut u64) {
+    /// tolerance. `events` counts arena growth. Returns `false` when the
+    /// update was *refused* on stability grounds (Forrest–Tomlin only) —
+    /// the factor is then stale and the caller must refactorize before the
+    /// next solve operation.
+    pub fn update_counted(&mut self, leaving_row: usize, w: &SpVec, events: &mut u64) -> bool {
         match self {
+            Factor::Lu(lu) => {
+                let before = lu.footprint();
+                let applied = lu.update(leaving_row, w);
+                if lu.footprint() > before {
+                    *events += 1;
+                }
+                applied
+            }
             Factor::Dense(d) => {
                 let m = d.m;
+                let w = w.vals();
                 let piv = w[leaving_row];
                 let inv_piv = 1.0 / piv;
                 let (before, rest) = d.binv.split_at_mut(leaving_row * m);
@@ -358,20 +476,24 @@ impl Factor {
                         }
                     }
                 }
+                true
             }
-            Factor::Eta(e) => e.push_direction(leaving_row, w, events),
+            Factor::Eta(e) => {
+                e.push_direction(leaving_row, w.vals(), events);
+                true
+            }
         }
     }
 
     /// [`Factor::update_counted`] without allocation accounting.
-    pub fn update(&mut self, leaving_row: usize, w: &[f64]) {
-        self.update_counted(leaving_row, w, &mut 0);
+    pub fn update(&mut self, leaving_row: usize, w: &SpVec) -> bool {
+        self.update_counted(leaving_row, w, &mut 0)
     }
 
     /// Rebuild the representation from the basis columns and recompute
     /// `xb = B⁻¹ b`, using `scratch` for every intermediate buffer. The
-    /// eta reinversion may permute which row position each basic variable
-    /// occupies; `basis` is updated accordingly so the caller's
+    /// LU and eta reinversions may permute which row position each basic
+    /// variable occupies; `basis` is updated accordingly so the caller's
     /// row-indexed state stays consistent.
     pub fn refactor_with(
         &mut self,
@@ -384,6 +506,14 @@ impl Factor {
     ) -> Result<(), SolverError> {
         let m = basis.len();
         match self {
+            Factor::Lu(lu) => {
+                let before = lu.footprint();
+                let result = lu.refactor(cols, basis, b, xb);
+                if lu.footprint() > before {
+                    *events += 1;
+                }
+                result
+            }
             Factor::Dense(d) => {
                 debug_assert_eq!(d.m, m);
                 let a = &mut scratch.dense_a;
@@ -509,6 +639,8 @@ impl Factor {
 mod tests {
     use super::*;
 
+    const KINDS: [Factorization; 3] = [Factorization::Lu, Factorization::Eta, Factorization::Dense];
+
     /// Columns of a 3×3 matrix B = [[2,0,1],[0,3,0],[1,0,1]].
     fn cols3() -> Vec<Vec<(usize, f64)>> {
         vec![
@@ -518,7 +650,7 @@ mod tests {
         ]
     }
 
-    fn check_inverse(f: &Factor, cols: &[Vec<(usize, f64)>], basis: &[usize]) {
+    fn check_inverse(f: &mut Factor, cols: &[Vec<(usize, f64)>], basis: &[usize]) {
         let m = basis.len();
         // B⁻¹ B should be the permutation mapping basis position -> row.
         for (pos, &var) in basis.iter().enumerate() {
@@ -534,41 +666,36 @@ mod tests {
     }
 
     #[test]
-    fn eta_refactor_inverts() {
-        let cols = cols3();
-        let mut basis = vec![0, 1, 2];
-        let b = vec![1.0, 2.0, 3.0];
-        let mut xb = vec![0.0; 3];
-        let mut f = Factor::identity(3, false);
-        f.refactor(&cols, &mut basis, &b, &mut xb).unwrap();
-        check_inverse(&f, &cols, &basis);
-        // xb solves B xb(perm) = b: verify by multiplying back.
-        let mut back = vec![0.0; 3];
-        for (pos, &var) in basis.iter().enumerate() {
-            for &(r, a) in &cols[var] {
-                back[r] += a * xb[pos];
+    fn refactor_inverts_every_kind() {
+        for kind in KINDS {
+            let cols = cols3();
+            let mut basis = vec![0, 1, 2];
+            let b = vec![1.0, 2.0, 3.0];
+            let mut xb = vec![0.0; 3];
+            let mut f = Factor::identity(3, kind);
+            f.refactor(&cols, &mut basis, &b, &mut xb).unwrap();
+            check_inverse(&mut f, &cols, &basis);
+            // xb solves B xb(perm) = b: verify by multiplying back.
+            let mut back = vec![0.0; 3];
+            for (pos, &var) in basis.iter().enumerate() {
+                for &(r, a) in &cols[var] {
+                    back[r] += a * xb[pos];
+                }
             }
-        }
-        for (bi, &gi) in b.iter().zip(&back) {
-            assert!((bi - gi).abs() < 1e-9, "B xb = {back:?} vs b = {b:?}");
+            for (bi, &gi) in b.iter().zip(&back) {
+                assert!(
+                    (bi - gi).abs() < 1e-9,
+                    "B xb = {back:?} vs b = {b:?} ({kind:?})"
+                );
+            }
         }
     }
 
     #[test]
-    fn dense_and_eta_btran_agree() {
+    fn all_kinds_btran_agree() {
         let cols = cols3();
         let b = vec![0.0; 3];
         let mut xb = vec![0.0; 3];
-
-        let mut dense = Factor::identity(3, true);
-        let mut dense_basis = vec![0usize, 1, 2];
-        dense
-            .refactor(&cols, &mut dense_basis, &b, &mut xb)
-            .unwrap();
-
-        let mut eta = Factor::identity(3, false);
-        let mut eta_basis = vec![0usize, 1, 2];
-        eta.refactor(&cols, &mut eta_basis, &b, &mut xb).unwrap();
 
         // Compare y = vᵀ B⁻¹ after mapping the (possibly permuted) basis
         // position of each variable: v is indexed by position, so build v
@@ -582,10 +709,17 @@ mod tests {
             }
             v
         };
-        let yd = dense.btran(3, cost(&dense_basis));
-        let ye = eta.btran(3, cost(&eta_basis));
-        for (a, b) in yd.iter().zip(&ye) {
-            assert!((a - b).abs() < 1e-9, "{yd:?} vs {ye:?}");
+        let mut results = Vec::new();
+        for kind in KINDS {
+            let mut f = Factor::identity(3, kind);
+            let mut basis = vec![0usize, 1, 2];
+            f.refactor(&cols, &mut basis, &b, &mut xb).unwrap();
+            results.push(f.btran(3, cost(&basis)));
+        }
+        for y in &results[1..] {
+            for (a, b) in results[0].iter().zip(y) {
+                assert!((a - b).abs() < 1e-9, "{results:?}");
+            }
         }
     }
 
@@ -595,12 +729,13 @@ mod tests {
         let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]];
         let b = vec![0.0; 2];
         let mut xb = vec![0.0; 2];
-        for dense in [false, true] {
-            let mut f = Factor::identity(2, dense);
+        for kind in KINDS {
+            let mut f = Factor::identity(2, kind);
             let mut basis = vec![0usize, 1];
             assert_eq!(
                 f.refactor(&cols, &mut basis, &b, &mut xb).unwrap_err(),
-                SolverError::SingularBasis
+                SolverError::SingularBasis,
+                "{kind:?}"
             );
         }
     }
@@ -614,13 +749,14 @@ mod tests {
             vec![(1, 1.0)],
             vec![(0, 2.0), (1, 1.0)], // entering column
         ];
-        for dense in [false, true] {
-            let mut f = Factor::identity(2, dense);
-            let w = f.ftran_col(2, &cols[2]);
-            assert_eq!(w, vec![2.0, 1.0]);
-            f.update(0, &w); // column 2 replaces position 0
+        for kind in KINDS {
+            let mut f = Factor::identity(2, kind);
+            let mut w = SpVec::default();
+            f.ftran_col_into(2, &cols[2], &mut w, &mut 0);
+            assert_eq!(w.vals(), &[2.0, 1.0]);
+            assert!(f.update(0, &w)); // column 2 replaces position 0
             let basis = vec![2usize, 1];
-            check_inverse(&f, &cols, &basis);
+            check_inverse(&mut f, &cols, &basis);
         }
     }
 
@@ -629,8 +765,8 @@ mod tests {
         let cols = cols3();
         let b = vec![1.0, 2.0, 3.0];
         let mut xb = vec![0.0; 3];
-        for dense in [false, true] {
-            let mut f = Factor::identity(3, dense);
+        for kind in KINDS {
+            let mut f = Factor::identity(3, kind);
             let mut basis = vec![0usize, 1, 2];
             f.refactor(&cols, &mut basis, &b, &mut xb).unwrap();
             f.reset_identity();
@@ -645,24 +781,23 @@ mod tests {
         let cols = cols3();
         let b = vec![1.0, 2.0, 3.0];
         let mut xb = vec![0.0; 3];
-        for dense in [false, true] {
-            let mut f = Factor::identity(3, dense);
+        for kind in KINDS {
+            let mut f = Factor::identity(3, kind);
             let mut basis = vec![0usize, 1, 2];
             let mut scratch = FactorScratch::default();
             let mut events = 0u64;
             f.refactor_with(&cols, &mut basis, &b, &mut xb, &mut scratch, &mut events)
                 .unwrap();
-            assert!(events > 0, "cold refactor must grow scratch");
 
-            let mut w = Vec::new();
-            let mut y = Vec::new();
-            let mut r0 = Vec::new();
+            let mut w = SpVec::default();
+            let mut y = SpVec::default();
+            let mut r0 = SpVec::default();
             f.ftran_col_into(3, &cols[0], &mut w, &mut events);
             f.btran_into(3, &[1.0, 0.0, 0.5], &mut y, &mut events);
             f.row_of_inverse_into(3, 1, &mut r0, &mut events);
-            assert_eq!(w, f.ftran_col(3, &cols[0]));
-            assert_eq!(y, f.btran(3, vec![1.0, 0.0, 0.5]));
-            assert_eq!(r0, f.row_of_inverse(3, 1));
+            assert_eq!(w.vals(), f.ftran_col(3, &cols[0]).as_slice());
+            assert_eq!(y.vals(), f.btran(3, vec![1.0, 0.0, 0.5]).as_slice());
+            assert_eq!(r0.vals(), f.row_of_inverse(3, 1).as_slice());
 
             // Second pass over warmed buffers: no further events.
             let warm_events = events;
@@ -673,8 +808,24 @@ mod tests {
             f.row_of_inverse_into(3, 1, &mut r0, &mut events);
             assert_eq!(
                 events, warm_events,
-                "warm factor ops must not allocate (dense={dense})"
+                "warm factor ops must not allocate ({kind:?})"
             );
         }
+    }
+
+    #[test]
+    fn lu_stats_count_kernel_effort() {
+        let cols = cols3();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut xb = vec![0.0; 3];
+        let mut f = Factor::identity(3, Factorization::Lu);
+        let mut basis = vec![0usize, 1, 2];
+        f.refactor(&cols, &mut basis, &b, &mut xb).unwrap();
+        let stats = f.stats();
+        assert_eq!(stats.lu_refactors, 1);
+        assert!(stats.fill_nnz >= 3, "diagonal alone is m entries");
+        // Oracle kernels report no LU effort.
+        let eta = Factor::identity(3, Factorization::Eta);
+        assert_eq!(eta.stats(), FactorStats::default());
     }
 }

@@ -6,11 +6,15 @@
 //! scratch: a **two-phase revised primal simplex** with
 //!
 //! * sparse column storage of the constraint matrix,
-//! * a **product-form (eta-file) basis representation** priced by sparse
-//!   BTRAN/FTRAN, rebuilt by a sparsity-ordered reinversion every
-//!   [`SolveOptions::refactor_every`] pivots (the original dense explicit
-//!   inverse survives behind [`SolveOptions::dense`] as a cross-check
-//!   oracle),
+//! * a **sparse LU basis factorization** ([`Factorization::Lu`], the
+//!   default): Markowitz-pivoting reinversion every
+//!   [`SolveOptions::refactor_every`] pivots, Forrest–Tomlin pivot
+//!   updates in between, and hyper-sparse (Gilbert–Peierls) FTRAN/BTRAN
+//!   that walk only the reach of the input support — with the
+//!   product-form eta file ([`Factorization::Eta`]) and the original
+//!   dense explicit inverse ([`Factorization::Dense`]) retained behind
+//!   [`SolveOptions::factorization`] as independently implemented
+//!   cross-check oracles,
 //! * **warm starts**: an optimal [`Basis`] can be fed back into
 //!   [`solve_warm`]/[`solve_with_presolve_warm`] to skip phase 1 when
 //!   re-solving the same structure with a perturbed right-hand side,
@@ -36,10 +40,10 @@
 //!   relative tolerances, a residual monitor that re-verifies the basic
 //!   system `‖B·x_B − b‖∞ / (1 + ‖b‖∞)` after refactorizations, every
 //!   [`SolveOptions::check_every`] pivots, and on optimal exit, and an
-//!   automatic four-rung recovery ladder (refactorize → tighten pivot
-//!   tolerance → Dantzig pricing → dense kernel) when the residual exceeds
-//!   [`SolveOptions::residual_tol`] — all reported per solve in
-//!   [`NumericsReport`].
+//!   automatic five-rung recovery ladder (refactorize → tighten pivot
+//!   tolerance → Dantzig pricing → eta kernel → dense kernel) when the
+//!   residual exceeds [`SolveOptions::residual_tol`] — all reported per
+//!   solve in [`NumericsReport`].
 //!
 //! The solver is deterministic. Solutions carry the achieved objective and
 //! primal vector; [`verify::check_solution`] re-checks every constraint with
@@ -51,11 +55,13 @@
 //! millions of nonzeros.
 
 pub mod factor;
+mod lu;
 pub mod presolve;
 pub mod problem;
 pub mod solver;
 pub mod verify;
 
+pub use factor::{FactorStats, Factorization, SpVec};
 pub use presolve::{presolve, solve_with_presolve, solve_with_presolve_warm, Presolved};
 pub use problem::{Cmp, LinearProgram, Row};
 pub use solver::{

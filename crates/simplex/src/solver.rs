@@ -1,13 +1,13 @@
 //! Two-phase revised primal simplex.
 //!
 //! The basis is represented by a [`Factor`](crate::factor::Factor): by
-//! default a sparse **product-form inverse** (eta file) whose BTRAN/FTRAN
-//! cost scales with the actual fill of the pivot history, rebuilt by a
-//! sparsity-ordered reinversion every [`SolveOptions::refactor_every`]
-//! pivots or when a pivot looks numerically unsafe. Setting
-//! [`SolveOptions::dense`] switches to the original explicit dense `B⁻¹`
-//! (row major, Gauss–Jordan refactorization), retained as a cross-check
-//! oracle.
+//! default a sparse **LU factorization** with Markowitz-pivoting
+//! reinversion every [`SolveOptions::refactor_every`] pivots,
+//! Forrest–Tomlin updates in between, and hyper-sparse FTRAN/BTRAN whose
+//! cost scales with the reach of the input support rather than the row
+//! count. [`SolveOptions::factorization`] switches to the product-form
+//! eta file or the original explicit dense `B⁻¹`, both retained as
+//! cross-check oracles and as the last two rungs of the recovery ladder.
 //!
 //! Pricing is **devex partial pricing** by default
 //! ([`Pricing::Devex`]): reference weights `γ_j` approximate the steepest-
@@ -45,7 +45,7 @@
 // row; iterator rewrites obscure the numerics for no gain.
 #![allow(clippy::needless_range_loop)]
 
-use crate::factor::{ensure_filled, Factor, FactorScratch};
+use crate::factor::{ensure_filled, Factor, FactorScratch, Factorization, SpVec};
 use crate::problem::{Cmp, LinearProgram};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -231,7 +231,10 @@ pub struct NumericsReport {
     pub recoveries_tighten: u64,
     /// Rung 3 activations: full re-solves under Dantzig full pricing.
     pub recoveries_dantzig: u64,
-    /// Rung 4 activations: full re-solves on the dense explicit-inverse
+    /// Rung 4 activations: full re-solves on the product-form eta kernel
+    /// (the first factorization fallback below the LU default).
+    pub recoveries_eta: u64,
+    /// Rung 5 activations: full re-solves on the dense explicit-inverse
     /// kernel (best effort — residual failures there are recorded, never
     /// escalated).
     pub recoveries_dense: u64,
@@ -240,6 +243,15 @@ pub struct NumericsReport {
     /// Harris pass-2 selections whose ratio strictly exceeded the
     /// single-pass minimum — pivots the baseline rule would have rejected.
     pub harris_relaxations: u64,
+    /// Largest `nnz(L) + nnz(U)` any LU reinversion produced (zero when
+    /// the solve never ran on the LU kernel).
+    pub lu_fill_nnz: u64,
+    /// Forrest–Tomlin updates applied by the LU kernel.
+    pub lu_ft_updates: u64,
+    /// FTRAN/BTRAN calls that ran entirely on the hyper-sparse path.
+    pub lu_sparse_solves: u64,
+    /// FTRAN/BTRAN calls that fell back to a dense pass.
+    pub lu_dense_solves: u64,
 }
 
 impl NumericsReport {
@@ -248,6 +260,7 @@ impl NumericsReport {
         self.recoveries_refactor
             + self.recoveries_tighten
             + self.recoveries_dantzig
+            + self.recoveries_eta
             + self.recoveries_dense
     }
 
@@ -263,9 +276,14 @@ impl NumericsReport {
         self.recoveries_refactor += attempt.recoveries_refactor;
         self.recoveries_tighten += attempt.recoveries_tighten;
         self.recoveries_dantzig += attempt.recoveries_dantzig;
+        self.recoveries_eta += attempt.recoveries_eta;
         self.recoveries_dense += attempt.recoveries_dense;
         self.ratio_tests += attempt.ratio_tests;
         self.harris_relaxations += attempt.harris_relaxations;
+        self.lu_fill_nnz = self.lu_fill_nnz.max(attempt.lu_fill_nnz);
+        self.lu_ft_updates += attempt.lu_ft_updates;
+        self.lu_sparse_solves += attempt.lu_sparse_solves;
+        self.lu_dense_solves += attempt.lu_dense_solves;
     }
 }
 
@@ -311,12 +329,16 @@ pub mod fault {
 pub struct Workspace {
     /// Basic-cost vector (BTRAN input).
     cb: Vec<f64>,
-    /// Simplex multipliers (BTRAN output).
-    y: Vec<f64>,
-    /// Pivot direction (FTRAN output).
-    w: Vec<f64>,
-    /// Row of `B⁻¹` for devex updates and driving out artificials.
-    rho: Vec<f64>,
+    /// Simplex multipliers (BTRAN output; sparse-mode under the LU kernel
+    /// when the basic costs are sparse).
+    y: SpVec,
+    /// Pivot direction (FTRAN output) with tracked nonzero support, so the
+    /// ratio test, the basic-value update, and the eta/FT append walk only
+    /// actual nonzeros instead of the full row range.
+    w: SpVec,
+    /// Row of `B⁻¹` for devex updates and driving out artificials
+    /// (partial-BTRAN output under the LU kernel).
+    rho: SpVec,
     /// `B·x_B` accumulator for the residual monitor.
     resid: Vec<f64>,
     /// Devex reference weights, indexed by standard-form column.
@@ -391,10 +413,11 @@ pub struct SolveOptions {
     pub max_iters: usize,
     /// Rebuild the basis representation after this many pivots.
     pub refactor_every: usize,
-    /// Use the dense explicit-inverse kernel instead of the sparse
-    /// product-form default. Kept as a cross-check oracle; the two paths
-    /// must agree on status and objective.
-    pub dense: bool,
+    /// Which basis kernel to run on: sparse LU with Forrest–Tomlin updates
+    /// (the default), the product-form eta file, or the dense explicit
+    /// inverse. The oracles must agree with LU on status and objective;
+    /// the recovery ladder also falls back through them in that order.
+    pub factorization: Factorization,
     /// Entering-variable selection rule.
     pub pricing: Pricing,
     /// Leaving-variable (ratio-test) selection rule.
@@ -426,7 +449,7 @@ impl Default for SolveOptions {
             pivot_tol: 1e-8,
             max_iters: 0,
             refactor_every: 512,
-            dense: false,
+            factorization: Factorization::default(),
             pricing: Pricing::default(),
             ratio_test: RatioTest::default(),
             check_every: 128,
@@ -500,7 +523,7 @@ pub fn solve_warm_ws(
     // rung never escalates, so the ladder always terminates.
     let mut eff = opts.clone();
     let mut carry = NumericsReport::default();
-    for escalation in 0u8..=3 {
+    for escalation in 0u8..=4 {
         if escalation > 0 {
             let _span = ise_obs::Span::enter("simplex.recovery");
             match escalation {
@@ -512,8 +535,12 @@ pub fn solve_warm_ws(
                     eff.pricing = Pricing::Dantzig;
                     carry.recoveries_dantzig += 1;
                 }
+                3 => {
+                    eff.factorization = Factorization::Eta;
+                    carry.recoveries_eta += 1;
+                }
                 _ => {
-                    eff.dense = true;
+                    eff.factorization = Factorization::Dense;
                     carry.recoveries_dense += 1;
                 }
             }
@@ -522,12 +549,20 @@ pub fn solve_warm_ws(
         tableau.escalation = escalation;
         let out = tableau.run(warm);
         let climb = tableau.unstable || matches!(out, Err(SolverError::SingularBasis));
+        let fs = tableau.factor.stats();
+        tableau.numerics.lu_fill_nnz = tableau.numerics.lu_fill_nnz.max(fs.fill_nnz);
+        tableau.numerics.lu_ft_updates += fs.ft_updates;
+        tableau.numerics.lu_sparse_solves += fs.sparse_solves;
+        tableau.numerics.lu_dense_solves += fs.dense_solves;
+        if tableau.lu_update_time > Duration::ZERO {
+            ise_obs::Span::record("simplex.lu_update", tableau.lu_update_time);
+        }
         carry.absorb(&tableau.numerics);
         // Hand the workspace back — including the factor's storage,
         // recycled by the next solve — on every exit path.
         tableau.ws.factor_cache = std::mem::take(&mut tableau.factor);
         *ws = std::mem::take(&mut tableau.ws);
-        if climb && escalation < 3 {
+        if climb && escalation < 4 {
             continue;
         }
         return out.map(|mut sol| {
@@ -560,7 +595,7 @@ struct Tableau {
     /// Basic variable of each row.
     basis: Vec<usize>,
     in_basis: Vec<bool>,
-    /// Basis representation (dense inverse or eta file).
+    /// Basis representation (sparse LU, eta file, or dense inverse).
     factor: Factor,
     /// Current basic solution values.
     xb: Vec<f64>,
@@ -587,8 +622,11 @@ struct Tableau {
     /// residual monitor and the scale-aware degenerate-step gate.
     rhs_scale: f64,
     /// Which rung of the recovery ladder this attempt runs on (0 = the
-    /// caller's configuration, 3 = the dense last resort).
+    /// caller's configuration, 4 = the dense last resort).
     escalation: u8,
+    /// Accumulated Forrest–Tomlin update time (recorded as the
+    /// `simplex.lu_update` span when the LU kernel ran).
+    lu_update_time: Duration,
     /// Set when a residual failure could not be repaired in-loop; tells
     /// the driver in [`solve_warm_ws`] to climb to the next rung.
     unstable: bool,
@@ -664,7 +702,7 @@ impl Tableau {
         let factor = Factor::prepare(
             std::mem::take(&mut ws.factor_cache),
             m,
-            opts.dense,
+            opts.factorization,
             &mut ws.alloc_events,
         );
         let rhs_scale = 1.0 + b.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
@@ -694,6 +732,7 @@ impl Tableau {
             rhs_scale,
             escalation: 0,
             unstable: false,
+            lu_update_time: Duration::ZERO,
         }
     }
 
@@ -823,6 +862,12 @@ impl Tableau {
                 });
             }
             self.drive_out_artificials()?;
+            if matches!(self.factor, Factor::Lu(_)) {
+                // Phase 1 may have stacked many Forrest–Tomlin etas on top
+                // of the initial factorization; start phase 2 from a fresh
+                // Markowitz reinversion so its solves stay hyper-sparse.
+                self.refactorize()?;
+            }
         }
 
         let cost2 = self.cost2.clone();
@@ -866,7 +911,7 @@ impl Tableau {
     /// Simplex multipliers `y = c_B B⁻¹` via BTRAN, mapped back to the
     /// original row orientation (rows normalized by `-1` get their dual
     /// negated).
-    fn duals(&self, cost: &[f64]) -> Vec<f64> {
+    fn duals(&mut self, cost: &[f64]) -> Vec<f64> {
         let mut cb = vec![0.0; self.m];
         for (k, &bv) in self.basis.iter().enumerate() {
             cb[k] = cost[bv];
@@ -996,7 +1041,7 @@ impl Tableau {
     /// (either direction) so they can never become positive.
     #[inline]
     fn row_ratio(&self, i: usize) -> Option<f64> {
-        let wi = self.ws.w[i];
+        let wi = self.ws.w.vals()[i];
         let basic_is_artificial = self.kind[self.basis[i]] == VarKind::Artificial;
         let artificial_at_zero = basic_is_artificial && self.xb[i] <= self.opts.feas_tol;
         if artificial_at_zero && wi.abs() > self.opts.pivot_tol {
@@ -1036,11 +1081,13 @@ impl Tableau {
         let mut leaving = usize::MAX;
         let mut theta = f64::INFINITY;
         let mut best_piv = 0.0f64;
-        for i in 0..self.m {
+        // Rows outside the direction's support have w_i = 0 and can never
+        // limit the step, so the scan walks the tracked nonzeros only.
+        for i in self.ws.w.support() {
             let Some(ratio) = self.row_ratio(i) else {
                 continue;
             };
-            let wi = self.ws.w[i];
+            let wi = self.ws.w.vals()[i];
             let better = if leaving == usize::MAX {
                 true
             } else {
@@ -1070,8 +1117,8 @@ impl Tableau {
     fn select_leaving_harris(&mut self) -> (usize, f64) {
         let mut theta_max = f64::INFINITY;
         let mut any = false;
-        for i in 0..self.m {
-            let wi = self.ws.w[i];
+        for i in self.ws.w.support() {
+            let wi = self.ws.w.vals()[i];
             let basic_is_artificial = self.kind[self.basis[i]] == VarKind::Artificial;
             let artificial_at_zero = basic_is_artificial && self.xb[i] <= self.opts.feas_tol;
             let delta = self.opts.feas_tol * (1.0 + self.xb[i].abs());
@@ -1090,12 +1137,12 @@ impl Tableau {
         let mut theta = f64::INFINITY;
         let mut strict = f64::INFINITY;
         let mut best_piv = 0.0f64;
-        for i in 0..self.m {
+        for i in self.ws.w.support() {
             let Some(ratio) = self.row_ratio(i) else {
                 continue;
             };
             strict = strict.min(ratio);
-            let wi = self.ws.w[i];
+            let wi = self.ws.w.vals()[i];
             if ratio <= theta_max && wi.abs() > best_piv {
                 best_piv = wi.abs();
                 leaving = i;
@@ -1173,7 +1220,7 @@ impl Tableau {
                 return Ok(());
             }
         }
-        if self.escalation >= 3 {
+        if self.escalation >= 4 {
             return Ok(());
         }
         self.unstable = true;
@@ -1220,8 +1267,9 @@ impl Tableau {
     #[inline]
     fn reduced_cost(&self, j: usize, cost: &[f64]) -> f64 {
         let mut d = cost[j];
+        let y = self.ws.y.vals();
         for &(r, a) in &self.cols[j] {
-            d -= self.ws.y[r] * a;
+            d -= y[r] * a;
         }
         d
     }
@@ -1334,7 +1382,7 @@ impl Tableau {
     /// columns actually priced this iteration are updated — the classic
     /// partial-pricing compromise.
     fn update_devex_weights(&mut self, entering: usize, leaving_row: usize) {
-        let alpha_q = self.ws.w[leaving_row];
+        let alpha_q = self.ws.w.vals()[leaving_row];
         if alpha_q.abs() <= self.opts.pivot_tol {
             // pivot() will refactorize instead of pivoting; the weights
             // reset there.
@@ -1352,8 +1400,9 @@ impl Tableau {
                 continue;
             }
             let mut alpha_j = 0.0;
+            let rho = self.ws.rho.vals();
             for &(r, a) in &self.cols[j] {
-                alpha_j += self.ws.rho[r] * a;
+                alpha_j += rho[r] * a;
             }
             let ratio = alpha_j / alpha_q;
             let cand = ratio * ratio * gamma_q;
@@ -1372,28 +1421,42 @@ impl Tableau {
         leaving_row: usize,
         theta: f64,
     ) -> Result<(), SolverError> {
-        let piv = self.ws.w[leaving_row];
+        let piv = self.ws.w.vals()[leaving_row];
         if piv.abs() < self.opts.pivot_tol {
             // Extremely small pivot: rebuild and hope pricing picks a better
             // column next round.
             return self.refactorize();
         }
-        // Update basic values.
-        for i in 0..self.m {
+        // Update basic values over the direction's tracked support — rows
+        // outside it move by exactly zero (the clamp to the feasibility
+        // floor only matters for rows the step actually touched).
+        for i in self.ws.w.support() {
             if i != leaving_row {
-                self.xb[i] = (self.xb[i] - theta * self.ws.w[i]).max(-self.opts.feas_tol);
+                self.xb[i] = (self.xb[i] - theta * self.ws.w.vals()[i]).max(-self.opts.feas_tol);
             }
         }
         self.xb[leaving_row] = theta;
 
-        self.factor
-            .update_counted(leaving_row, &self.ws.w, &mut self.ws.alloc_events);
+        let timed = matches!(self.factor, Factor::Lu(_));
+        let start = timed.then(Instant::now);
+        let applied =
+            self.factor
+                .update_counted(leaving_row, &self.ws.w, &mut self.ws.alloc_events);
+        if let Some(start) = start {
+            self.lu_update_time += start.elapsed();
+        }
 
         let old = self.basis[leaving_row];
         self.in_basis[old] = false;
         self.in_basis[entering] = true;
         self.basis[leaving_row] = entering;
         self.pivots_since_refactor += 1;
+        if !applied {
+            // The Forrest–Tomlin update refused the pivot on stability
+            // grounds; the factor is stale until rebuilt from the (already
+            // swapped) basis columns.
+            self.refactorize()?;
+        }
         Ok(())
     }
 
@@ -1404,6 +1467,8 @@ impl Tableau {
     /// step).
     fn refactorize(&mut self) -> Result<(), SolverError> {
         let _span = ise_obs::Span::enter("simplex.refactor");
+        let _lu_span =
+            matches!(self.factor, Factor::Lu(_)).then(|| ise_obs::Span::enter("simplex.lu_factor"));
         self.factor.refactor_with(
             &self.cols,
             &mut self.basis,
@@ -1444,8 +1509,9 @@ impl Tableau {
                 }
                 // w_row = (B⁻¹ A_j)[row]
                 let mut w_row = 0.0;
+                let rho = self.ws.rho.vals();
                 for &(r, a) in &self.cols[j] {
-                    w_row += a * self.ws.rho[r];
+                    w_row += a * rho[r];
                 }
                 if w_row.abs() > 1e-6 {
                     found = Some(j);
@@ -1498,11 +1564,14 @@ mod tests {
         assert!((a - b).abs() <= tol, "expected {b}, got {a}");
     }
 
-    /// Run a test body against both basis representations.
+    const ALL_KERNELS: [Factorization; 3] =
+        [Factorization::Lu, Factorization::Eta, Factorization::Dense];
+
+    /// Run a test body against every basis representation.
     fn both_paths(f: impl Fn(SolveOptions)) {
-        for dense in [false, true] {
+        for factorization in ALL_KERNELS {
             f(SolveOptions {
-                dense,
+                factorization,
                 ..SolveOptions::default()
             });
         }
@@ -1511,10 +1580,10 @@ mod tests {
     /// Run a test body against every (basis representation × pricing rule)
     /// combination.
     fn all_modes(f: impl Fn(SolveOptions)) {
-        for dense in [false, true] {
+        for factorization in ALL_KERNELS {
             for pricing in [Pricing::Dantzig, Pricing::Devex] {
                 f(SolveOptions {
-                    dense,
+                    factorization,
                     pricing,
                     ..SolveOptions::default()
                 });
@@ -1930,10 +1999,10 @@ mod tests {
         // The two ratio tests may walk different pivot sequences but must
         // land on the same optimum — on well-behaved and on degenerate
         // programs alike.
-        for dense in [false, true] {
+        for factorization in ALL_KERNELS {
             for n in [8, 24, 60] {
                 let mk = |ratio_test| SolveOptions {
-                    dense,
+                    factorization,
                     ratio_test,
                     ..SolveOptions::default()
                 };
@@ -1988,12 +2057,13 @@ mod tests {
     #[cfg(feature = "fault-inject")]
     #[test]
     fn recovery_ladder_climbs_every_rung_exactly_once() {
-        // Four armed failures walk the ladder end to end: attempt 0 fails
+        // Five armed failures walk the ladder end to end: attempt 0 fails
         // its first check, refactorizes (rung 1), fails the re-check and
-        // escalates; the tightened (rung 2) and Dantzig (rung 3) attempts
-        // each burn one more failure; the dense attempt (rung 4) runs with
-        // the hook exhausted and lands on the true optimum.
-        fault::force_residual_failures(4);
+        // escalates; the tightened (rung 2), Dantzig (rung 3), and eta
+        // (rung 4) attempts each burn one more failure; the dense attempt
+        // (rung 5) runs with the hook exhausted and lands on the true
+        // optimum.
+        fault::force_residual_failures(5);
         let sol = solve(&ring_lp(24), &SolveOptions::default()).unwrap();
         assert_eq!(sol.status, SolveStatus::Optimal);
         let n = sol.numerics;
@@ -2002,9 +2072,10 @@ mod tests {
                 n.recoveries_refactor,
                 n.recoveries_tighten,
                 n.recoveries_dantzig,
+                n.recoveries_eta,
                 n.recoveries_dense,
             ),
-            (1, 1, 1, 1),
+            (1, 1, 1, 1, 1),
             "each rung must fire exactly once: {n:?}"
         );
         let clean = solve(&ring_lp(24), &SolveOptions::default()).unwrap();
@@ -2021,6 +2092,7 @@ mod tests {
         assert_eq!(sol.numerics.recoveries_refactor, 1);
         assert_eq!(sol.numerics.recoveries_tighten, 0);
         assert_eq!(sol.numerics.recoveries_dantzig, 0);
+        assert_eq!(sol.numerics.recoveries_eta, 0);
         assert_eq!(sol.numerics.recoveries_dense, 0);
     }
 

@@ -1,28 +1,24 @@
-//! Property tests: the sparse (eta-file) simplex and the dense-inverse
-//! oracle are observationally equivalent.
+//! Property tests: the LU, eta-file, and dense-inverse kernels are
+//! observationally equivalent.
 //!
 //! Fully random programs — any status (optimal, infeasible, or
-//! unbounded) can come out. The two factorizations must agree on the
-//! status; on optimal programs both solutions must verify against the
-//! original constraints ([`check_solution`]), both duals must certify the
+//! unbounded) can come out. All three factorizations must agree on the
+//! status; on optimal programs every solution must verify against the
+//! original constraints ([`check_solution`]), every dual must certify the
 //! same objective ([`check_dual`]), and the objectives must match to
 //! tolerance. (`stress.rs` separately drives the default path over
 //! programs with a constructed known optimum; `crates/core`'s
 //! `lp_equivalence.rs` covers the TISE LP family.)
 
 use ise_simplex::{
-    check_dual, check_solution, solve_with_presolve, Cmp, LinearProgram, Pricing, SolveOptions,
-    SolveStatus,
+    check_dual, check_solution, solve_with_presolve, Cmp, Factorization, LinearProgram, Pricing,
+    SolveOptions, SolveStatus,
 };
 use proptest::prelude::*;
 
-fn sparse_opts() -> SolveOptions {
-    SolveOptions::default()
-}
-
-fn dense_opts() -> SolveOptions {
+fn kernel_opts(factorization: Factorization) -> SolveOptions {
     SolveOptions {
-        dense: true,
+        factorization,
         ..SolveOptions::default()
     }
 }
@@ -76,26 +72,57 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
 
     #[test]
-    fn sparse_and_dense_agree_on_random_lps(lp in random_lp()) {
-        let sparse = solve_with_presolve(&lp, &sparse_opts()).expect("sparse solve");
-        let dense = solve_with_presolve(&lp, &dense_opts()).expect("dense solve");
-        prop_assert_eq!(sparse.status, dense.status);
-        if sparse.status != SolveStatus::Optimal {
-            return Ok(());
+    fn lu_eta_and_dense_agree_on_random_lps(lp in random_lp()) {
+        let lu = solve_with_presolve(&lp, &kernel_opts(Factorization::Lu)).expect("lu solve");
+        for oracle_kind in [Factorization::Eta, Factorization::Dense] {
+            let oracle =
+                solve_with_presolve(&lp, &kernel_opts(oracle_kind)).expect("oracle solve");
+            prop_assert_eq!(lu.status, oracle.status, "{:?}", oracle_kind);
+            if lu.status != SolveStatus::Optimal {
+                continue;
+            }
+            let scale = 1.0 + lu.objective.abs();
+            prop_assert!(
+                (lu.objective - oracle.objective).abs() <= 1e-6 * scale,
+                "objectives diverge: lu {} {:?} {}", lu.objective, oracle_kind, oracle.objective
+            );
+            prop_assert!(check_solution(&lp, &lu.x, 1e-6).is_empty());
+            prop_assert!(check_solution(&lp, &oracle.x, 1e-6).is_empty());
+            let lu_dual = check_dual(&lp, &lu.duals, 1e-5)
+                .map_err(|v| TestCaseError::fail(format!("lu dual infeasible: {v:?}")))?;
+            let oracle_dual = check_dual(&lp, &oracle.duals, 1e-5)
+                .map_err(|v| TestCaseError::fail(format!("oracle dual infeasible: {v:?}")))?;
+            prop_assert!((lu_dual - lu.objective).abs() <= 1e-5 * scale);
+            prop_assert!((oracle_dual - oracle.objective).abs() <= 1e-5 * scale);
         }
-        let scale = 1.0 + sparse.objective.abs();
-        prop_assert!(
-            (sparse.objective - dense.objective).abs() <= 1e-6 * scale,
-            "objectives diverge: sparse {} dense {}", sparse.objective, dense.objective
-        );
-        prop_assert!(check_solution(&lp, &sparse.x, 1e-6).is_empty());
-        prop_assert!(check_solution(&lp, &dense.x, 1e-6).is_empty());
-        let sparse_dual = check_dual(&lp, &sparse.duals, 1e-5)
-            .map_err(|v| TestCaseError::fail(format!("sparse dual infeasible: {v:?}")))?;
-        let dense_dual = check_dual(&lp, &dense.duals, 1e-5)
-            .map_err(|v| TestCaseError::fail(format!("dense dual infeasible: {v:?}")))?;
-        prop_assert!((sparse_dual - sparse.objective).abs() <= 1e-5 * scale);
-        prop_assert!((dense_dual - dense.objective).abs() <= 1e-5 * scale);
+    }
+
+    /// Forrest–Tomlin consistency: solving entirely on FT updates
+    /// (refactor_every high enough to never trigger) and solving with a
+    /// fresh Markowitz reinversion after every pivot must agree — the
+    /// update formula and the from-scratch factorization describe the same
+    /// basis.
+    #[test]
+    fn ft_updates_agree_with_per_pivot_refactorization(lp in random_lp()) {
+        let updates = solve_with_presolve(&lp, &SolveOptions {
+            refactor_every: 100_000,
+            ..SolveOptions::default()
+        }).expect("ft solve");
+        let refactors = solve_with_presolve(&lp, &SolveOptions {
+            refactor_every: 1,
+            ..SolveOptions::default()
+        }).expect("refactor solve");
+        prop_assert_eq!(updates.status, refactors.status);
+        if updates.status == SolveStatus::Optimal {
+            let scale = 1.0 + updates.objective.abs();
+            prop_assert!(
+                (updates.objective - refactors.objective).abs() <= 1e-6 * scale,
+                "objectives diverge: ft {} refactor {}",
+                updates.objective, refactors.objective
+            );
+            prop_assert!(check_solution(&lp, &updates.x, 1e-6).is_empty());
+            prop_assert!(check_solution(&lp, &refactors.x, 1e-6).is_empty());
+        }
     }
 
     /// Devex partial pricing and Dantzig full pricing choose different
@@ -103,7 +130,7 @@ proptest! {
     /// programs both solutions must verify and reach the same objective.
     #[test]
     fn devex_and_dantzig_agree_on_random_lps(lp in random_lp()) {
-        let devex = solve_with_presolve(&lp, &sparse_opts()).expect("devex solve");
+        let devex = solve_with_presolve(&lp, &SolveOptions::default()).expect("devex solve");
         let dantzig = solve_with_presolve(&lp, &dantzig_opts()).expect("dantzig solve");
         prop_assert_eq!(devex.status, dantzig.status);
         if devex.status != SolveStatus::Optimal {

@@ -15,6 +15,7 @@
 //!              [--idle-timeout-ms MS] [--max-line-len BYTES]
 //! ise trace    <instance.json> [--trim] [--mm BACKEND] [--speed S]
 //! ise bench    [--quick] [--reps N] [--out FILE] [--check FILE] [--threshold X]
+//!              [--factorization lu|eta|dense]
 //! ise fuzz     [--seed S] [--cases N] [--max-jobs N] [--oracles LIST]
 //!              [--time-budget SECS] [--corpus DIR] [--no-shrink]
 //!              [--replay DIR]
@@ -87,7 +88,8 @@ const USAGE: &str = "usage:
   ise trace    <instance.json> [--trim]
                [--mm auto|exact|greedy|unit|lp-round|portfolio] [--speed S]
   ise bench    [--quick] [--reps N] [--out FILE] [--check FILE]
-               [--threshold X] [--skip-session] [--out-session FILE]
+               [--threshold X] [--factorization lu|eta|dense]
+               [--skip-session] [--out-session FILE]
                [--check-session FILE]
   ise session  <script.jsonl> [--trim]
                [--mm auto|exact|greedy|unit|lp-round|portfolio] [--out FILE]
@@ -530,12 +532,15 @@ fn serve_listen(
 /// Writes the report to `--out` (or stdout), and with `--check FILE`
 /// compares against that baseline, failing on any measurement worse than
 /// `--threshold` (default 2.0) times its recorded value.
+/// `--factorization lu|eta|dense` instead profiles the suite on a single
+/// basis kernel (no baseline, no JSON report).
 fn cmd_bench(args: &[&String]) -> Result<(), String> {
     const VALUE: &[&str] = &[
         "--reps",
         "--out",
         "--check",
         "--threshold",
+        "--factorization",
         "--out-session",
         "--check-session",
     ];
@@ -551,22 +556,63 @@ fn cmd_bench(args: &[&String]) -> Result<(), String> {
         return Err("--threshold must be at least 1.0".into());
     }
 
+    if let Some(kind) = flag_value(args, "--factorization")? {
+        let kind = match kind.as_str() {
+            "lu" => ise::simplex::Factorization::Lu,
+            "eta" => ise::simplex::Factorization::Eta,
+            "dense" => ise::simplex::Factorization::Dense,
+            other => {
+                return Err(format!(
+                    "unknown factorization {other:?} (expected lu, eta, or dense)"
+                ))
+            }
+        };
+        for spec in ise_bench::perf::suite(quick) {
+            let m = ise_bench::perf::measure_kernel(&spec, kind, reps)?;
+            let lu_extra = if kind == ise::simplex::Factorization::Lu {
+                format!(
+                    "; fill {} nnz, {} FT updates, hyper-sparse {:.0}%",
+                    m.fill_nnz,
+                    m.ft_updates,
+                    m.hypersparse_solve_ratio() * 100.0
+                )
+            } else {
+                String::new()
+            };
+            eprintln!(
+                "{}: {kind:?} {} ns ({} iters, {} refactorizations, {} cols scanned){lu_extra}",
+                spec.name,
+                m.path.ns_per_solve,
+                m.path.iterations,
+                m.path.refactorizations,
+                m.path.cols_scanned
+            );
+        }
+        return Ok(());
+    }
+
     let report = ise_bench::perf::run_suite(quick, reps)?;
     for w in &report.workloads {
         let dense = w.dense.as_ref().map_or("skipped".to_string(), |d| {
             format!("{} ns ({} iters)", d.ns_per_solve, d.iterations)
         });
         eprintln!(
-            "{}: {} rows x {} cols ({} nnz); devex {} ns ({} iters, {} cols scanned), \
+            "{}: {} rows x {} cols ({} nnz); lu {} ns ({} iters, {} cols scanned, \
+             fill {} nnz, {} FT updates, hyper-sparse {:.0}%), eta {} ns ({} iters), \
              dantzig {} ns ({} iters, {} cols scanned), dense {dense}, \
              warm {} ns ({} iters)",
             w.spec.name,
             w.lp_rows,
             w.lp_cols,
             w.lp_nnz,
-            w.sparse.ns_per_solve,
-            w.sparse.iterations,
-            w.sparse.cols_scanned,
+            w.lu.path.ns_per_solve,
+            w.lu.path.iterations,
+            w.lu.path.cols_scanned,
+            w.lu.fill_nnz,
+            w.lu.ft_updates,
+            w.lu.hypersparse_solve_ratio() * 100.0,
+            w.eta.ns_per_solve,
+            w.eta.iterations,
             w.dantzig.ns_per_solve,
             w.dantzig.iterations,
             w.dantzig.cols_scanned,
